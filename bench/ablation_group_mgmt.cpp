@@ -1,0 +1,122 @@
+/// Ablation bench — group-management design choices (DESIGN.md).
+///
+/// Not a paper figure. Quantifies what each §5.2 mechanism buys on a
+/// common workload (one target crossing a 14-hop strip at 50 km/hr,
+/// moderate loss): labels created (1 = perfect coherence), handover
+/// success, channel load, and deployment energy.
+///
+/// Variants: the full protocol; weight-based spurious-label suppression
+/// off; wait timer shorter than receive timer (violating the §6.2 rule);
+/// relinquish off (takeover-only); heartbeat transmit power cut to the
+/// sensing radius, without and with perimeter flooding (h = 2).
+
+#include "bench/bench_util.hpp"
+#include "metrics/energy.hpp"
+#include "scenario/tank.hpp"
+
+namespace {
+
+using namespace et;
+using namespace et::scenario;
+
+struct Row {
+  double labels = 0;
+  double success_pct = 0;
+  double util_pct = 0;
+  double millijoules = 0;
+  double detect_s = 0;
+};
+
+Row measure(const core::GroupConfig& group, int seeds,
+            double duty_awake = 1.0) {
+  Row row;
+  std::uint64_t ok = 0;
+  std::uint64_t fail = 0;
+  for (int i = 0; i < seeds; ++i) {
+    TankScenarioParams params;
+    params.rows = 3;
+    params.cols = 14;
+    params.sensing_radius = 1.0;
+    params.speed_hops_per_s = kmh_to_hops_per_s(kTankFastKmh);
+    params.radio.loss_probability = 0.05;
+    params.group = group;
+    params.duty_cycle_awake_fraction = duty_awake;
+    params.base_station.reset();
+    params.seed = 400 + i;
+
+    TankScenario scenario(params);
+    const TankRunResult result = scenario.run();
+    row.labels += static_cast<double>(result.tracking.distinct_labels);
+    ok += result.tracking.successful_handovers;
+    fail += result.tracking.failed_handovers;
+    row.util_pct += result.channel.link_utilization_pct;
+    row.millijoules +=
+        metrics::measure_energy(scenario.system()).totals.total() * 1e3;
+    if (result.tracking.detected()) {
+      row.detect_s += result.tracking.detection_latency.to_seconds();
+    }
+  }
+  row.labels /= seeds;
+  row.util_pct /= seeds;
+  row.millijoules /= seeds;
+  row.detect_s /= seeds;
+  row.success_pct = (ok + fail) == 0
+                        ? 100.0
+                        : 100.0 * static_cast<double>(ok) /
+                              static_cast<double>(ok + fail);
+  return row;
+}
+
+void print_row(const char* name, const Row& row) {
+  std::printf("  %-40s  %6.1f  %7.1f%%  %6.2f%%  %8.1f  %6.2f\n", name,
+              row.labels, row.success_pct, row.util_pct, row.millijoules,
+              row.detect_s);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation: group-management design choices",
+                      "design-choice ablations called out in DESIGN.md");
+  const int seeds = bench::seeds_per_point(3);
+  std::printf("(tank at 50 km/hr, 5%% loss, %d seeds per row)\n", seeds);
+  std::printf("\n  %-40s  %6s  %8s  %7s  %8s  %6s\n", "variant", "labels",
+              "handover", "util", "mJ", "det(s)");
+  std::printf("  %-40s  %6s  %8s  %7s  %8s  %6s\n",
+              "----------------------------------------", "------",
+              "--------", "-------", "--------", "------");
+
+  core::GroupConfig base;
+  print_row("full protocol (paper settings)", measure(base, seeds));
+
+  core::GroupConfig no_suppress = base;
+  no_suppress.weight_suppression_enabled = false;
+  print_row("no weight suppression", measure(no_suppress, seeds));
+
+  core::GroupConfig bad_wait = base;
+  bad_wait.wait_timer_factor = 0.5;  // violates wait > receive
+  print_row("wait timer < receive timer", measure(bad_wait, seeds));
+
+  core::GroupConfig takeover_only = base;
+  takeover_only.relinquish_enabled = false;
+  print_row("takeover only (no relinquish)", measure(takeover_only, seeds));
+
+  core::GroupConfig short_range = base;
+  short_range.heartbeat_range = 1.0;
+  short_range.heartbeat_period = Duration::seconds(3);
+  print_row("HB power = sensing radius, h = 0", measure(short_range, seeds));
+
+  core::GroupConfig flooded = short_range;
+  flooded.perimeter_hops = 2;
+  print_row("HB power = sensing radius, h = 2", measure(flooded, seeds));
+
+  print_row("duty cycling, 30% awake (extension)",
+            measure(base, seeds, 0.3));
+
+  std::printf(
+      "\n  expectations: the full protocol keeps labels at 1.0 and\n"
+      "  handover at ~100%%; broken timers/power fork labels; perimeter\n"
+      "  flooding (h=2) repairs short-range heartbeats at some extra\n"
+      "  traffic and energy.\n");
+  return 0;
+}

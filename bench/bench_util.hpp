@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+/// Shared helpers for the figure/table reproduction binaries.
+namespace et::bench {
+
+/// Seeds per measured point; override with ET_BENCH_SEEDS=n (smaller is
+/// faster, noisier).
+inline int seeds_per_point(int fallback = 3) {
+  if (const char* env = std::getenv("ET_BENCH_SEEDS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==========================================================\n");
+}
+
+}  // namespace et::bench

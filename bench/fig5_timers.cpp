@@ -1,0 +1,127 @@
+/// Figure 5 — "Effect of Timers on Maximum Trackable Speed".
+///
+/// Maximum trackable target speed (hops/s) as a function of the leader
+/// heartbeat period, with receive/wait timers at the paper's 2.1x / 4.2x
+/// ratios, communication radius fixed at 6 grids, sensing radius 1 and 2
+/// grids. Handover mode is the worst case: the departing leader goes
+/// silent and the group must recover via receive-timer takeover. A
+/// "relinquish" curve (explicit handoff) and a cross-traffic variant are
+/// included.
+///
+/// Paper shape: peak of 1-3 hops/s around heartbeat periods 0.25-0.5 s;
+/// larger sensing radii track faster; smaller periods *decrease* the
+/// trackable speed because mote CPUs saturate (the shape survives heavy
+/// cross traffic, ruling bandwidth out as the bottleneck).
+
+#include <cstdlib>
+
+#include "bench/bench_util.hpp"
+#include "metrics/trace.hpp"
+#include "scenario/speed_search.hpp"
+
+namespace {
+
+using namespace et;
+using namespace et::scenario;
+
+/// Mote CPU calibrated so the processor — not the channel — saturates
+/// first at small heartbeat periods, as the paper's cross-traffic control
+/// experiment established for the 4 MHz ATmega testbed: a received frame
+/// costs ~200 ms of protocol-stack processing, a timer task ~100 ms.
+node::CpuConfig slow_mote_cpu() {
+  node::CpuConfig cpu;
+  cpu.rx_task_cost = Duration::millis(200);
+  cpu.timer_task_cost = Duration::millis(100);
+  cpu.queue_capacity = 12;
+  return cpu;
+}
+
+SpeedSearchParams base_search(double sensing_radius, bool relinquish,
+                              bool cross_traffic, int seeds) {
+  SpeedSearchParams search;
+  search.base.cols = 20;
+  search.base.rows = 2 * static_cast<std::size_t>(sensing_radius) + 1;
+  search.base.sensing_radius = sensing_radius;
+  search.base.track_y = sensing_radius - 0.5;
+  search.base.comm_radius = 6.0;
+  search.base.cpu = slow_mote_cpu();
+  search.base.group.wait_radius = 2.0 * sensing_radius + 2.5;
+  search.base.group.relinquish_enabled = relinquish;
+  search.base.base_station.reset();
+  if (cross_traffic) {
+    CrossTrafficConfig noise;
+    noise.senders = 10;
+    noise.period = Duration::millis(150);
+    noise.payload_bytes = 30;
+    search.base.cross_traffic = noise;
+  }
+  search.lo = 0.05;
+  search.hi = 6.0;
+  search.resolution = 0.15;
+  search.seeds = seeds;
+  // The paper's trackability criterion is context-label coherence; the
+  // target must also actually be tracked a meaningful share of the run.
+  search.min_tracked_fraction = 0.3;
+  return search;
+}
+
+std::vector<double> run_curve(const char* name, double sensing_radius,
+                              bool relinquish, bool cross_traffic,
+                              int seeds) {
+  std::printf("\n  %s\n", name);
+  std::printf("  HB period (s):   ");
+  const double periods[] = {0.0625, 0.125, 0.25, 0.5, 1.0, 2.0};
+  for (double p : periods) std::printf("%7.3f", p);
+  std::printf("\n  max speed (h/s): ");
+  std::vector<double> speeds;
+  for (double period : periods) {
+    SpeedSearchParams search =
+        base_search(sensing_radius, relinquish, cross_traffic, seeds);
+    search.base.group.heartbeat_period = Duration::seconds(period);
+    const double speed = find_max_trackable_speed(search);
+    speeds.push_back(speed);
+    std::printf("%7.2f", speed);
+    std::fflush(stdout);
+  }
+  std::printf("\n");
+  return speeds;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 5: effect of timers on max trackable speed",
+                      "ICDCS'04 EnviroTrack, Fig. 5 (§6.2)");
+  const int seeds = bench::seeds_per_point(3);
+  std::printf("(receive timer = 2.1 x HB, wait timer = 4.2 x HB, CR = 6; "
+              "%d runs per probe)\n", seeds);
+
+  const auto sr1 = run_curve("worst-case takeover, sensing radius 1", 1.0,
+                             false, false, seeds);
+  const auto sr2 = run_curve("worst-case takeover, sensing radius 2", 2.0,
+                             false, false, seeds);
+  const auto relinquish = run_curve(
+      "relinquish optimisation, sensing radius 1", 1.0, true, false, seeds);
+  const auto noisy = run_curve(
+      "worst-case takeover, SR 1, heavy cross traffic", 1.0, false, true,
+      seeds);
+
+  if (const char* dir = std::getenv("ET_BENCH_CSV_DIR")) {
+    const std::string path = std::string(dir) + "/fig5_timers.csv";
+    const std::string csv = et::metrics::series_csv(
+        "hb_period_s", {0.0625, 0.125, 0.25, 0.5, 1.0, 2.0},
+        {{"takeover_sr1", sr1},
+         {"takeover_sr2", sr2},
+         {"relinquish_sr1", relinquish},
+         {"cross_traffic_sr1", noisy}});
+    if (et::metrics::write_file(path, csv)) {
+      std::printf("\n  wrote %s\n", path.c_str());
+    }
+  }
+
+  std::printf(
+      "\n  paper shape: peak 1-3 hops/s near HB 0.25-0.5 s; decline at\n"
+      "  smaller periods (CPU overload); larger events faster; relinquish\n"
+      "  roughly flat; cross traffic leaves the shape unchanged.\n");
+  return 0;
+}

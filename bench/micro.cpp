@@ -1,0 +1,121 @@
+/// Micro-benchmarks of the library's hot paths (google-benchmark).
+///
+/// Not a paper figure; these guard the substrate's performance: event-queue
+/// throughput, aggregation reads, the language pipeline, geographic
+/// routing, and a full simulated second of the tank scenario.
+
+#include <benchmark/benchmark.h>
+
+#include "core/aggregate_state.hpp"
+#include "etl/compiler.hpp"
+#include "etl/parser.hpp"
+#include "scenario/tank.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace et;
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule(Duration::micros(i), [] {});
+    }
+    benchmark::DoNotOptimize(sim.run_all());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_PeriodicEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int counter = 0;
+    sim.schedule_periodic(Duration::millis(1), Duration::millis(1),
+                          [&] { ++counter; });
+    sim.run_until(Time::seconds(1));
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PeriodicEvents);
+
+void BM_AggregateRead(benchmark::State& state) {
+  core::ContextTypeSpec spec;
+  spec.name = "bench";
+  spec.activation = "x";
+  spec.variables.push_back(core::AggregateVarSpec{
+      "location", "avg", "position", Duration::seconds(1), 2});
+  const auto registry = core::AggregationRegistry::with_builtins();
+  core::AggregateStateTable table(spec, registry);
+  const std::size_t reporters = state.range(0);
+  for (std::size_t i = 0; i < reporters; ++i) {
+    table.add_report(NodeId{i}, {static_cast<double>(i), 0.0},
+                     Time::seconds(0.5), {0.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.read(0u, Time::seconds(1)));
+  }
+}
+BENCHMARK(BM_AggregateRead)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_EtlParse(benchmark::State& state) {
+  constexpr const char* kSource = R"(
+    begin context tracker
+      activation: magnetic_sensor_reading();
+      location : avg(position) confidence=2, freshness=1s;
+      begin object reporter
+        invocation: TIMER(5s)
+        report() { send(pursuer, self.label, location); }
+      end
+    end context
+  )";
+  for (auto _ : state) {
+    auto program = etl::parse(kSource);
+    benchmark::DoNotOptimize(program.ok());
+  }
+}
+BENCHMARK(BM_EtlParse);
+
+void BM_MediumBroadcast(benchmark::State& state) {
+  sim::Simulator sim;
+  radio::RadioConfig config;
+  config.loss_probability = 0.0;
+  radio::Medium medium(sim, config);
+  const std::size_t n = state.range(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    medium.attach(NodeId{i}, {static_cast<double>(i % 10),
+                              static_cast<double>(i / 10)},
+                  [](const radio::Frame&) {});
+  }
+  class Junk final : public radio::Payload {
+   public:
+    std::size_t size_bytes() const override { return 16; }
+  };
+  auto payload = std::make_shared<Junk>();
+  for (auto _ : state) {
+    medium.send(radio::Frame{NodeId{0}, std::nullopt, radio::MsgType::kUser,
+                             payload});
+    sim.run_for(Duration::millis(50));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MediumBroadcast)->Arg(25)->Arg(100);
+
+void BM_TankScenarioSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    scenario::TankScenarioParams params;
+    params.cols = 12;
+    params.speed_hops_per_s = 0.2;
+    scenario::TankScenario scenario(params);
+    state.ResumeTiming();
+    scenario.run_for(Duration::seconds(1));
+  }
+}
+BENCHMARK(BM_TankScenarioSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

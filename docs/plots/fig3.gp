@@ -1,0 +1,10 @@
+# gnuplot script for Figure 3 (real vs tracked trajectory).
+# Generate data:  ET_BENCH_CSV_DIR=docs/plots build/bench/fig3_trajectory
+set datafile separator ","
+set key left top
+set xlabel "x (grid units)"
+set ylabel "y (grid units)"
+set yrange [-1:2]
+set title "Tracked tank trajectory (Fig. 3)"
+plot "fig3_track.csv" using 5:6 with lines lw 2 title "real", \
+     "fig3_track.csv" using 3:4 with linespoints pt 7 title "reported"

@@ -1,0 +1,12 @@
+# gnuplot script for Figure 5 (timers vs max trackable speed).
+# Generate data:  ET_BENCH_CSV_DIR=docs/plots build/bench/fig5_timers
+set datafile separator ","
+set key top right
+set logscale x 2
+set xlabel "heartbeat period (s)"
+set ylabel "max trackable speed (hops/s)"
+set title "Effect of timers on maximum trackable speed (Fig. 5)"
+plot "fig5_timers.csv" using 1:2 with linespoints title "takeover, SR=1", \
+     "fig5_timers.csv" using 1:3 with linespoints title "takeover, SR=2", \
+     "fig5_timers.csv" using 1:4 with linespoints title "relinquish, SR=1", \
+     "fig5_timers.csv" using 1:5 with linespoints title "cross traffic, SR=1"

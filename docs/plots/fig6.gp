@@ -1,0 +1,9 @@
+# gnuplot script for Figure 6 (CR:SR ratio vs max trackable speed).
+# Generate data:  ET_BENCH_CSV_DIR=docs/plots build/bench/fig6_ratio
+set datafile separator ","
+set key top left
+set xlabel "communication radius : sensing radius"
+set ylabel "max trackable speed (hops/s)"
+set title "Effect of sensory radius on maximum trackable speed (Fig. 6)"
+plot "fig6_ratio.csv" using 1:2 with linespoints title "SR=1", \
+     "fig6_ratio.csv" using 1:3 with linespoints title "SR=2"

@@ -1,0 +1,97 @@
+/// Minesweeper: local actuation in the tracked entity's locale (§3.2).
+///
+/// "A mine-locator object sensing a nearby mine can cause its node to
+/// detonate itself thereby clearing the threat in a mine-sweeping
+/// application." Mines are scattered in the field; a `mine` context forms
+/// around each. Once the siting is confirmed (critical mass of 2 detectors
+/// within 2 s), the attached object triggers the actuation: the leader node
+/// "detonates" (crashes) and the mine is cleared from the environment.
+///
+/// Build & run:  ./build/examples/minesweeper
+
+#include <cstdio>
+#include <vector>
+
+#include "core/system.hpp"
+#include "env/environment.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace et;
+
+  sim::Simulator sim(/*seed=*/5);
+  env::Environment environment(sim.make_rng("env"));
+  const env::Field field =
+      env::Field::perturbed_grid(10, 10, 0.2, sim.make_rng("deploy"));
+
+  std::vector<TargetId> mines;
+  const Vec2 mine_sites[] = {{2.3, 7.1}, {5.8, 2.4}, {8.2, 8.6}, {4.1, 5.0}};
+  for (const Vec2& site : mine_sites) {
+    env::Target mine;
+    mine.type = "mine";
+    mine.trajectory = std::make_unique<env::StationaryTrajectory>(site);
+    mine.radius = env::RadiusProfile::constant(1.5);
+    mines.push_back(environment.add_target(std::move(mine)));
+  }
+
+  core::EnviroTrackSystem system(sim, environment, field);
+  system.senses().add("mine_detector", core::sense_target("mine"));
+
+  int detonations = 0;
+  core::ContextTypeSpec spec;
+  spec.name = "mine";
+  spec.activation = "mine_detector";
+  spec.variables.push_back(core::AggregateVarSpec{
+      "confirmations", "count", "magnetic", Duration::seconds(2), 2});
+
+  core::ObjectSpec locator;
+  locator.name = "locator";
+  core::MethodSpec detonate;
+  detonate.name = "detonate";
+  detonate.invocation.kind = core::InvocationSpec::Kind::kCondition;
+  detonate.invocation.condition = [](core::TrackingContext& ctx) {
+    return ctx.read_scalar("confirmations").has_value();  // >= 2 detectors
+  };
+  detonate.body = [&](core::TrackingContext& ctx) {
+    // Local actuation: the object runs on a node physically next to the
+    // mine, so it can act on the locale directly.
+    const NodeId node = ctx.node();
+    const Vec2 at = ctx.node_position();
+    // Find which mine this label is attached to (nearest sensed).
+    for (TargetId mine : mines) {
+      const env::Target& target = environment.target(mine);
+      if (target.active_at(sim.now()) &&
+          target.sensed_from(at, sim.now())) {
+        std::printf(
+            "%6.1fs  label %-12llu node %2llu at %s detonates, mine %llu "
+            "cleared\n",
+            sim.now().to_seconds(),
+            static_cast<unsigned long long>(ctx.label().value()),
+            static_cast<unsigned long long>(node.value()),
+            at.to_string().c_str(),
+            static_cast<unsigned long long>(mine.value()));
+        environment.remove_target_at(mine, sim.now());
+        system.crash_node(node);  // the node is consumed by the blast
+        ++detonations;
+        return;
+      }
+    }
+  };
+  locator.methods.push_back(std::move(detonate));
+  spec.objects.push_back(std::move(locator));
+
+  system.add_context_type(std::move(spec));
+  system.start();
+
+  std::printf("sweeping %zu mines with %zu motes...\n", mines.size(),
+              field.size());
+  sim.run_for(Duration::seconds(60));
+
+  int remaining = 0;
+  for (TargetId mine : mines) {
+    if (environment.target(mine).active_at(sim.now())) ++remaining;
+  }
+  std::printf("\n%d detonations, %d mine(s) remaining\n", detonations,
+              remaining);
+  return remaining == 0 ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+/// Quickstart: the paper's Fig. 2 vehicle tracker, written in the
+/// EnviroTrack language and run on a simulated mote grid.
+///
+/// A vehicle crosses a 3 x 12 grid of magnetometer motes. Sensors detecting
+/// it form a group abstracted by a context label of type `tracker`; the
+/// attached `reporter` object periodically sends the aggregate position
+/// (avg of at least 2 member positions, no staler than 1 s) to a pursuer
+/// base station, which prints the track.
+///
+/// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/system.hpp"
+#include "env/environment.hpp"
+#include "etl/compiler.hpp"
+#include "scenario/units.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+constexpr const char* kProgram = R"etl(
+# Fig. 2 of the paper, almost verbatim.
+begin context tracker
+  activation: magnetic_sensor_reading();
+  location : avg(position) confidence=2, freshness=1s;
+
+  begin object reporter
+    invocation: TIMER(5s)
+    report() {
+      send(pursuer, self.label, location);
+    }
+  end
+end context
+)etl";
+
+}  // namespace
+
+int main() {
+  using namespace et;
+
+  // --- The world: a 3 x 12 grid and one vehicle crossing it at 33 km/hr.
+  sim::Simulator sim(/*seed=*/2024);
+  env::Environment environment(sim.make_rng("env"));
+  const env::Field field = env::Field::grid(3, 12);
+
+  env::Target vehicle;
+  vehicle.type = "tracker";
+  vehicle.trajectory = std::make_unique<env::LinearTrajectory>(
+      Vec2{-1.5, 0.5}, Vec2{12.5, 0.5},
+      scenario::kmh_to_hops_per_s(scenario::kTankSlowKmh));
+  vehicle.radius =
+      env::RadiusProfile::constant(scenario::kTankSensingRadius);
+  environment.add_target(std::move(vehicle));
+
+  // --- The system: EnviroTrack middleware on every mote.
+  core::EnviroTrackSystem system(sim, environment, field);
+  system.senses().add("magnetic_sensor_reading",
+                      core::sense_target("tracker"));
+
+  // Compile the context declaration. The pursuer's identity is resolved at
+  // compile time, exactly as in the paper's example.
+  const NodeId pursuer{0};
+  etl::CompileOptions options;
+  options.destinations["pursuer"] = pursuer;
+  auto specs = etl::compile_source(kProgram, system.senses(),
+                                   system.aggregations(), options);
+  if (!specs.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 specs.error().to_string().c_str());
+    return 1;
+  }
+  for (auto& spec : specs.value()) {
+    system.add_context_type(std::move(spec));
+  }
+  system.start();
+
+  // --- The pursuer: print every received report.
+  std::printf("time(s)  label                 reported (x, y)\n");
+  std::printf("-------  --------------------  ---------------\n");
+  int reports = 0;
+  system.stack(pursuer).on_user_message(
+      [&](const core::UserMessagePayload& msg, NodeId) {
+        if (msg.data.size() < 2) return;
+        std::printf("%7.1f  %-20llu  (%5.2f, %5.2f)\n",
+                    sim.now().to_seconds(),
+                    static_cast<unsigned long long>(msg.src_label.value()),
+                    msg.data[0], msg.data[1]);
+        ++reports;
+      });
+
+  sim.run_for(Duration::seconds(160));
+
+  std::printf("\n%d reports; channel used %.2f%% of the 50 kb/s link\n",
+              reports,
+              100.0 * system.medium().stats().link_utilization(
+                          sim.now() - Time::origin(),
+                          system.config().radio.bitrate_bps));
+  return reports > 0 ? 0 : 1;
+}

@@ -1,0 +1,94 @@
+#include "core/aggregate_state.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace et::core {
+
+AggregateStateTable::AggregateStateTable(const ContextTypeSpec& spec,
+                                         const AggregationRegistry& registry) {
+  vars_.reserve(spec.variables.size());
+  for (const AggregateVarSpec& var : spec.variables) {
+    vars_.push_back(VarWindow{&var, &registry.get(var.aggregation),
+                              var.sensor == "position",
+                              {}});
+  }
+}
+
+void AggregateStateTable::add_report(NodeId reporter, Vec2 reporter_pos,
+                                     Time measured_at,
+                                     const std::vector<double>& scalars) {
+  assert(scalars.size() == vars_.size());
+  ++reports_received_;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    Sample sample{reporter, measured_at, scalars[i], reporter_pos};
+    auto& samples = vars_[i].samples;
+    // Reports can arrive out of order across reporters; keep the deque
+    // sorted by measurement time so pruning stays O(expired).
+    auto it = std::upper_bound(
+        samples.begin(), samples.end(), sample,
+        [](const Sample& a, const Sample& b) {
+          return a.measured_at < b.measured_at;
+        });
+    samples.insert(it, std::move(sample));
+  }
+}
+
+void AggregateStateTable::prune(VarWindow& w, Time now) const {
+  const Time horizon = now - w.spec->freshness;
+  while (!w.samples.empty() && w.samples.front().measured_at < horizon) {
+    w.samples.pop_front();
+  }
+}
+
+std::vector<Sample> AggregateStateTable::fresh_samples(
+    const VarWindow& w) const {
+  // Iterate newest-first, keeping the newest sample per reporter; all
+  // samples in the window already satisfy the freshness bound after prune.
+  std::vector<Sample> fresh;
+  std::unordered_set<NodeId> seen;
+  for (auto it = w.samples.rbegin(); it != w.samples.rend(); ++it) {
+    if (seen.insert(it->reporter).second) fresh.push_back(*it);
+  }
+  return fresh;
+}
+
+std::optional<AggregateValue> AggregateStateTable::read(std::size_t index,
+                                                        Time now) const {
+  if (index >= vars_.size()) return std::nullopt;
+  VarWindow& w = vars_[index];
+  prune(w, now);
+  const std::vector<Sample> fresh = fresh_samples(w);
+  if (fresh.size() < w.spec->critical_mass || fresh.empty()) {
+    return std::nullopt;  // null flag: siting not positively confirmed
+  }
+  return (*w.fn)(fresh, w.is_position);
+}
+
+std::optional<AggregateValue> AggregateStateTable::read(std::string_view name,
+                                                        Time now) const {
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i].spec->name == name) return read(i, now);
+  }
+  return std::nullopt;
+}
+
+bool AggregateStateTable::valid(std::size_t index, Time now) const {
+  return fresh_reporter_count(index, now) >=
+         (index < vars_.size() ? vars_[index].spec->critical_mass : 1);
+}
+
+std::size_t AggregateStateTable::fresh_reporter_count(std::size_t index,
+                                                      Time now) const {
+  if (index >= vars_.size()) return 0;
+  VarWindow& w = vars_[index];
+  prune(w, now);
+  return fresh_samples(w).size();
+}
+
+void AggregateStateTable::clear() {
+  for (VarWindow& w : vars_) w.samples.clear();
+}
+
+}  // namespace et::core

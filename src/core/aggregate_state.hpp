@@ -1,0 +1,70 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/aggregation.hpp"
+#include "core/context_type.hpp"
+
+/// Leader-side approximate aggregate state (§3.2.3).
+///
+/// The leader accumulates member reports in a sliding window per aggregate
+/// variable. A read succeeds — returning a value with the paper's three
+/// guarantees (group membership, freshness L_e, critical mass N_e) — only
+/// when at least N_e distinct reporters contributed samples no older than
+/// L_e; otherwise the read is null and the application handles the
+/// unconfirmed siting.
+namespace et::core {
+
+class AggregateStateTable {
+ public:
+  /// `spec` must outlive the table. The registry resolves each variable's
+  /// aggregation function once, up front.
+  AggregateStateTable(const ContextTypeSpec& spec,
+                      const AggregationRegistry& registry);
+
+  /// Records one report: `scalars[i]` feeds variable i. Samples older than
+  /// the variable's freshness horizon are pruned lazily on read.
+  void add_report(NodeId reporter, Vec2 reporter_pos, Time measured_at,
+                  const std::vector<double>& scalars);
+
+  /// Reads variable `index` at time `now`. Null when the critical-mass /
+  /// freshness QoS cannot be met ("valid flag" clear).
+  std::optional<AggregateValue> read(std::size_t index, Time now) const;
+
+  /// Reads a variable by name. Null also for unknown names.
+  std::optional<AggregateValue> read(std::string_view name, Time now) const;
+
+  /// True when a read of variable `index` would currently succeed.
+  bool valid(std::size_t index, Time now) const;
+
+  /// Number of fresh distinct reporters currently backing variable `index`.
+  std::size_t fresh_reporter_count(std::size_t index, Time now) const;
+
+  /// Total reports absorbed (drives the leader weight of §5.2).
+  std::uint64_t reports_received() const { return reports_received_; }
+
+  /// Drops all samples (used when leadership moves between nodes; the new
+  /// leader builds its own window).
+  void clear();
+
+  std::size_t variable_count() const { return vars_.size(); }
+
+ private:
+  struct VarWindow {
+    const AggregateVarSpec* spec;
+    const AggregationFn* fn;
+    bool is_position;
+    std::deque<Sample> samples;  // ordered by measured_at
+  };
+
+  /// Fresh samples of an already-pruned window, newest per reporter.
+  std::vector<Sample> fresh_samples(const VarWindow& w) const;
+  void prune(VarWindow& w, Time now) const;
+
+  mutable std::vector<VarWindow> vars_;
+  std::uint64_t reports_received_ = 0;
+};
+
+}  // namespace et::core

@@ -1,0 +1,145 @@
+#include "core/aggregation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace et::core {
+
+std::string AggregateValue::to_string() const {
+  if (kind == Kind::kVector) return vector.to_string();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", scalar);
+  return buf;
+}
+
+const AggregationFn& AggregationRegistry::get(std::string_view name) const {
+  auto it = fns_.find(name);
+  if (it == fns_.end()) {
+    std::fprintf(stderr, "AggregationRegistry: unknown aggregation '%.*s'\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  return it->second;
+}
+
+AggregationRegistry AggregationRegistry::with_builtins() {
+  AggregationRegistry reg;
+
+  // avg: arithmetic mean. For the pseudo-sensor "position" it averages
+  // member locations — the target-position estimator of the Fig. 2 example.
+  reg.add("avg", [](std::span<const Sample> samples, bool is_position) {
+    if (is_position) {
+      Vec2 sum;
+      for (const Sample& s : samples) sum += s.position;
+      return AggregateValue::of(sum / static_cast<double>(samples.size()));
+    }
+    double sum = 0.0;
+    for (const Sample& s : samples) sum += s.scalar;
+    return AggregateValue::of(sum / static_cast<double>(samples.size()));
+  });
+
+  reg.add("sum", [](std::span<const Sample> samples, bool is_position) {
+    if (is_position) {
+      Vec2 sum;
+      for (const Sample& s : samples) sum += s.position;
+      return AggregateValue::of(sum);
+    }
+    double sum = 0.0;
+    for (const Sample& s : samples) sum += s.scalar;
+    return AggregateValue::of(sum);
+  });
+
+  reg.add("min", [](std::span<const Sample> samples, bool) {
+    double m = samples.front().scalar;
+    for (const Sample& s : samples) m = std::min(m, s.scalar);
+    return AggregateValue::of(m);
+  });
+
+  reg.add("max", [](std::span<const Sample> samples, bool) {
+    double m = samples.front().scalar;
+    for (const Sample& s : samples) m = std::max(m, s.scalar);
+    return AggregateValue::of(m);
+  });
+
+  reg.add("count", [](std::span<const Sample> samples, bool) {
+    return AggregateValue::of(static_cast<double>(samples.size()));
+  });
+
+  // stddev: population standard deviation of the scalar readings —
+  // useful for detecting disagreement among detectors (e.g. a target on
+  // the group's edge).
+  reg.add("stddev", [](std::span<const Sample> samples, bool) {
+    double sum = 0.0;
+    for (const Sample& s : samples) sum += s.scalar;
+    const double mean = sum / static_cast<double>(samples.size());
+    double var = 0.0;
+    for (const Sample& s : samples) {
+      var += (s.scalar - mean) * (s.scalar - mean);
+    }
+    return AggregateValue::of(
+        std::sqrt(var / static_cast<double>(samples.size())));
+  });
+
+  // median: robust central reading, insensitive to one faulty sensor.
+  reg.add("median", [](std::span<const Sample> samples, bool) {
+    std::vector<double> values;
+    values.reserve(samples.size());
+    for (const Sample& s : samples) values.push_back(s.scalar);
+    const std::size_t mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + mid, values.end());
+    if (values.size() % 2 == 1) return AggregateValue::of(values[mid]);
+    const double upper = values[mid];
+    std::nth_element(values.begin(), values.begin() + mid - 1,
+                     values.end());
+    return AggregateValue::of(0.5 * (values[mid - 1] + upper));
+  });
+
+  // spread: the diameter of the reporting set's positions — a proxy for
+  // the tracked phenomenon's spatial extent (fire growth, convoy length).
+  reg.add("spread", [](std::span<const Sample> samples, bool) {
+    double max_d = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      for (std::size_t j = i + 1; j < samples.size(); ++j) {
+        max_d = std::max(max_d,
+                         distance(samples[i].position, samples[j].position));
+      }
+    }
+    return AggregateValue::of(max_d);
+  });
+
+  // nearest: position of the reporter with the strongest signal — a
+  // better single-point estimate than avg when falloff is steep.
+  reg.add("nearest", [](std::span<const Sample> samples, bool) {
+    const Sample* best = &samples.front();
+    for (const Sample& s : samples) {
+      if (s.scalar > best->scalar) best = &s;
+    }
+    return AggregateValue::of(best->position);
+  });
+
+  // centroid: center of gravity of member positions weighted by signal
+  // strength; falls back to the unweighted centroid when all weights
+  // vanish.
+  reg.add("centroid", [](std::span<const Sample> samples, bool) {
+    Vec2 weighted;
+    double total = 0.0;
+    for (const Sample& s : samples) {
+      const double w = std::max(s.scalar, 0.0);
+      weighted += s.position * w;
+      total += w;
+    }
+    if (total <= 0.0) {
+      Vec2 sum;
+      for (const Sample& s : samples) sum += s.position;
+      return AggregateValue::of(sum / static_cast<double>(samples.size()));
+    }
+    return AggregateValue::of(weighted / total);
+  });
+
+  return reg;
+}
+
+}  // namespace et::core

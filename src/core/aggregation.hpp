@@ -1,0 +1,76 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+/// Distributed aggregation functions (§3.2.3).
+///
+/// "Several aggregation functions are provided in the system, such as
+/// average, sum, and center of gravity", plus "mechanisms for programming
+/// custom aggregation functions". An aggregation maps the fresh samples of
+/// a sensor group onto a scalar or a 2-D vector (positions).
+namespace et::core {
+
+/// One member's contribution to one aggregate variable.
+struct Sample {
+  NodeId reporter;
+  Time measured_at;
+  /// Scalar sensor reading; 0 for the pseudo-sensor "position".
+  double scalar = 0.0;
+  /// The reporter's location (used by position aggregates and by
+  /// signal-weighted centroids).
+  Vec2 position;
+};
+
+/// Result of an aggregation: either a scalar or a position.
+struct AggregateValue {
+  enum class Kind { kScalar, kVector };
+  Kind kind = Kind::kScalar;
+  double scalar = 0.0;
+  Vec2 vector;
+
+  static AggregateValue of(double v) {
+    return AggregateValue{Kind::kScalar, v, {}};
+  }
+  static AggregateValue of(Vec2 v) {
+    return AggregateValue{Kind::kVector, 0.0, v};
+  }
+
+  std::string to_string() const;
+};
+
+/// Aggregations receive only samples already filtered for freshness and
+/// deduplicated per reporter; they never see an empty span (critical mass
+/// is checked by the caller and is >= 1).
+using AggregationFn =
+    std::function<AggregateValue(std::span<const Sample>, bool is_position)>;
+
+class AggregationRegistry {
+ public:
+  /// Constructs a registry pre-loaded with the built-ins: "avg", "sum",
+  /// "min", "max", "count", "centroid" (signal-weighted center of
+  /// gravity), "stddev", "median", "spread" (reporter-set diameter), and
+  /// "nearest" (strongest reporter's position).
+  static AggregationRegistry with_builtins();
+
+  void add(std::string name, AggregationFn fn) {
+    fns_[std::move(name)] = std::move(fn);
+  }
+  bool contains(std::string_view name) const {
+    return fns_.find(name) != fns_.end();
+  }
+  const AggregationFn& get(std::string_view name) const;
+
+ private:
+  std::map<std::string, AggregationFn, std::less<>> fns_;
+};
+
+}  // namespace et::core

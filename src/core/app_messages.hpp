@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "radio/packet.hpp"
+#include "util/geometry.hpp"
+#include "util/ids.hpp"
+
+/// Application-level messages produced by tracking objects.
+namespace et::core {
+
+/// A message from a tracking object to a fixed node (e.g. the pursuer base
+/// station of §4): a tag plus a small numeric record. Carried inside
+/// geo-routed kUser envelopes.
+class UserMessagePayload final : public radio::Payload {
+ public:
+  UserMessagePayload(std::string tag, LabelId src_label, NodeId src_node,
+                     std::vector<double> data)
+      : tag(std::move(tag)),
+        src_label(src_label),
+        src_node(src_node),
+        data(std::move(data)) {}
+
+  std::size_t size_bytes() const override {
+    return tag.size() + 10 + data.size() * 4;
+  }
+
+  std::string tag;
+  LabelId src_label;
+  NodeId src_node;
+  std::vector<double> data;
+};
+
+}  // namespace et::core

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+/// Declarative description of a context type (§3.2, §4).
+///
+/// A context type names an environmental entity class ("tracker", "fire"),
+/// the sensing condition that activates it, the aggregate state variables
+/// maintained for it (each with freshness and critical-mass QoS), and the
+/// tracking objects attached to it. Specs are produced either directly in
+/// C++ or by compiling an EnviroTrack-language declaration (src/etl).
+namespace et::core {
+
+class TrackingContext;  // the API handed to attached-object methods
+
+/// One aggregate state variable (§3.2.3), e.g.
+///   location : avg(position) confidence=2, freshness=1s
+struct AggregateVarSpec {
+  std::string name;            // "location"
+  std::string aggregation;     // registered aggregation fn: "avg", "sum", ...
+  std::string sensor;          // sensed input: "position", "magnetic", ...
+  Duration freshness = Duration::seconds(1);  // L_e
+  std::size_t critical_mass = 1;              // N_e
+};
+
+/// When an attached-object method runs.
+struct InvocationSpec {
+  enum class Kind {
+    kTimer,      // TIMER(p): periodically while this node leads the context
+    kCondition,  // when a predicate over aggregate state becomes true
+    kMessage     // only via its transport port (remote method invocation)
+  };
+  Kind kind = Kind::kTimer;
+  /// kTimer: the period.
+  Duration period = Duration::seconds(1);
+  /// kTimer: also fire once immediately when objects attach (i.e. when
+  /// this node assumes leadership). Without it, a timer whose period
+  /// exceeds the typical leader tenure may never fire: the phase restarts
+  /// on every handover.
+  bool immediate = false;
+  /// kCondition: evaluated on every middleware tick on the leader; the
+  /// method fires on false->true edges.
+  std::function<bool(TrackingContext&)> condition;
+};
+
+/// One method of an attached object. The body receives the live
+/// `TrackingContext` of the enclosing context label.
+struct MethodSpec {
+  std::string name;
+  InvocationSpec invocation;
+  std::function<void(TrackingContext&)> body;
+};
+
+/// An object attached to a context type (§3.2.2). Methods are also the
+/// transport layer's ports: port ids are assigned in declaration order
+/// across all objects of the type.
+struct ObjectSpec {
+  std::string name;
+  std::vector<MethodSpec> methods;
+};
+
+/// A full context-type declaration.
+struct ContextTypeSpec {
+  std::string name;  // "tracker", "fire", ...
+  /// Name of the registered sense_e() predicate that activates the context.
+  std::string activation;
+  /// Optional separate deactivation predicate; by default a node leaves the
+  /// group when the activation predicate turns false (footnote 1, §3.2.1).
+  std::optional<std::string> deactivation;
+  std::vector<AggregateVarSpec> variables;
+  std::vector<ObjectSpec> objects;
+
+  /// Index of a variable by name, or nullopt.
+  std::optional<std::size_t> variable_index(std::string_view var) const {
+    for (std::size_t i = 0; i < variables.size(); ++i) {
+      if (variables[i].name == var) return i;
+    }
+    return std::nullopt;
+  }
+
+  /// Transport ports: methods are numbered in declaration order across all
+  /// attached objects (§5.4: "Port IDs are associated with methods of
+  /// individual objects").
+  std::size_t method_count() const {
+    std::size_t n = 0;
+    for (const ObjectSpec& obj : objects) n += obj.methods.size();
+    return n;
+  }
+
+  const MethodSpec* method_at(std::size_t port) const {
+    for (const ObjectSpec& obj : objects) {
+      if (port < obj.methods.size()) return &obj.methods[port];
+      port -= obj.methods.size();
+    }
+    return nullptr;
+  }
+
+  std::optional<std::size_t> port_of(std::string_view object,
+                                     std::string_view method) const {
+    std::size_t port = 0;
+    for (const ObjectSpec& obj : objects) {
+      for (const MethodSpec& m : obj.methods) {
+        if (obj.name == object && m.name == method) return port;
+        ++port;
+      }
+    }
+    return std::nullopt;
+  }
+};
+
+/// Context types are referenced in protocol messages by their dense index
+/// in the deployment-wide spec list.
+using TypeIndex = std::uint16_t;
+
+}  // namespace et::core

@@ -1,0 +1,212 @@
+#include "core/directory.hpp"
+
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace et::core {
+
+namespace {
+
+constexpr const char* kComponent = "directory";
+
+class DirUpdatePayload final : public radio::Payload {
+ public:
+  DirUpdatePayload(TypeIndex type, DirectoryEntry entry)
+      : type(type), entry(entry) {}
+  std::size_t size_bytes() const override { return 24; }
+
+  TypeIndex type;
+  DirectoryEntry entry;
+};
+
+class DirQueryPayload final : public radio::Payload {
+ public:
+  DirQueryPayload(TypeIndex type, std::uint32_t query_id, NodeId origin,
+                  Vec2 origin_pos)
+      : type(type), query_id(query_id), origin(origin),
+        origin_pos(origin_pos) {}
+  std::size_t size_bytes() const override { return 16; }
+
+  TypeIndex type;
+  std::uint32_t query_id;
+  NodeId origin;
+  Vec2 origin_pos;
+};
+
+class DirReplyPayload final : public radio::Payload {
+ public:
+  DirReplyPayload(std::uint32_t query_id, std::vector<DirectoryEntry> entries)
+      : query_id(query_id), entries(std::move(entries)) {}
+  std::size_t size_bytes() const override { return 6 + entries.size() * 20; }
+
+  std::uint32_t query_id;
+  std::vector<DirectoryEntry> entries;
+};
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Vec2 directory_hash_point(std::string_view type_name, Rect bounds) {
+  const std::uint64_t h = fnv1a(type_name);
+  const double fx = static_cast<double>(h & 0xffffffffu) / 4294967296.0;
+  const double fy = static_cast<double>(h >> 32) / 4294967296.0;
+  return {bounds.min.x + fx * bounds.width(),
+          bounds.min.y + fy * bounds.height()};
+}
+
+Directory::Directory(node::Mote& mote, net::GeoRouting& routing,
+                     const std::vector<ContextTypeSpec>& specs,
+                     Rect field_bounds, DirectoryConfig config)
+    : mote_(mote),
+      routing_(routing),
+      specs_(&specs),
+      config_(config),
+      store_(specs.size()),
+      update_timers_(specs.size()),
+      current_label_(specs.size()) {
+  hash_points_.reserve(specs.size());
+  for (const ContextTypeSpec& spec : specs) {
+    hash_points_.push_back(directory_hash_point(spec.name, field_bounds));
+  }
+  routing_.on_delivery(radio::MsgType::kDirUpdate,
+                       [this](const net::RouteEnvelope& e) {
+                         handle_update(e);
+                       });
+  routing_.on_delivery(radio::MsgType::kDirQuery,
+                       [this](const net::RouteEnvelope& e) {
+                         handle_query(e);
+                       });
+  routing_.on_delivery(radio::MsgType::kDirReply,
+                       [this](const net::RouteEnvelope& e) {
+                         handle_reply(e);
+                       });
+  // Replica path: primaries rebroadcast stored updates one hop.
+  mote_.set_handler(radio::MsgType::kDirUpdate,
+                    [this](const radio::Frame& frame) {
+                      const auto* payload = static_cast<const DirUpdatePayload*>(
+                          frame.payload.get());
+                      if (distance(mote_.position(),
+                                   hash_points_[payload->type]) <=
+                          config_.replica_radius) {
+                        stats_.replicas_stored++;
+                        store(payload->type, payload->entry, true);
+                      }
+                    });
+}
+
+void Directory::on_leader_start(TypeIndex type, LabelId label) {
+  current_label_[type] = label;
+  send_update(type);
+  update_timers_[type].cancel();
+  update_timers_[type] =
+      mote_.every(config_.update_period, config_.update_period,
+                  [this, type] { send_update(type); });
+}
+
+void Directory::on_leader_stop(TypeIndex type, LabelId label) {
+  (void)label;
+  current_label_[type] = LabelId{};
+  update_timers_[type].cancel();
+}
+
+void Directory::send_update(TypeIndex type) {
+  // Guard: leadership may have lapsed between the timer post and execution.
+  const DirectoryEntry entry{current_label_[type], mote_.id(),
+                             mote_.position(), mote_.now()};
+  if (!entry.label.is_valid()) return;
+  stats_.updates_sent++;
+  routing_.send(hash_points_[type], radio::MsgType::kDirUpdate,
+                std::make_shared<DirUpdatePayload>(type, entry));
+}
+
+void Directory::handle_update(const net::RouteEnvelope& envelope) {
+  const auto* payload =
+      static_cast<const DirUpdatePayload*>(envelope.inner.get());
+  stats_.updates_stored++;
+  store(payload->type, payload->entry, false);
+  if (config_.replicate) {
+    mote_.broadcast(radio::MsgType::kDirUpdate, envelope.inner);
+  }
+}
+
+void Directory::store(TypeIndex type, const DirectoryEntry& entry,
+                      bool replica) {
+  (void)replica;
+  auto& entries = store_[type];
+  auto it = entries.find(entry.label);
+  if (it == entries.end() || it->second.updated <= entry.updated) {
+    entries[entry.label] = entry;
+  }
+}
+
+void Directory::prune(TypeIndex type) const {
+  const Time horizon = mote_.now() - config_.entry_ttl;
+  auto& entries = store_[type];
+  for (auto it = entries.begin(); it != entries.end();) {
+    if (it->second.updated < horizon) {
+      it = entries.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<DirectoryEntry> Directory::local_entries(TypeIndex type) const {
+  prune(type);
+  std::vector<DirectoryEntry> out;
+  out.reserve(store_[type].size());
+  for (const auto& [label, entry] : store_[type]) out.push_back(entry);
+  return out;
+}
+
+void Directory::query(TypeIndex type, QueryCallback callback) {
+  const std::uint32_t id = next_query_id_++;
+  stats_.queries_sent++;
+  PendingQuery pending;
+  pending.callback = std::move(callback);
+  pending.timeout = mote_.sim().schedule(config_.query_timeout, [this, id] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    stats_.query_timeouts++;
+    QueryCallback cb = std::move(it->second.callback);
+    pending_.erase(it);
+    cb(false, {});
+  });
+  pending_[id] = std::move(pending);
+  routing_.send(hash_points_[type], radio::MsgType::kDirQuery,
+                std::make_shared<DirQueryPayload>(type, id, mote_.id(),
+                                                  mote_.position()));
+}
+
+void Directory::handle_query(const net::RouteEnvelope& envelope) {
+  const auto* payload =
+      static_cast<const DirQueryPayload*>(envelope.inner.get());
+  stats_.queries_answered++;
+  routing_.send(payload->origin_pos, radio::MsgType::kDirReply,
+                std::make_shared<DirReplyPayload>(
+                    payload->query_id, local_entries(payload->type)),
+                payload->origin);
+}
+
+void Directory::handle_reply(const net::RouteEnvelope& envelope) {
+  const auto* payload =
+      static_cast<const DirReplyPayload*>(envelope.inner.get());
+  auto it = pending_.find(payload->query_id);
+  if (it == pending_.end()) return;  // timed out already
+  it->second.timeout.cancel();
+  stats_.replies_received++;
+  QueryCallback cb = std::move(it->second.callback);
+  pending_.erase(it);
+  cb(true, payload->entries);
+}
+
+}  // namespace et::core

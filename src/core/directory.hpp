@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/context_type.hpp"
+#include "net/geo_routing.hpp"
+#include "util/geometry.hpp"
+
+/// Object naming and directory services (§5.3).
+///
+/// The type name of a context is hashed to an (x, y) coordinate in the
+/// field; the nodes around that coordinate form the *directory object* for
+/// the type, maintaining a mapping from context label to last-reported
+/// location. Leaders push periodic location updates; any node can query
+/// ("where are all the fires?") and receives the label list routed back.
+/// The primary directory node replicates entries to its one-hop neighbours
+/// so the directory survives individual node failures.
+namespace et::core {
+
+struct DirectoryEntry {
+  LabelId label;
+  NodeId leader;
+  Vec2 location;
+  Time updated;
+};
+
+struct DirectoryConfig {
+  /// How often a leader refreshes its label's directory entry.
+  Duration update_period = Duration::seconds(5);
+  /// Entries older than this are dropped ("occasional updates ... keep the
+  /// location information up to date").
+  Duration entry_ttl = Duration::seconds(20);
+  /// Unanswered queries fail after this long.
+  Duration query_timeout = Duration::seconds(3);
+  /// Primary directory nodes replicate entries one hop around the hash
+  /// point; replicas within this distance of the hash point store them.
+  double replica_radius = 6.0;
+  /// Disable replication (ablation / traffic comparison).
+  bool replicate = true;
+};
+
+struct DirectoryStats {
+  std::uint64_t updates_sent = 0;
+  std::uint64_t updates_stored = 0;
+  std::uint64_t replicas_stored = 0;
+  std::uint64_t queries_sent = 0;
+  std::uint64_t queries_answered = 0;
+  std::uint64_t replies_received = 0;
+  std::uint64_t query_timeouts = 0;
+};
+
+/// Hashes a context type name to a coordinate inside `bounds`. Pure
+/// function of the name — every node computes the same rendezvous point.
+Vec2 directory_hash_point(std::string_view type_name, Rect bounds);
+
+/// Per-mote directory service. Consumes kDirUpdate / kDirQuery / kDirReply
+/// envelopes delivered by the routing layer.
+class Directory {
+ public:
+  using QueryCallback =
+      std::function<void(bool ok, const std::vector<DirectoryEntry>&)>;
+
+  Directory(node::Mote& mote, net::GeoRouting& routing,
+            const std::vector<ContextTypeSpec>& specs, Rect field_bounds,
+            DirectoryConfig config = {});
+
+  Directory(const Directory&) = delete;
+  Directory& operator=(const Directory&) = delete;
+
+  /// Leadership edges, wired by the middleware stack: while this node
+  /// leads `label` it refreshes the directory entry periodically.
+  void on_leader_start(TypeIndex type, LabelId label);
+  void on_leader_stop(TypeIndex type, LabelId label);
+
+  /// Asks the directory object of `type` for all active labels. The
+  /// callback fires exactly once: with the reply, or with ok=false on
+  /// timeout.
+  void query(TypeIndex type, QueryCallback callback);
+
+  /// Entries this node stores for `type` (primary or replica view).
+  std::vector<DirectoryEntry> local_entries(TypeIndex type) const;
+
+  /// The rendezvous point for a type in this deployment.
+  Vec2 hash_point(TypeIndex type) const { return hash_points_[type]; }
+
+  const DirectoryStats& stats() const { return stats_; }
+
+ private:
+  struct PendingQuery {
+    QueryCallback callback;
+    sim::EventHandle timeout;
+  };
+
+  void send_update(TypeIndex type);
+  void handle_update(const net::RouteEnvelope& envelope);
+  void handle_query(const net::RouteEnvelope& envelope);
+  void handle_reply(const net::RouteEnvelope& envelope);
+  void store(TypeIndex type, const DirectoryEntry& entry, bool replica);
+  void prune(TypeIndex type) const;
+
+  node::Mote& mote_;
+  net::GeoRouting& routing_;
+  const std::vector<ContextTypeSpec>* specs_;
+  DirectoryConfig config_;
+  std::vector<Vec2> hash_points_;
+
+  /// type -> label -> entry (primary + replicated).
+  mutable std::vector<std::map<LabelId, DirectoryEntry>> store_;
+  /// Labels this node currently leads, with their refresh timers.
+  std::vector<sim::EventHandle> update_timers_;  // per type
+  std::vector<LabelId> current_label_;           // per type; invalid if none
+  std::unordered_map<std::uint32_t, PendingQuery> pending_;
+  std::uint32_t next_query_id_ = 1;
+  DirectoryStats stats_;
+};
+
+}  // namespace et::core

@@ -1,0 +1,41 @@
+#include "core/duty_cycle.hpp"
+
+#include <cassert>
+
+namespace et::core {
+
+DutyCycleController::DutyCycleController(node::Mote& mote,
+                                         GroupManager& groups,
+                                         DutyCycleConfig config)
+    : mote_(mote), groups_(groups), config_(config) {
+  assert(config_.awake_fraction > 0.0 && config_.awake_fraction <= 1.0);
+  assert(config_.cycle_period.is_positive());
+  const Duration phase = config_.cycle_period * mote_.rng().next_double();
+  cycle_timer_ = mote_.sim().schedule_periodic(
+      phase, config_.cycle_period, [this] { begin_cycle(); });
+}
+
+DutyCycleController::~DutyCycleController() {
+  cycle_timer_.cancel();
+  sleep_timer_.cancel();
+  mote_.medium().set_receiver_enabled(mote_.id(), true);
+}
+
+void DutyCycleController::begin_cycle() {
+  stats_.cycles++;
+  // Always start the cycle awake so engaged checks observe fresh traffic.
+  mote_.medium().set_receiver_enabled(mote_.id(), true);
+  if (config_.awake_fraction >= 1.0) return;
+
+  sleep_timer_.cancel();
+  const Duration awake = config_.cycle_period * config_.awake_fraction;
+  sleep_timer_ = mote_.sim().schedule(awake, [this] {
+    // Re-check engagement at sleep time: joining a group mid-cycle (or
+    // merely hearing a neighbour's heartbeat) keeps the radio on.
+    if (groups_.engaged() || mote_.is_down()) return;
+    stats_.slept_cycles++;
+    mote_.medium().set_receiver_enabled(mote_.id(), false);
+  });
+}
+
+}  // namespace et::core

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/group_manager.hpp"
+
+/// Radio duty cycling — an energy extension beyond the paper's prototype.
+///
+/// Idle listening dominates a mote's energy budget: a CC1000-class
+/// receiver draws tens of milliwatts just waiting for frames, and in a
+/// surveillance field most motes are nowhere near any target most of the
+/// time. This controller sleeps the receiver of *unengaged* motes (no
+/// group role, no wait-timer memory, no pending label creation) for a
+/// fraction of every cycle. Sensing hardware and the CPU stay on, so the
+/// sense_e() poll still fires and an appearing target still activates the
+/// node — what is sacrificed is third-party awareness (heartbeats from
+/// groups the node has no stake in may be missed during sleep, delaying
+/// wait-memory formation at first contact).
+namespace et::core {
+
+struct DutyCycleConfig {
+  Duration cycle_period = Duration::seconds(1);
+  /// Fraction of each cycle the receiver stays on while unengaged.
+  /// 1.0 disables sleeping entirely.
+  double awake_fraction = 0.25;
+};
+
+class DutyCycleController {
+ public:
+  /// Starts cycling immediately. Phases are staggered per mote so the
+  /// deployment is never collectively deaf.
+  DutyCycleController(node::Mote& mote, GroupManager& groups,
+                      DutyCycleConfig config = {});
+
+  DutyCycleController(const DutyCycleController&) = delete;
+  DutyCycleController& operator=(const DutyCycleController&) = delete;
+  ~DutyCycleController();
+
+  struct Stats {
+    std::uint64_t cycles = 0;
+    std::uint64_t slept_cycles = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void begin_cycle();
+
+  node::Mote& mote_;
+  GroupManager& groups_;
+  DutyCycleConfig config_;
+  sim::EventHandle cycle_timer_;
+  sim::EventHandle sleep_timer_;
+  Stats stats_;
+};
+
+}  // namespace et::core

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/context_type.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+/// Group-management lifecycle events, published by every GroupManager.
+///
+/// The middleware itself does not need these; they exist for the metrics
+/// layer (coherence monitoring, handover accounting — Fig. 4) and for tests
+/// asserting protocol behaviour.
+namespace et::core {
+
+struct GroupEvent {
+  enum class Kind {
+    kLabelCreated,        // node minted a fresh context label (new leader)
+    kBecameLeader,        // node assumed leadership of an existing label
+    kLostLeadership,      // node stopped leading (yield or relinquish)
+    kTakeover,            // leadership assumed after receive-timer expiry
+    kRelinquish,          // leader announced it stopped sensing
+    kYield,               // leader deferred to a peer leader of same label
+    kLabelSuppressed,     // spurious label deleted on higher-weight evidence
+    kJoined,              // node joined a group as member
+    kLeft,                // member stopped sensing and left
+  };
+
+  Kind kind;
+  Time time;
+  NodeId node;        // the node the event happened on
+  TypeIndex type_index = 0;
+  LabelId label;      // the label involved
+  NodeId peer;        // other party (new leader, suppressor), when relevant
+  std::uint64_t weight = 0;
+
+  std::string to_string() const;
+};
+
+class GroupObserver {
+ public:
+  virtual ~GroupObserver() = default;
+  virtual void on_group_event(const GroupEvent& event) = 0;
+};
+
+const char* group_event_kind_name(GroupEvent::Kind kind);
+
+}  // namespace et::core

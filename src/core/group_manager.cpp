@@ -1,0 +1,632 @@
+#include "core/group_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace et::core {
+
+namespace {
+
+constexpr const char* kComponent = "group-mgmt";
+
+/// Dedup key for one heartbeat instance.
+std::uint64_t hb_key(LabelId label, std::uint32_t seq) {
+  return label.value() * 0x9e3779b97f4a7c15ull ^ seq;
+}
+
+/// Dedup key for one member measurement (reporter + timestamp + label).
+std::uint64_t report_key(const ReportPayload& report) {
+  std::uint64_t h = report.label.value() * 0x9e3779b97f4a7c15ull;
+  h ^= report.reporter.value() * 0xff51afd7ed558ccdull;
+  h ^= static_cast<std::uint64_t>(report.measured_at.to_micros());
+  return h;
+}
+
+}  // namespace
+
+const char* role_name(Role role) {
+  switch (role) {
+    case Role::kIdle:
+      return "idle";
+    case Role::kMember:
+      return "member";
+    case Role::kLeader:
+      return "leader";
+  }
+  return "?";
+}
+
+const char* group_event_kind_name(GroupEvent::Kind kind) {
+  switch (kind) {
+    case GroupEvent::Kind::kLabelCreated:
+      return "label-created";
+    case GroupEvent::Kind::kBecameLeader:
+      return "became-leader";
+    case GroupEvent::Kind::kLostLeadership:
+      return "lost-leadership";
+    case GroupEvent::Kind::kTakeover:
+      return "takeover";
+    case GroupEvent::Kind::kRelinquish:
+      return "relinquish";
+    case GroupEvent::Kind::kYield:
+      return "yield";
+    case GroupEvent::Kind::kLabelSuppressed:
+      return "label-suppressed";
+    case GroupEvent::Kind::kJoined:
+      return "joined";
+    case GroupEvent::Kind::kLeft:
+      return "left";
+  }
+  return "?";
+}
+
+std::string GroupEvent::to_string() const {
+  std::string s = time.to_string();
+  s += " node ";
+  s += std::to_string(node.value());
+  s += " ";
+  s += group_event_kind_name(kind);
+  s += " label ";
+  s += label.to_string();
+  return s;
+}
+
+GroupManager::GroupManager(node::Mote& mote,
+                           const std::vector<ContextTypeSpec>& specs,
+                           const SenseRegistry& senses,
+                           const AggregationRegistry& aggregations,
+                           GroupConfig config)
+    : mote_(mote),
+      specs_(&specs),
+      aggregations_(&aggregations),
+      config_(config),
+      state_(specs.size()),
+      hb_seen_(256),
+      report_seen_(256) {
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const ContextTypeSpec& spec = specs[i];
+    TypeState& ts = state_[i];
+    ts.activation = &senses.get(spec.activation);
+    if (spec.deactivation) ts.deactivation = &senses.get(*spec.deactivation);
+
+    // P_e = L_e - d, from the tightest variable (§3.2.3), floored.
+    Duration period = Duration::max();
+    for (const AggregateVarSpec& var : spec.variables) {
+      period = std::min(period, var.freshness - config_.max_message_delay);
+    }
+    if (spec.variables.empty()) period = Duration::seconds(1);
+    ts.report_period = std::max(period, config_.min_report_period);
+  }
+
+  mote_.set_handler(radio::MsgType::kHeartbeat,
+                    [this](const radio::Frame& f) { handle_heartbeat(f); });
+  mote_.set_handler(radio::MsgType::kReport,
+                    [this](const radio::Frame& f) { handle_report(f); });
+  mote_.set_handler(radio::MsgType::kRelinquish,
+                    [this](const radio::Frame& f) { handle_relinquish(f); });
+}
+
+void GroupManager::start() {
+  assert(!started_);
+  started_ = true;
+  // Stagger poll phases across motes so the deployment's sensing (and the
+  // traffic it triggers) does not synchronize.
+  const Duration phase =
+      config_.sense_poll_period * mote_.rng().next_double();
+  mote_.every(config_.sense_poll_period + phase, config_.sense_poll_period,
+              [this] { poll_senses(); });
+}
+
+void GroupManager::crash() {
+  alive_ = false;
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    TypeState& ts = state_[i];
+    if (ts.role == Role::kLeader && leader_stop_) {
+      leader_stop_(static_cast<TypeIndex>(i), ts.label);
+    }
+    ts.heartbeat_timer.cancel();
+    ts.receive_timer.cancel();
+    ts.report_timer.cancel();
+    ts.wait_timer.cancel();
+    ts.candidacy_timer.cancel();
+    ts.creation_timer.cancel();
+    ts.creation_pending = false;
+    ts.role = Role::kIdle;
+    ts.waiting = false;
+    ts.agg.reset();
+  }
+}
+
+NodeId GroupManager::known_leader(TypeIndex type) const {
+  const TypeState& ts = state_[type];
+  switch (ts.role) {
+    case Role::kLeader:
+      return mote_.id();
+    case Role::kMember:
+      return ts.leader;
+    case Role::kIdle:
+      return NodeId{};
+  }
+  return NodeId{};
+}
+
+AggregateStateTable* GroupManager::aggregates(TypeIndex type) {
+  TypeState& ts = state_[type];
+  return ts.role == Role::kLeader ? ts.agg.get() : nullptr;
+}
+
+void GroupManager::emit(GroupEvent::Kind kind, TypeIndex type, LabelId label,
+                        NodeId peer, std::uint64_t weight) {
+  if (observers_.empty()) return;
+  GroupEvent event{kind,  mote_.now(), mote_.id(), type,
+                   label, peer,        weight};
+  for (GroupObserver* obs : observers_) obs->on_group_event(event);
+}
+
+bool GroupManager::is_sensing(const TypeState& ts) const {
+  if (ts.role == Role::kIdle) return (*ts.activation)(mote_);
+  // Active nodes leave on the deactivation condition, which defaults to the
+  // inverse of the activation condition (§3.2.1, footnote 1).
+  if (ts.deactivation) return !(*ts.deactivation)(mote_);
+  return (*ts.activation)(mote_);
+}
+
+// ---------------------------------------------------------------------------
+// Sense polling and role transitions
+// ---------------------------------------------------------------------------
+
+void GroupManager::poll_senses() {
+  if (!alive_) return;
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    const TypeIndex type = static_cast<TypeIndex>(i);
+    TypeState& ts = state_[i];
+    const bool sensing = is_sensing(ts);
+    switch (ts.role) {
+      case Role::kIdle:
+        if (sensing) {
+          if (ts.waiting) {
+            // A live group was heard nearby: join it instead of minting a
+            // spurious label.
+            ts.creation_pending = false;
+            ts.creation_timer.cancel();
+            become_member(type, ts.wait_label, ts.wait_leader,
+                          ts.wait_leader_pos, ts.wait_weight);
+          } else if (!ts.creation_pending) {
+            // No group known: defer creation briefly; if a heartbeat
+            // arrives meanwhile we join instead of forking a new label.
+            ts.creation_pending = true;
+            const Duration delay =
+                config_.creation_delay_max *
+                (0.1 + 0.9 * mote_.rng().next_double());
+            ts.creation_timer = mote_.after(delay, [this, type] {
+              TypeState& st = state_[type];
+              st.creation_pending = false;
+              if (!alive_ || st.role != Role::kIdle) return;
+              if (!is_sensing(st)) return;
+              if (st.waiting) {
+                become_member(type, st.wait_label, st.wait_leader,
+                              st.wait_leader_pos, st.wait_weight);
+              } else {
+                create_label(type);
+              }
+            });
+          }
+        } else if (ts.creation_pending) {
+          ts.creation_pending = false;
+          ts.creation_timer.cancel();
+        }
+        break;
+      case Role::kMember:
+        if (!sensing) leave_group(type);
+        break;
+      case Role::kLeader:
+        if (!sensing) {
+          if (config_.relinquish_enabled) {
+            relinquish(type);
+          } else {
+            // Worst-case mode: the leader goes silent and the group must
+            // recover through receive-timer takeover.
+            stop_leading(type, GroupEvent::Kind::kLostLeadership, mote_.id());
+          }
+        }
+        break;
+    }
+  }
+}
+
+void GroupManager::create_label(TypeIndex type) {
+  const LabelId label = LabelId::make(mote_.id(), next_label_seq_++);
+  stats_.labels_created++;
+  emit(GroupEvent::Kind::kLabelCreated, type, label, mote_.id(), 0);
+  ET_DEBUG(kComponent, "node %llu creates label %llu (type %u)",
+           static_cast<unsigned long long>(mote_.id().value()),
+           static_cast<unsigned long long>(label.value()), type);
+  become_leader(type, label, 0, {}, GroupEvent::Kind::kBecameLeader);
+}
+
+void GroupManager::become_leader(TypeIndex type, LabelId label,
+                                 std::uint64_t weight,
+                                 PersistentState inherited,
+                                 GroupEvent::Kind cause) {
+  TypeState& ts = state_[type];
+  ts.receive_timer.cancel();
+  ts.candidacy_timer.cancel();
+  ts.wait_timer.cancel();
+  ts.report_timer.cancel();
+  ts.creation_timer.cancel();
+  ts.creation_pending = false;
+  ts.waiting = false;
+
+  ts.role = Role::kLeader;
+  ts.label = label;
+  ts.weight = weight;
+  ts.state = std::move(inherited);
+  // Random sequence start so a successor's heartbeats are never confused
+  // with the predecessor's in peers' dedup caches.
+  ts.hb_seq = static_cast<std::uint32_t>(mote_.rng().next_u64());
+  ts.agg = std::make_unique<AggregateStateTable>((*specs_)[type],
+                                                 *aggregations_);
+
+  if (cause != GroupEvent::Kind::kBecameLeader) {
+    emit(cause, type, label, mote_.id(), weight);
+  }
+  emit(GroupEvent::Kind::kBecameLeader, type, label, mote_.id(), weight);
+
+  send_heartbeat(type);
+  ts.heartbeat_timer =
+      mote_.every(config_.heartbeat_period, config_.heartbeat_period,
+                  [this, type] {
+                    if (state_[type].role == Role::kLeader) {
+                      send_heartbeat(type);
+                    }
+                  });
+  start_report_timer(type);
+  if (leader_start_) leader_start_(type, label, state_[type].state);
+}
+
+void GroupManager::stop_leading(TypeIndex type, GroupEvent::Kind cause,
+                                NodeId peer) {
+  TypeState& ts = state_[type];
+  assert(ts.role == Role::kLeader);
+  ts.heartbeat_timer.cancel();
+  ts.report_timer.cancel();
+  const LabelId label = ts.label;
+  if (leader_stop_) leader_stop_(type, label);
+  if (cause != GroupEvent::Kind::kLostLeadership) {
+    emit(cause, type, label, peer, ts.weight);
+  }
+  emit(GroupEvent::Kind::kLostLeadership, type, label, peer, ts.weight);
+  ts.role = Role::kIdle;
+  ts.agg.reset();
+  ts.weight = 0;
+  ts.state.clear();
+}
+
+void GroupManager::become_member(TypeIndex type, LabelId label, NodeId leader,
+                                 Vec2 leader_pos,
+                                 std::uint64_t leader_weight) {
+  TypeState& ts = state_[type];
+  ts.wait_timer.cancel();
+  ts.creation_timer.cancel();
+  ts.creation_pending = false;
+  ts.waiting = false;
+  ts.role = Role::kMember;
+  ts.label = label;
+  ts.leader = leader;
+  ts.leader_pos = leader_pos;
+  ts.leader_weight_seen = leader_weight;
+  ts.last_hb_heard = mote_.now();
+  ts.last_state_seen.clear();
+  stats_.joins++;
+  emit(GroupEvent::Kind::kJoined, type, label, leader, leader_weight);
+  arm_receive_timer(type);
+  start_report_timer(type);
+}
+
+void GroupManager::leave_group(TypeIndex type) {
+  TypeState& ts = state_[type];
+  assert(ts.role == Role::kMember);
+  ts.receive_timer.cancel();
+  ts.report_timer.cancel();
+  ts.candidacy_timer.cancel();
+  emit(GroupEvent::Kind::kLeft, type, ts.label, ts.leader, 0);
+  ts.role = Role::kIdle;
+}
+
+void GroupManager::relinquish(TypeIndex type) {
+  TypeState& ts = state_[type];
+  assert(ts.role == Role::kLeader);
+  stats_.relinquishes++;
+  auto payload = std::make_shared<RelinquishPayload>(
+      type, ts.label, mote_.id(), ts.weight, ts.hb_seq, ts.state);
+  mote_.broadcast(radio::MsgType::kRelinquish, std::move(payload),
+                  config_.heartbeat_range);
+  stop_leading(type, GroupEvent::Kind::kRelinquish, mote_.id());
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+void GroupManager::arm_receive_timer(TypeIndex type) {
+  TypeState& ts = state_[type];
+  ts.receive_timer.cancel();
+  ts.receive_timer = mote_.after(receive_timeout(),
+                                 [this, type] { on_receive_timeout(type); });
+}
+
+void GroupManager::on_receive_timeout(TypeIndex type) {
+  TypeState& ts = state_[type];
+  if (!alive_ || ts.role != Role::kMember) return;
+  // Guard against the CPU-queue race: a heartbeat may have been processed
+  // after this timeout was posted.
+  if (mote_.now() - ts.last_hb_heard < receive_timeout()) {
+    arm_receive_timer(type);
+    return;
+  }
+  if (is_sensing(ts)) {
+    // Leadership takeover: continue the same label, carrying the last known
+    // weight and committed state (§5.2).
+    stats_.takeovers++;
+    ET_DEBUG(kComponent, "node %llu takes over label %llu",
+             static_cast<unsigned long long>(mote_.id().value()),
+             static_cast<unsigned long long>(ts.label.value()));
+    become_leader(type, ts.label, ts.leader_weight_seen, ts.last_state_seen,
+                  GroupEvent::Kind::kTakeover);
+  } else {
+    leave_group(type);
+  }
+}
+
+void GroupManager::start_report_timer(TypeIndex type) {
+  TypeState& ts = state_[type];
+  ts.report_timer.cancel();
+  if ((*specs_)[type].variables.empty()) return;
+  ts.report_timer = mote_.every(ts.report_period, ts.report_period,
+                                [this, type] { send_report(type); });
+}
+
+// ---------------------------------------------------------------------------
+// Protocol sends
+// ---------------------------------------------------------------------------
+
+Vec2 GroupManager::entity_estimate(TypeIndex type) const {
+  const TypeState& ts = state_[type];
+  if (ts.role == Role::kLeader && ts.agg) {
+    const ContextTypeSpec& spec = (*specs_)[type];
+    for (std::size_t i = 0; i < spec.variables.size(); ++i) {
+      if (spec.variables[i].sensor != "position") continue;
+      if (auto value = ts.agg->read(i, mote_.now());
+          value && value->kind == AggregateValue::Kind::kVector) {
+        return value->vector;
+      }
+    }
+  }
+  // No confirmed aggregate yet: the leader itself senses the entity, so
+  // its own location is the best available estimate.
+  return mote_.position();
+}
+
+void GroupManager::send_heartbeat(TypeIndex type) {
+  TypeState& ts = state_[type];
+  assert(ts.role == Role::kLeader);
+  stats_.heartbeats_sent++;
+  auto payload = std::make_shared<HeartbeatPayload>(
+      type, ts.label, mote_.id(), mote_.position(), entity_estimate(type),
+      ts.weight, ++ts.hb_seq, config_.perimeter_hops, ts.state);
+  // Our own heartbeats must not be re-processed when relayed back.
+  hb_seen_.put(hb_key(ts.label, ts.hb_seq), true);
+  mote_.broadcast(radio::MsgType::kHeartbeat, std::move(payload),
+                  config_.heartbeat_range);
+}
+
+void GroupManager::send_report(TypeIndex type) {
+  TypeState& ts = state_[type];
+  if (!alive_ || ts.role == Role::kIdle) return;
+  const ContextTypeSpec& spec = (*specs_)[type];
+
+  std::vector<double> scalars;
+  scalars.reserve(spec.variables.size());
+  for (const AggregateVarSpec& var : spec.variables) {
+    scalars.push_back(var.sensor == "position" ? 0.0
+                                               : mote_.read_sensor(var.sensor));
+  }
+
+  if (ts.role == Role::kLeader) {
+    // The leader is itself a group member; its readings enter the window
+    // directly (no radio, and no weight increment — weight counts messages
+    // received from members).
+    ts.agg->add_report(mote_.id(), mote_.position(), mote_.now(), scalars);
+    return;
+  }
+  if (!ts.leader.is_valid()) return;
+  stats_.reports_sent++;
+  auto payload = std::make_shared<ReportPayload>(
+      type, ts.label, mote_.id(), mote_.position(), mote_.now(),
+      std::move(scalars));
+  // Leaders beyond direct radio range are reached by flooding the report
+  // through fellow group members (§3.2.1's multi-hop connectivity).
+  const double leader_distance = distance(mote_.position(), ts.leader_pos);
+  if (leader_distance <= mote_.medium().config().comm_radius ||
+      config_.report_relay_hops == 0) {
+    mote_.unicast(ts.leader, radio::MsgType::kReport, std::move(payload));
+  } else {
+    payload->relay_budget = config_.report_relay_hops;
+    report_seen_.put(report_key(*payload), true);
+    mote_.broadcast(radio::MsgType::kReport, std::move(payload));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message handlers
+// ---------------------------------------------------------------------------
+
+void GroupManager::handle_heartbeat(const radio::Frame& frame) {
+  if (!alive_) return;
+  const auto* hp = static_cast<const HeartbeatPayload*>(frame.payload.get());
+  if (hp->type_index >= state_.size()) return;
+  const TypeIndex type = hp->type_index;
+  TypeState& ts = state_[type];
+
+  if (leader_observed_) {
+    leader_observed_(type, hp->label, hp->leader, hp->leader_pos);
+  }
+
+  const std::uint64_t key = hb_key(hp->label, hp->seq);
+  const bool already_seen = hb_seen_.contains(key);
+  hb_seen_.put(key, true);
+
+  switch (ts.role) {
+    case Role::kLeader: {
+      if (hp->leader == mote_.id()) break;  // our own relayed heartbeat
+      if (hp->label == ts.label) {
+        // Two leaders inside one context label group (§5.2: "the leader
+        // immediately yields to this leader"). The winner must be a
+        // *stable* function of the pair: deciding by weight livelocks,
+        // because duplicate leaders each keep absorbing reports from
+        // disjoint member subsets and leapfrog each other indefinitely.
+        // Lower node id wins, always.
+        const bool other_wins = hp->leader.value() < mote_.id().value();
+        if (other_wins) {
+          stats_.yields++;
+          stop_leading(type, GroupEvent::Kind::kYield, hp->leader);
+          become_member(type, hp->label, hp->leader, hp->leader_pos,
+                        hp->weight);
+        }
+      } else if (config_.weight_suppression_enabled &&
+                 hp->weight > ts.weight &&
+                 distance(entity_estimate(type), hp->estimate) <=
+                     config_.suppression_radius) {
+        // A heavier label of the same type tracking (by its estimate) the
+        // same stimulus: ours is spurious. "They delete their context
+        // label and become regular members of the other leader's group."
+        // Labels whose estimates are far apart track physically separated
+        // entities and must coexist (§3.2.1).
+        stats_.suppressions++;
+        stop_leading(type, GroupEvent::Kind::kLabelSuppressed, hp->leader);
+        become_member(type, hp->label, hp->leader, hp->leader_pos,
+                      hp->weight);
+      }
+      break;
+    }
+    case Role::kMember: {
+      if (hp->label == ts.label) {
+        ts.last_hb_heard = mote_.now();
+        ts.leader = hp->leader;
+        ts.leader_pos = hp->leader_pos;
+        ts.leader_weight_seen = hp->weight;
+        ts.last_state_seen = hp->state;
+        arm_receive_timer(type);
+        if (config_.member_relay_heartbeats && !already_seen) {
+          stats_.heartbeats_relayed++;
+          auto relay = std::make_shared<HeartbeatPayload>(*hp);
+          relay->perimeter_budget = config_.perimeter_hops;
+          mote_.broadcast(radio::MsgType::kHeartbeat, std::move(relay),
+                          config_.heartbeat_range);
+        }
+      }
+      break;
+    }
+    case Role::kIdle: {
+      // Remember the nearby group so that if we sense the entity before the
+      // wait timer expires we join it instead of minting a new label. Only
+      // labels whose entity could plausibly reach us matter — a label
+      // tracking something far away must not swallow a fresh local
+      // detection.
+      if (distance(mote_.position(), hp->estimate) <= config_.wait_radius) {
+        if (!ts.waiting || hp->weight >= ts.wait_weight) {
+          ts.wait_label = hp->label;
+          ts.wait_leader = hp->leader;
+          ts.wait_leader_pos = hp->leader_pos;
+          ts.wait_weight = hp->weight;
+          ts.wait_state = hp->state;
+        }
+        ts.waiting = true;
+        ts.wait_timer.cancel();
+        ts.wait_timer = mote_.after(wait_timeout(), [this, type] {
+          state_[type].waiting = false;
+        });
+      }
+      if (hp->perimeter_budget > 0 && !already_seen) {
+        stats_.heartbeats_relayed++;
+        auto relay = std::make_shared<HeartbeatPayload>(*hp);
+        relay->perimeter_budget = static_cast<std::uint8_t>(
+            hp->perimeter_budget - 1);
+        mote_.broadcast(radio::MsgType::kHeartbeat, std::move(relay),
+                        config_.heartbeat_range);
+      }
+      break;
+    }
+  }
+}
+
+void GroupManager::handle_report(const radio::Frame& frame) {
+  if (!alive_) return;
+  const auto* rp = static_cast<const ReportPayload*>(frame.payload.get());
+  if (rp->type_index >= state_.size()) return;
+  TypeState& ts = state_[rp->type_index];
+  if (ts.label != rp->label || ts.role == Role::kIdle) return;
+
+  // Relayed reports may reach the leader along several member paths;
+  // consume/relay each measurement once.
+  const std::uint64_t key = report_key(*rp);
+  const bool already_seen = report_seen_.contains(key);
+  report_seen_.put(key, true);
+  if (already_seen) return;
+
+  if (ts.role == Role::kLeader) {
+    stats_.reports_received++;
+    // "This counter increases as sensors report their measurements" — the
+    // leader weight used for spurious-label suppression.
+    ts.weight++;
+    ts.agg->add_report(rp->reporter, rp->reporter_pos, rp->measured_at,
+                       rp->scalars);
+    return;
+  }
+
+  // Member overhearing an in-group flooded report: relay it toward the
+  // leader (directly when in range, else re-flood while budget remains).
+  if (!frame.is_broadcast() || rp->relay_budget == 0) return;
+  auto relay = std::make_shared<ReportPayload>(*rp);
+  const double leader_distance = distance(mote_.position(), ts.leader_pos);
+  if (ts.leader.is_valid() &&
+      leader_distance <= mote_.medium().config().comm_radius) {
+    relay->relay_budget = 0;
+    mote_.unicast(ts.leader, radio::MsgType::kReport, std::move(relay));
+  } else {
+    relay->relay_budget = static_cast<std::uint8_t>(rp->relay_budget - 1);
+    mote_.broadcast(radio::MsgType::kReport, std::move(relay));
+  }
+}
+
+void GroupManager::handle_relinquish(const radio::Frame& frame) {
+  if (!alive_) return;
+  const auto* rp =
+      static_cast<const RelinquishPayload*>(frame.payload.get());
+  if (rp->type_index >= state_.size()) return;
+  const TypeIndex type = rp->type_index;
+  TypeState& ts = state_[type];
+  if (ts.role != Role::kMember || ts.label != rp->label) return;
+  if (!is_sensing(ts)) return;  // we are about to leave anyway
+
+  // Candidate election: wait a small random slice; whoever fires first and
+  // heartbeats wins, later candidates hear it and stand down.
+  ts.relinquish_heard = mote_.now();
+  ts.cand_weight = rp->weight;
+  ts.cand_state = rp->state;
+  ts.candidacy_timer.cancel();
+  const Duration delay =
+      config_.heartbeat_period * (0.05 + 0.20 * mote_.rng().next_double());
+  ts.candidacy_timer = mote_.after(delay, [this, type] {
+    TypeState& st = state_[type];
+    if (!alive_ || st.role != Role::kMember) return;
+    if (st.last_hb_heard >= st.relinquish_heard) return;  // successor exists
+    if (!is_sensing(st)) return;
+    become_leader(type, st.label, st.cand_weight, st.cand_state,
+                  GroupEvent::Kind::kBecameLeader);
+  });
+}
+
+}  // namespace et::core

@@ -1,0 +1,288 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/aggregate_state.hpp"
+#include "core/context_type.hpp"
+#include "core/events.hpp"
+#include "core/messages.hpp"
+#include "core/sense_registry.hpp"
+#include "node/mote.hpp"
+#include "util/lru_map.hpp"
+
+/// Group management services (§5.2): maintains context-label coherence.
+///
+/// Design constraints from the paper: "group management services must be
+/// very lightweight and dynamic... no single entity has to know the current
+/// group membership and no consistent distributed state is assumed." The
+/// protocol keeps a single majority leader per tracked entity through:
+///  - periodic leader heartbeats flooding the group (and `h` hops past its
+///    perimeter) carrying the leader's weight and committed object state,
+///  - a member *receive timer* (2.1 x heartbeat period) triggering
+///    leadership takeover on leader failure,
+///  - a non-member *wait timer* (4.2 x heartbeat period) suppressing
+///    spurious labels near a known group,
+///  - leader weights (count of member reports absorbed) that let heavier
+///    labels suppress spurious lighter ones,
+///  - an explicit relinquish handoff when a leader stops sensing.
+namespace et::core {
+
+enum class Role : std::uint8_t { kIdle, kMember, kLeader };
+
+const char* role_name(Role role);
+
+struct GroupConfig {
+  /// Leader heartbeat period; the central knob of Fig. 5.
+  Duration heartbeat_period = Duration::seconds(0.5);
+  /// Receive timer = factor x heartbeat period ("more than twice longer
+  /// ... to allow for message loss"; best results at 2.1 per §6.2).
+  double receive_timer_factor = 2.1;
+  /// Wait timer = factor x heartbeat period ("must be longer than the
+  /// receive timer"; best results at 4.2 per §6.2).
+  double wait_timer_factor = 4.2;
+  /// Hops past the group perimeter that heartbeats travel (h): non-members
+  /// rebroadcast heartbeats while budget remains. "If the communication
+  /// radius is large enough, h may be zero, since neighboring non-member
+  /// nodes would hear the leader's broadcast anyway" — the default here,
+  /// since CR (6) far exceeds the sensing radii under study.
+  std::uint8_t perimeter_hops = 0;
+  /// A node that starts sensing with no memory of a nearby group defers
+  /// label creation by a uniform random delay in (0, this]; hearing any
+  /// heartbeat meanwhile converts it into a joiner. Approximates the
+  /// paper's creation rule ("no neighbors detecting the same condition")
+  /// without consistent membership knowledge.
+  Duration creation_delay_max = Duration::millis(200);
+  /// Transmit-power limit for heartbeat frames, in grid units. Models the
+  /// Fig. 4 settings ("heartbeats only within [sensing] radius" vs
+  /// "propagate past sensing radius"). Unset = full radio range.
+  std::optional<double> heartbeat_range;
+  /// How often each mote evaluates its sense_e() predicates.
+  Duration sense_poll_period = Duration::millis(250);
+  /// When true a leader that stops sensing hands leadership off explicitly
+  /// (the "relinquish" optimisation of §6.2); when false it goes silent and
+  /// the group recovers via receive-timer takeover — the paper's worst-case
+  /// leader-failure mode.
+  bool relinquish_enabled = true;
+  /// Estimated max in-group message delay d; member report period is
+  /// P_e = L_e - d (§3.2.3).
+  Duration max_message_delay = Duration::millis(300);
+  /// Floor for the report period, so tiny freshness values cannot melt the
+  /// channel.
+  Duration min_report_period = Duration::millis(100);
+  /// When true, members re-flood heartbeats once per sequence number so
+  /// groups wider than one radio hop stay connected.
+  bool member_relay_heartbeats = false;
+  /// In-group relay hops for member reports whose leader is out of direct
+  /// radio range (0 disables the multi-hop data-collection path).
+  std::uint8_t report_relay_hops = 3;
+  /// Disable leader-weight based suppression of spurious labels (ablation).
+  bool weight_suppression_enabled = true;
+  /// A lighter label yields to a heavier same-type label only when their
+  /// tracked-entity position estimates are within this distance — i.e.
+  /// they plausibly track the same stimulus. Physically separated entities
+  /// keep distinct labels (§3.2.1). Scale with the sensing radius
+  /// (~2 x SR).
+  double suppression_radius = 2.0;
+  /// Non-members remember a nearby label (wait timer) only when its
+  /// estimate is within this distance of them — the label could be for an
+  /// entity they are about to sense. Scale with the sensing radius
+  /// (~2 x SR + 1).
+  double wait_radius = 3.0;
+};
+
+struct GroupStats {
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_relayed = 0;
+  std::uint64_t reports_sent = 0;
+  std::uint64_t reports_received = 0;
+  std::uint64_t labels_created = 0;
+  std::uint64_t takeovers = 0;
+  std::uint64_t relinquishes = 0;
+  std::uint64_t yields = 0;
+  std::uint64_t suppressions = 0;
+  std::uint64_t joins = 0;
+};
+
+/// Per-mote group-management service. Owns the kHeartbeat, kReport, and
+/// kRelinquish message types on its mote.
+class GroupManager {
+ public:
+  /// Invoked when this node starts leading a label (with the inherited
+  /// persistent state) and when it stops — the context runtime attaches /
+  /// detaches tracking objects on these edges.
+  using LeaderStartFn =
+      std::function<void(TypeIndex, LabelId, const PersistentState&)>;
+  using LeaderStopFn = std::function<void(TypeIndex, LabelId)>;
+  /// Invoked whenever a heartbeat reveals the current leader of a label;
+  /// the transport layer uses this to maintain forwarding pointers.
+  using LeaderObservedFn =
+      std::function<void(TypeIndex, LabelId, NodeId leader, Vec2 leader_pos)>;
+
+  /// `specs`, `senses`, and `aggregations` are deployment-wide and must
+  /// outlive the manager.
+  GroupManager(node::Mote& mote, const std::vector<ContextTypeSpec>& specs,
+               const SenseRegistry& senses,
+               const AggregationRegistry& aggregations, GroupConfig config);
+
+  GroupManager(const GroupManager&) = delete;
+  GroupManager& operator=(const GroupManager&) = delete;
+
+  /// Begins sense polling. Call once after all callbacks are wired.
+  void start();
+
+  /// Crash-stops the service: cancels all timers and goes silent without
+  /// notifying anybody. Models node failure for fault-injection tests.
+  void crash();
+
+  bool alive() const { return alive_; }
+
+  void add_observer(GroupObserver* observer) {
+    observers_.push_back(observer);
+  }
+  void set_leader_start(LeaderStartFn fn) { leader_start_ = std::move(fn); }
+  void set_leader_stop(LeaderStopFn fn) { leader_stop_ = std::move(fn); }
+  void set_leader_observed(LeaderObservedFn fn) {
+    leader_observed_ = std::move(fn);
+  }
+
+  // --- Introspection ---
+  Role role(TypeIndex type) const { return state_[type].role; }
+  /// Label this node is involved with (member or leader); invalid if idle.
+  LabelId current_label(TypeIndex type) const { return state_[type].label; }
+  /// Leader this node believes the label has (self when leading).
+  NodeId known_leader(TypeIndex type) const;
+  std::uint64_t leader_weight(TypeIndex type) const {
+    return state_[type].weight;
+  }
+  /// Leader-side aggregate state; nullptr unless this node leads `type`.
+  AggregateStateTable* aggregates(TypeIndex type);
+  /// Leader-side persistent object state (rides in heartbeats).
+  PersistentState& persistent_state(TypeIndex type) {
+    return state_[type].state;
+  }
+  /// This leader's best estimate of where its tracked entity is: the first
+  /// valid position aggregate, else the leader's own location. Carried in
+  /// heartbeats for estimate-gated label identity.
+  Vec2 entity_estimate(TypeIndex type) const;
+  const GroupConfig& config() const { return config_; }
+  const GroupStats& stats() const { return stats_; }
+  node::Mote& mote() { return mote_; }
+  std::size_t type_count() const { return specs_->size(); }
+
+  /// True when this node has any stake in a context: it leads or belongs
+  /// to a group, remembers a nearby one (wait timer), or is deciding
+  /// whether to create a label. Duty cycling keeps engaged nodes awake.
+  bool engaged() const {
+    for (const TypeState& ts : state_) {
+      if (ts.role != Role::kIdle || ts.waiting || ts.creation_pending) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Duration receive_timeout() const {
+    return config_.heartbeat_period * config_.receive_timer_factor;
+  }
+  Duration wait_timeout() const {
+    return config_.heartbeat_period * config_.wait_timer_factor;
+  }
+
+ private:
+  struct TypeState {
+    Role role = Role::kIdle;
+    LabelId label;
+
+    // Leader side.
+    std::uint64_t weight = 0;
+    std::uint32_t hb_seq = 0;
+    PersistentState state;
+    std::unique_ptr<AggregateStateTable> agg;
+    sim::EventHandle heartbeat_timer;
+
+    // Member side.
+    NodeId leader;
+    Vec2 leader_pos;
+    std::uint64_t leader_weight_seen = 0;
+    Time last_hb_heard;
+    PersistentState last_state_seen;
+    sim::EventHandle receive_timer;
+
+    // Member + leader: periodic sensing reports.
+    sim::EventHandle report_timer;
+
+    // Idle side: memory of a nearby group (wait timer, §5.2).
+    bool waiting = false;
+    LabelId wait_label;
+    NodeId wait_leader;
+    Vec2 wait_leader_pos;
+    std::uint64_t wait_weight = 0;
+    PersistentState wait_state;
+    sim::EventHandle wait_timer;
+
+    // Deferred label creation.
+    bool creation_pending = false;
+    sim::EventHandle creation_timer;
+
+    // Relinquish candidacy.
+    sim::EventHandle candidacy_timer;
+    Time relinquish_heard;
+    std::uint64_t cand_weight = 0;
+    PersistentState cand_state;
+
+    // Resolved predicates.
+    const SensePredicate* activation = nullptr;
+    const SensePredicate* deactivation = nullptr;  // null: !activation
+    Duration report_period = Duration::seconds(1);
+  };
+
+  void poll_senses();
+  bool is_sensing(const TypeState& ts) const;
+
+  // Role transitions.
+  void create_label(TypeIndex type);
+  void become_leader(TypeIndex type, LabelId label, std::uint64_t weight,
+                     PersistentState inherited, GroupEvent::Kind cause);
+  void stop_leading(TypeIndex type, GroupEvent::Kind cause, NodeId peer);
+  void become_member(TypeIndex type, LabelId label, NodeId leader,
+                     Vec2 leader_pos, std::uint64_t leader_weight);
+  void leave_group(TypeIndex type);
+
+  // Protocol actions.
+  void send_heartbeat(TypeIndex type);
+  void send_report(TypeIndex type);
+  void start_report_timer(TypeIndex type);
+  void arm_receive_timer(TypeIndex type);
+  void on_receive_timeout(TypeIndex type);
+  void relinquish(TypeIndex type);
+
+  // Message handlers.
+  void handle_heartbeat(const radio::Frame& frame);
+  void handle_report(const radio::Frame& frame);
+  void handle_relinquish(const radio::Frame& frame);
+
+  void emit(GroupEvent::Kind kind, TypeIndex type, LabelId label, NodeId peer,
+            std::uint64_t weight);
+
+  node::Mote& mote_;
+  const std::vector<ContextTypeSpec>* specs_;
+  const AggregationRegistry* aggregations_;
+  GroupConfig config_;
+  std::vector<TypeState> state_;
+  std::vector<GroupObserver*> observers_;
+  LeaderStartFn leader_start_;
+  LeaderStopFn leader_stop_;
+  LeaderObservedFn leader_observed_;
+  LruMap<std::uint64_t, bool> hb_seen_;  // heartbeat (label, seq) dedup
+  LruMap<std::uint64_t, bool> report_seen_;  // relayed-report dedup
+  std::uint32_t next_label_seq_ = 0;
+  bool alive_ = true;
+  bool started_ = false;
+  GroupStats stats_;
+};
+
+}  // namespace et::core

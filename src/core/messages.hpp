@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/context_type.hpp"
+#include "radio/packet.hpp"
+#include "util/geometry.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+/// Group-management and data-collection protocol messages (§5.2, §3.2.3).
+namespace et::core {
+
+/// Small persistent state a tracking object may commit via setState(); it
+/// rides in heartbeats so a takeover continues from the last committed
+/// state (§5.2 — listed as a trivial extension in the paper's prototype,
+/// implemented here).
+using PersistentState = std::map<std::string, double>;
+
+/// Leader heartbeat: floods the group to assert leadership, carries the
+/// leader's weight for spurious-label suppression and the committed object
+/// state for takeover continuity.
+class HeartbeatPayload final : public radio::Payload {
+ public:
+  HeartbeatPayload(TypeIndex type_index, LabelId label, NodeId leader,
+                   Vec2 leader_pos, Vec2 estimate, std::uint64_t weight,
+                   std::uint32_t seq, std::uint8_t perimeter_budget,
+                   PersistentState state)
+      : type_index(type_index),
+        label(label),
+        leader(leader),
+        leader_pos(leader_pos),
+        estimate(estimate),
+        weight(weight),
+        seq(seq),
+        perimeter_budget(perimeter_budget),
+        state(std::move(state)) {}
+
+  std::size_t size_bytes() const override {
+    // type (2) + label (8) + leader (2) + pos (8) + estimate (8)
+    // + weight (4) + seq (4) + budget (1) + state entries (9B each).
+    return 37 + state.size() * 9;
+  }
+
+  TypeIndex type_index;
+  LabelId label;
+  NodeId leader;
+  Vec2 leader_pos;
+  /// The label's best estimate of its tracked entity's position (the
+  /// first position-type aggregate when valid, else the leader's own
+  /// location). Receivers use it to tell "another label for *my*
+  /// stimulus" (suppress/join) apart from "a label for a different,
+  /// physically separated entity" (coexist).
+  Vec2 estimate;
+  std::uint64_t weight;
+  std::uint32_t seq;
+  /// Remaining hops past the group perimeter this heartbeat may travel
+  /// (the parameter h of §5.2); non-members decrement and rebroadcast.
+  std::uint8_t perimeter_budget;
+  PersistentState state;
+};
+
+/// Member -> leader sensor report: one scalar per aggregate variable of the
+/// context type, plus the reporter's position (consumed by position
+/// aggregates).
+class ReportPayload final : public radio::Payload {
+ public:
+  ReportPayload(TypeIndex type_index, LabelId label, NodeId reporter,
+                Vec2 reporter_pos, Time measured_at,
+                std::vector<double> scalars)
+      : type_index(type_index),
+        label(label),
+        reporter(reporter),
+        reporter_pos(reporter_pos),
+        measured_at(measured_at),
+        scalars(std::move(scalars)) {}
+
+  std::size_t size_bytes() const override {
+    // type (2) + label (8) + reporter (2) + pos (8) + timestamp (4)
+    // + ttl (1) + 4B per reading.
+    return 25 + scalars.size() * 4;
+  }
+
+  TypeIndex type_index;
+  LabelId label;
+  NodeId reporter;
+  Vec2 reporter_pos;
+  Time measured_at;
+  std::vector<double> scalars;
+  /// Remaining in-group relay hops when the leader is out of direct radio
+  /// range (§3.2.1: members communicate "possibly using multiple hops
+  /// through other members of the same group").
+  std::uint8_t relay_budget = 0;
+};
+
+/// Leader relinquish: the leader no longer senses the entity and asks the
+/// group to elect a successor, passing its weight and committed state on.
+class RelinquishPayload final : public radio::Payload {
+ public:
+  RelinquishPayload(TypeIndex type_index, LabelId label, NodeId leader,
+                    std::uint64_t weight, std::uint32_t last_seq,
+                    PersistentState state)
+      : type_index(type_index),
+        label(label),
+        leader(leader),
+        weight(weight),
+        last_seq(last_seq),
+        state(std::move(state)) {}
+
+  std::size_t size_bytes() const override { return 21 + state.size() * 9; }
+
+  TypeIndex type_index;
+  LabelId label;
+  NodeId leader;
+  std::uint64_t weight;
+  std::uint32_t last_seq;
+  PersistentState state;
+};
+
+}  // namespace et::core

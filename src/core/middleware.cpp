@@ -1,0 +1,80 @@
+#include "core/middleware.hpp"
+
+namespace et::core {
+
+MiddlewareStack::MiddlewareStack(node::Mote& mote,
+                                 const std::vector<ContextTypeSpec>& specs,
+                                 const SenseRegistry& senses,
+                                 const AggregationRegistry& aggregations,
+                                 Rect field_bounds,
+                                 const MiddlewareConfig& config)
+    : mote_(mote),
+      routing_(mote, config.routing),
+      groups_(mote, specs, senses, aggregations, config.group),
+      runtime_(mote, specs, groups_) {
+  runtime_.set_routing(&routing_);
+
+  if (config.enable_directory) {
+    directory_ = std::make_unique<Directory>(mote, routing_, specs,
+                                             field_bounds, config.directory);
+  }
+  if (config.enable_transport) {
+    transport_ = std::make_unique<Transport>(
+        mote, routing_, groups_, runtime_, directory_.get(),
+        config.transport);
+  }
+  if (config.enable_duty_cycle) {
+    duty_cycle_ = std::make_unique<DutyCycleController>(mote, groups_,
+                                                        config.duty_cycle);
+  }
+
+  groups_.set_leader_start(
+      [this](TypeIndex type, LabelId label, const PersistentState& state) {
+        runtime_.on_leader_start(type, label, state);
+        if (directory_) directory_->on_leader_start(type, label);
+      });
+  groups_.set_leader_stop([this](TypeIndex type, LabelId label) {
+    runtime_.on_leader_stop(type, label);
+    if (directory_) directory_->on_leader_stop(type, label);
+  });
+  if (transport_) {
+    groups_.set_leader_observed(
+        [this](TypeIndex type, LabelId label, NodeId leader, Vec2 pos) {
+          transport_->on_leader_observed(type, label, leader, pos);
+        });
+  }
+}
+
+void MiddlewareStack::crash() {
+  groups_.crash();
+  duty_cycle_.reset();  // stop toggling the (now dead) radio
+  mote_.set_down(true);
+}
+
+void MiddlewareStack::ensure_user_consumer() {
+  if (user_consumer_registered_) return;
+  user_consumer_registered_ = true;
+  routing_.on_delivery(
+      radio::MsgType::kUser, [this](const net::RouteEnvelope& envelope) {
+        const auto* payload =
+            static_cast<const UserMessagePayload*>(envelope.inner.get());
+        if (user_handler_) user_handler_(*payload, envelope.origin);
+        for (auto& object : static_objects_) {
+          object->deliver(*payload, envelope.origin);
+        }
+      });
+}
+
+void MiddlewareStack::on_user_message(UserHandler handler) {
+  ensure_user_consumer();
+  user_handler_ = std::move(handler);
+}
+
+StaticObject& MiddlewareStack::add_static_object(StaticObjectSpec spec) {
+  ensure_user_consumer();
+  static_objects_.push_back(
+      std::make_unique<StaticObject>(mote_, &routing_, std::move(spec)));
+  return *static_objects_.back();
+}
+
+}  // namespace et::core

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/app_messages.hpp"
+#include "core/context_runtime.hpp"
+#include "core/directory.hpp"
+#include "core/duty_cycle.hpp"
+#include "core/group_manager.hpp"
+#include "core/static_object.hpp"
+#include "core/transport.hpp"
+#include "net/geo_routing.hpp"
+
+/// The full per-mote EnviroTrack middleware stack.
+///
+/// Assembles and wires the services each sensor node runs: geographic
+/// routing, group management, the tracking-object runtime, the directory,
+/// and MTP. Leadership edges from the group manager fan out to the runtime
+/// (attach/detach objects) and the directory (register/refresh the label);
+/// heartbeat observations feed the transport's last-known-leader table.
+namespace et::core {
+
+struct MiddlewareConfig {
+  GroupConfig group;
+  net::RoutingConfig routing;
+  DirectoryConfig directory;
+  TransportConfig transport;
+  DutyCycleConfig duty_cycle;
+  /// Disable to study the group layer in isolation (saves directory /
+  /// transport traffic).
+  bool enable_directory = true;
+  bool enable_transport = true;
+  /// Sleep the receiver of unengaged motes (energy extension; off by
+  /// default — the paper's prototype keeps radios on).
+  bool enable_duty_cycle = false;
+};
+
+class MiddlewareStack {
+ public:
+  /// Handler for application messages (tracking-object reports) consumed at
+  /// this node — the base-station role.
+  using UserHandler =
+      std::function<void(const UserMessagePayload&, NodeId origin)>;
+
+  MiddlewareStack(node::Mote& mote, const std::vector<ContextTypeSpec>& specs,
+                  const SenseRegistry& senses,
+                  const AggregationRegistry& aggregations, Rect field_bounds,
+                  const MiddlewareConfig& config);
+
+  MiddlewareStack(const MiddlewareStack&) = delete;
+  MiddlewareStack& operator=(const MiddlewareStack&) = delete;
+
+  /// Starts sense polling (and with it the whole protocol machinery).
+  void start() { groups_.start(); }
+
+  /// Failure injection: silences this node entirely.
+  void crash();
+
+  /// Registers the application consumer of kUser envelopes at this node.
+  void on_user_message(UserHandler handler);
+
+  /// Hosts a static object (§3.2) on this node: its timer methods run for
+  /// the node's lifetime and it receives application messages consumed
+  /// here. Returns a stable reference owned by the stack.
+  StaticObject& add_static_object(StaticObjectSpec spec);
+
+  node::Mote& mote() { return mote_; }
+  net::GeoRouting& routing() { return routing_; }
+  GroupManager& groups() { return groups_; }
+  ContextRuntime& runtime() { return runtime_; }
+  Directory* directory() { return directory_.get(); }
+  Transport* transport() { return transport_.get(); }
+  DutyCycleController* duty_cycle() { return duty_cycle_.get(); }
+
+ private:
+  void ensure_user_consumer();
+
+  node::Mote& mote_;
+  net::GeoRouting routing_;
+  GroupManager groups_;
+  ContextRuntime runtime_;
+  std::unique_ptr<Directory> directory_;
+  std::unique_ptr<Transport> transport_;
+  std::unique_ptr<DutyCycleController> duty_cycle_;
+  UserHandler user_handler_;
+  std::vector<std::unique_ptr<StaticObject>> static_objects_;
+  bool user_consumer_registered_ = false;
+};
+
+}  // namespace et::core

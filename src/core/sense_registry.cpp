@@ -1,0 +1,46 @@
+#include "core/sense_registry.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace et::core {
+
+const SensePredicate& SenseRegistry::get(std::string_view name) const {
+  auto it = predicates_.find(name);
+  if (it == predicates_.end()) {
+    std::fprintf(stderr, "SenseRegistry: unknown predicate '%.*s'\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  return it->second;
+}
+
+SensePredicate sense_target(std::string target_type) {
+  return [type = std::move(target_type)](const node::Mote& mote) {
+    return mote.senses(type);
+  };
+}
+
+SensePredicate sense_threshold(std::string channel, double threshold) {
+  return [channel = std::move(channel), threshold](const node::Mote& mote) {
+    return mote.read_sensor(channel) > threshold;
+  };
+}
+
+SensePredicate sense_and(SensePredicate a, SensePredicate b) {
+  return [a = std::move(a), b = std::move(b)](const node::Mote& mote) {
+    return a(mote) && b(mote);
+  };
+}
+
+SensePredicate sense_or(SensePredicate a, SensePredicate b) {
+  return [a = std::move(a), b = std::move(b)](const node::Mote& mote) {
+    return a(mote) || b(mote);
+  };
+}
+
+SensePredicate sense_not(SensePredicate a) {
+  return [a = std::move(a)](const node::Mote& mote) { return !a(mote); };
+}
+
+}  // namespace et::core

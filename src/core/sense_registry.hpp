@@ -1,0 +1,57 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "node/mote.hpp"
+
+/// Registry of sense_e() predicates (§3.1).
+///
+/// Activation conditions in context declarations name boolean functions of
+/// local sensory measurements; "EnviroTrack contains a library of such
+/// functions for the programmer to choose from. New user-defined functions
+/// can be easily added." The registry holds both: built-ins constructed by
+/// the helpers below and arbitrary user lambdas.
+namespace et::core {
+
+using SensePredicate = std::function<bool(const node::Mote&)>;
+
+class SenseRegistry {
+ public:
+  /// Registers (or replaces) a named predicate.
+  void add(std::string name, SensePredicate predicate) {
+    predicates_[std::move(name)] = std::move(predicate);
+  }
+
+  bool contains(std::string_view name) const {
+    return predicates_.find(name) != predicates_.end();
+  }
+
+  /// Looks up a predicate; aborts on unknown names (a spec referencing an
+  /// unregistered function is a programming error caught at install time).
+  const SensePredicate& get(std::string_view name) const;
+
+ private:
+  std::map<std::string, SensePredicate, std::less<>> predicates_;
+};
+
+/// Built-in predicate: the mote's detector for targets of `target_type`
+/// fires (binary-disc sensing model).
+SensePredicate sense_target(std::string target_type);
+
+/// Built-in predicate: scalar `channel` reading exceeds `threshold` —
+/// e.g. sense_fire() = (temperature > 180).
+SensePredicate sense_threshold(std::string channel, double threshold);
+
+/// Conjunction of two predicates — e.g. (temperature > 180) and (light).
+SensePredicate sense_and(SensePredicate a, SensePredicate b);
+
+/// Disjunction — e.g. a target detectable magnetically or acoustically.
+SensePredicate sense_or(SensePredicate a, SensePredicate b);
+
+/// Negation — e.g. deactivation conditions expressed as "no longer ...".
+SensePredicate sense_not(SensePredicate a);
+
+}  // namespace et::core

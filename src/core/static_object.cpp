@@ -1,0 +1,32 @@
+#include "core/static_object.hpp"
+
+namespace et::core {
+
+StaticObject::StaticObject(node::Mote& mote, net::GeoRouting* routing,
+                           StaticObjectSpec spec)
+    : mote_(mote), routing_(routing), spec_(std::move(spec)) {
+  timers_.reserve(spec_.methods.size());
+  for (const StaticObjectSpec::TimerMethod& method : spec_.methods) {
+    const auto* m = &method;
+    timers_.push_back(
+        mote_.every(method.period, method.period, [this, m] {
+          ++invocations_;
+          StaticContext ctx(mote_, routing_);
+          if (m->body) m->body(ctx);
+        }));
+  }
+}
+
+StaticObject::~StaticObject() {
+  for (auto& timer : timers_) timer.cancel();
+}
+
+void StaticObject::deliver(const UserMessagePayload& message,
+                           NodeId origin) {
+  if (!spec_.on_message) return;
+  ++invocations_;
+  StaticContext ctx(mote_, routing_);
+  spec_.on_message(ctx, message, origin);
+}
+
+}  // namespace et::core

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/app_messages.hpp"
+#include "net/geo_routing.hpp"
+#include "node/mote.hpp"
+
+/// Conventional static objects (§3.2).
+///
+/// "For completeness, EnviroTrack also supports conventional static
+/// objects that are not attached to context labels." A static object is
+/// pinned to one mote: its timer methods run for the node's lifetime
+/// (independent of any tracked entity), and it can receive application
+/// messages and send them to other nodes. Base stations, gateways, and
+/// periodic housekeeping are written as static objects.
+namespace et::core {
+
+/// Execution interface handed to static-object methods.
+class StaticContext {
+ public:
+  StaticContext(node::Mote& mote, net::GeoRouting* routing)
+      : mote_(mote), routing_(routing) {}
+
+  NodeId node() const { return mote_.id(); }
+  Vec2 node_position() const { return mote_.position(); }
+  Time now() const { return mote_.now(); }
+
+  /// Local sensing — static objects observe their own locale.
+  double read_sensor(std::string_view channel) const {
+    return mote_.read_sensor(channel);
+  }
+  bool senses(std::string_view type) const { return mote_.senses(type); }
+
+  /// Geo-routed application message to another node.
+  void send_to_node(NodeId dst, std::string tag, std::vector<double> data) {
+    if (!routing_) return;
+    auto payload = std::make_shared<UserMessagePayload>(
+        std::move(tag), LabelId{}, mote_.id(), std::move(data));
+    routing_->send(mote_.medium().position_of(dst), radio::MsgType::kUser,
+                   std::move(payload), dst);
+  }
+
+ private:
+  node::Mote& mote_;
+  net::GeoRouting* routing_;
+};
+
+/// A static object's declaration: named timer methods plus an optional
+/// message handler for kUser envelopes consumed at the hosting node.
+struct StaticObjectSpec {
+  std::string name;
+
+  struct TimerMethod {
+    std::string name;
+    Duration period = Duration::seconds(1);
+    std::function<void(StaticContext&)> body;
+  };
+  std::vector<TimerMethod> methods;
+
+  /// Invoked for every application message consumed at the hosting node.
+  std::function<void(StaticContext&, const UserMessagePayload&,
+                     NodeId origin)>
+      on_message;
+};
+
+/// Runs one static object on its hosting mote. Owned by the middleware
+/// stack; lives as long as the node.
+class StaticObject {
+ public:
+  StaticObject(node::Mote& mote, net::GeoRouting* routing,
+               StaticObjectSpec spec);
+
+  StaticObject(const StaticObject&) = delete;
+  StaticObject& operator=(const StaticObject&) = delete;
+  ~StaticObject();
+
+  const std::string& name() const { return spec_.name; }
+  std::uint64_t invocations() const { return invocations_; }
+
+  /// Message entry point (wired by the stack's kUser consumer).
+  void deliver(const UserMessagePayload& message, NodeId origin);
+
+ private:
+  node::Mote& mote_;
+  net::GeoRouting* routing_;
+  StaticObjectSpec spec_;
+  std::vector<sim::EventHandle> timers_;
+  std::uint64_t invocations_ = 0;
+};
+
+}  // namespace et::core

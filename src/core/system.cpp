@@ -1,0 +1,42 @@
+#include "core/system.hpp"
+
+#include <cassert>
+
+namespace et::core {
+
+EnviroTrackSystem::EnviroTrackSystem(sim::Simulator& sim,
+                                     env::Environment& env,
+                                     const env::Field& field,
+                                     SystemConfig config)
+    : sim_(sim),
+      env_(env),
+      field_(field),
+      config_(config),
+      medium_(sim, config.radio),
+      network_(sim, medium_, env, field, config.cpu),
+      aggregations_(AggregationRegistry::with_builtins()) {}
+
+TypeIndex EnviroTrackSystem::add_context_type(ContextTypeSpec spec) {
+  assert(!started_ && "context types must be declared before start()");
+  specs_.push_back(std::move(spec));
+  return static_cast<TypeIndex>(specs_.size() - 1);
+}
+
+void EnviroTrackSystem::start() {
+  assert(!started_);
+  started_ = true;
+  stacks_.reserve(network_.size());
+  for (std::size_t i = 0; i < network_.size(); ++i) {
+    stacks_.push_back(std::make_unique<MiddlewareStack>(
+        network_.mote(NodeId{i}), specs_, senses_, aggregations_,
+        field_.bounds(), config_.middleware));
+  }
+  for (auto& stack : stacks_) stack->start();
+}
+
+void EnviroTrackSystem::add_group_observer(GroupObserver* observer) {
+  assert(started_);
+  for (auto& stack : stacks_) stack->groups().add_observer(observer);
+}
+
+}  // namespace et::core

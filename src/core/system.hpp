@@ -1,0 +1,83 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/middleware.hpp"
+#include "env/environment.hpp"
+#include "env/field.hpp"
+#include "node/network.hpp"
+#include "radio/medium.hpp"
+#include "sim/simulator.hpp"
+
+/// Deployment-level facade: "the sensor network, with EnviroTrack on it".
+///
+/// This is the library's top-level entry point. A user constructs the
+/// simulator, the environment, and a field layout; registers sense
+/// predicates and (optionally) custom aggregations; declares context types
+/// (directly or via the EnviroTrack language, src/etl); and starts the
+/// system. The facade owns the medium, the mote population, and one
+/// middleware stack per mote.
+namespace et::core {
+
+struct SystemConfig {
+  radio::RadioConfig radio;
+  node::CpuConfig cpu;
+  MiddlewareConfig middleware;
+};
+
+class EnviroTrackSystem {
+ public:
+  EnviroTrackSystem(sim::Simulator& sim, env::Environment& env,
+                    const env::Field& field, SystemConfig config = {});
+
+  EnviroTrackSystem(const EnviroTrackSystem&) = delete;
+  EnviroTrackSystem& operator=(const EnviroTrackSystem&) = delete;
+
+  /// Registries to populate before start(). The aggregation registry comes
+  /// pre-loaded with the built-ins.
+  SenseRegistry& senses() { return senses_; }
+  AggregationRegistry& aggregations() { return aggregations_; }
+
+  /// Declares a context type. All declarations must precede start().
+  /// Returns the type's index.
+  TypeIndex add_context_type(ContextTypeSpec spec);
+
+  /// Installs middleware on every mote and begins operation.
+  void start();
+  bool started() const { return started_; }
+
+  // --- Access ---
+  sim::Simulator& sim() { return sim_; }
+  radio::Medium& medium() { return medium_; }
+  node::MoteNetwork& network() { return network_; }
+  env::Environment& environment() { return env_; }
+  const env::Field& field() const { return field_; }
+  const std::vector<ContextTypeSpec>& specs() const { return specs_; }
+  const SystemConfig& config() const { return config_; }
+
+  MiddlewareStack& stack(NodeId id) { return *stacks_[id.value()]; }
+  std::size_t node_count() const { return network_.size(); }
+
+  /// Subscribes `observer` to group events on every mote (metrics layer).
+  /// Must be called after start().
+  void add_group_observer(GroupObserver* observer);
+
+  /// Failure injection: crash-stops one node.
+  void crash_node(NodeId id) { stacks_[id.value()]->crash(); }
+
+ private:
+  sim::Simulator& sim_;
+  env::Environment& env_;
+  const env::Field& field_;
+  SystemConfig config_;
+  radio::Medium medium_;
+  node::MoteNetwork network_;
+  SenseRegistry senses_;
+  AggregationRegistry aggregations_;
+  std::vector<ContextTypeSpec> specs_;
+  std::vector<std::unique_ptr<MiddlewareStack>> stacks_;
+  bool started_ = false;
+};
+
+}  // namespace et::core

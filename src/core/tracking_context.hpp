@@ -1,0 +1,89 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/aggregation.hpp"
+#include "core/context_type.hpp"
+#include "util/geometry.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+/// The programmer's window into a live context label (§3.2.2).
+///
+/// An instance is handed to every attached-object method invocation. It
+/// exposes the label identity (`self.label` in the language), reads of the
+/// approximate aggregate state under the declared QoS, the committed
+/// persistent state (setState), and communication primitives: sending
+/// application messages to a known node (e.g. the pursuer base station) and
+/// remote method invocation on other context labels via MTP.
+namespace et::core {
+
+class ContextRuntime;  // implementation backend
+
+class TrackingContext {
+ public:
+  TrackingContext(ContextRuntime& runtime, TypeIndex type, LabelId label,
+                  const std::vector<double>* incoming_args,
+                  NodeId incoming_src)
+      : runtime_(runtime),
+        type_(type),
+        label_(label),
+        incoming_args_(incoming_args),
+        incoming_src_(incoming_src) {}
+
+  /// The enclosing context label (`self.label`).
+  LabelId label() const { return label_; }
+  TypeIndex type_index() const { return type_; }
+  std::string_view type_name() const;
+
+  /// The node currently executing the object (the group leader).
+  NodeId node() const;
+  Vec2 node_position() const;
+  Time now() const;
+
+  /// Reads an aggregate state variable under its freshness / critical-mass
+  /// QoS. Null when the siting is not positively confirmed (§3.2.3).
+  std::optional<AggregateValue> read(std::string_view var) const;
+
+  /// Scalar shorthand; null for vector variables or failed reads.
+  std::optional<double> read_scalar(std::string_view var) const;
+  /// Vector shorthand; null for scalar variables or failed reads.
+  std::optional<Vec2> read_vector(std::string_view var) const;
+
+  /// Commits a key to the persistent state that rides in heartbeats so a
+  /// successor leader resumes from it (the paper's setState()).
+  void set_state(const std::string& key, double value);
+  std::optional<double> get_state(std::string_view key) const;
+
+  /// Sends an application message to a fixed node (known at compile time in
+  /// the paper's example — the pursuer). Geo-routed across the field.
+  void send_to_node(NodeId dst, std::string tag, std::vector<double> data);
+
+  /// Remote method invocation on another context label via MTP (§5.4).
+  /// Delivery is best-effort: the transport resolves the destination
+  /// leader via its last-known-leader table, forwarding chains, or the
+  /// directory.
+  void invoke_remote(TypeIndex dst_type, LabelId dst_label, PortId port,
+                     std::vector<double> args);
+
+  /// For message-invoked methods: the arguments and originating context
+  /// leader of the invocation being processed. Empty for timer/condition
+  /// invocations.
+  const std::vector<double>& incoming_args() const {
+    static const std::vector<double> kEmpty;
+    return incoming_args_ ? *incoming_args_ : kEmpty;
+  }
+  NodeId incoming_src() const { return incoming_src_; }
+
+ private:
+  ContextRuntime& runtime_;
+  TypeIndex type_;
+  LabelId label_;
+  const std::vector<double>* incoming_args_;
+  NodeId incoming_src_;
+};
+
+}  // namespace et::core

@@ -1,0 +1,133 @@
+#include "core/transport.hpp"
+
+#include "util/log.hpp"
+
+namespace et::core {
+
+namespace {
+constexpr const char* kComponent = "mtp";
+}
+
+Transport::Transport(node::Mote& mote, net::GeoRouting& routing,
+                     GroupManager& groups, ContextRuntime& runtime,
+                     Directory* directory, TransportConfig config)
+    : mote_(mote),
+      routing_(routing),
+      groups_(groups),
+      runtime_(runtime),
+      directory_(directory),
+      config_(config),
+      leaders_(config.leader_table_capacity) {
+  routing_.on_delivery(radio::MsgType::kMtpData,
+                       [this](const net::RouteEnvelope& envelope) {
+                         handle_delivery(envelope);
+                       });
+  runtime_.set_transport(this);
+}
+
+void Transport::on_leader_observed(TypeIndex type, LabelId label,
+                                   NodeId leader, Vec2 leader_pos) {
+  (void)type;
+  leaders_.put(label, LeaderInfo{leader, leader_pos, mote_.now()});
+}
+
+void Transport::invoke(TypeIndex dst_type, LabelId dst_label, PortId port,
+                       std::vector<double> args, LabelId src_label) {
+  stats_.invocations_sent++;
+  auto payload = std::make_shared<MtpPayload>(
+      src_label, mote_.id(), mote_.position(), dst_type, dst_label, port,
+      std::move(args));
+  resolve_and_send(std::move(payload));
+}
+
+void Transport::resolve_and_send(std::shared_ptr<MtpPayload> payload) {
+  // Local shortcut: we may lead the destination label ourselves.
+  if (groups_.role(payload->dst_type) == Role::kLeader &&
+      groups_.current_label(payload->dst_type) == payload->dst_label) {
+    stats_.delivered++;
+    runtime_.dispatch_port(payload->dst_type, payload->dst_label,
+                           payload->port, payload->args, mote_.id());
+    return;
+  }
+
+  if (const LeaderInfo* info = leaders_.get(payload->dst_label)) {
+    send_to(*info, std::move(payload));
+    return;
+  }
+
+  if (directory_ && config_.directory_fallback) {
+    // First contact: look the label up in the directory object of its
+    // type, then send. Later messages use the (faster) leader table.
+    stats_.directory_lookups++;
+    directory_->query(
+        payload->dst_type,
+        [this, payload](bool ok, const std::vector<DirectoryEntry>& entries) {
+          if (ok) {
+            for (const DirectoryEntry& entry : entries) {
+              if (entry.label == payload->dst_label) {
+                const LeaderInfo info{entry.leader, entry.location,
+                                      mote_.now()};
+                leaders_.put(payload->dst_label, info);
+                send_to(info, payload);
+                return;
+              }
+            }
+          }
+          stats_.dropped_unknown++;
+          ET_DEBUG(kComponent, "node %llu: label %llu unresolvable",
+                   static_cast<unsigned long long>(mote_.id().value()),
+                   static_cast<unsigned long long>(
+                       payload->dst_label.value()));
+        });
+    return;
+  }
+
+  stats_.dropped_unknown++;
+}
+
+void Transport::send_to(const LeaderInfo& info,
+                        std::shared_ptr<MtpPayload> payload) {
+  routing_.send(info.pos, radio::MsgType::kMtpData, std::move(payload),
+                info.node);
+}
+
+void Transport::handle_delivery(const net::RouteEnvelope& envelope) {
+  const auto* incoming =
+      static_cast<const MtpPayload*>(envelope.inner.get());
+
+  // Header piggybacking: learn where the source context's leader is, so
+  // replies skip the directory.
+  if (incoming->src_label.is_valid()) {
+    leaders_.put(incoming->src_label,
+                 LeaderInfo{incoming->src_leader, incoming->src_leader_pos,
+                            mote_.now()});
+  }
+
+  if (groups_.role(incoming->dst_type) == Role::kLeader &&
+      groups_.current_label(incoming->dst_type) == incoming->dst_label) {
+    stats_.delivered++;
+    runtime_.dispatch_port(incoming->dst_type, incoming->dst_label,
+                           incoming->port, incoming->args,
+                           incoming->src_leader);
+    return;
+  }
+
+  // Not (or no longer) the leader: act as a forwarding router along the
+  // chain of past leaders.
+  if (incoming->forwards >= config_.max_forwards) {
+    stats_.dropped_forward_limit++;
+    return;
+  }
+  if (const LeaderInfo* info = leaders_.get(incoming->dst_label)) {
+    if (info->node != mote_.id()) {
+      auto copy = std::make_shared<MtpPayload>(*incoming);
+      copy->forwards = static_cast<std::uint8_t>(incoming->forwards + 1);
+      stats_.forwarded++;
+      send_to(*info, std::move(copy));
+      return;
+    }
+  }
+  stats_.dropped_unknown++;
+}
+
+}  // namespace et::core

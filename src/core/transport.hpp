@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/context_runtime.hpp"
+#include "core/directory.hpp"
+#include "core/group_manager.hpp"
+#include "net/geo_routing.hpp"
+#include "util/lru_map.hpp"
+
+/// The mote transport protocol — MTP (§5.4).
+///
+/// Context labels are akin to IP addresses; the group leader oversees all
+/// communication with the label. Remote method invocation between labels:
+/// the source leader resolves the destination label to a last-known leader
+/// (bounded LRU table, refreshed from headers of incoming traffic and
+/// overheard heartbeats), geo-routes the invocation there, and past leaders
+/// forward along the chain toward the current leader. First contact falls
+/// back to a directory lookup.
+namespace et::core {
+
+struct TransportConfig {
+  /// "Leadership information is retained for as long as possible, given
+  /// limited table sizes. Replacement is done on a least-recently-used
+  /// basis."
+  std::size_t leader_table_capacity = 32;
+  /// Forwarding hops an invocation may take past its first landing point
+  /// before being dropped as undeliverable.
+  std::uint8_t max_forwards = 8;
+  /// Consult the directory when the destination label is unknown.
+  bool directory_fallback = true;
+};
+
+struct TransportStats {
+  std::uint64_t invocations_sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t directory_lookups = 0;
+  std::uint64_t dropped_unknown = 0;
+  std::uint64_t dropped_forward_limit = 0;
+};
+
+/// MTP invocation message (inner payload of kMtpData envelopes).
+class MtpPayload final : public radio::Payload {
+ public:
+  MtpPayload(LabelId src_label, NodeId src_leader, Vec2 src_leader_pos,
+             TypeIndex dst_type, LabelId dst_label, PortId port,
+             std::vector<double> args)
+      : src_label(src_label),
+        src_leader(src_leader),
+        src_leader_pos(src_leader_pos),
+        dst_type(dst_type),
+        dst_label(dst_label),
+        port(port),
+        args(std::move(args)) {}
+
+  std::size_t size_bytes() const override { return 32 + args.size() * 4; }
+
+  LabelId src_label;
+  /// "Each message contains the current leader of the group, so that
+  /// future return messages are forwarded as close to the group as
+  /// possible."
+  NodeId src_leader;
+  Vec2 src_leader_pos;
+  TypeIndex dst_type;
+  LabelId dst_label;
+  PortId port;
+  std::vector<double> args;
+  std::uint8_t forwards = 0;
+};
+
+class Transport {
+ public:
+  Transport(node::Mote& mote, net::GeoRouting& routing, GroupManager& groups,
+            ContextRuntime& runtime, Directory* directory,
+            TransportConfig config = {});
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Invokes `port` on the object attached to `dst_label`. `src_label` is
+  /// the originating context (invalid when called from plain node code).
+  void invoke(TypeIndex dst_type, LabelId dst_label, PortId port,
+              std::vector<double> args, LabelId src_label = LabelId{});
+
+  /// Heartbeat snooping (wired from the GroupManager): every observed
+  /// heartbeat refreshes the last-known-leader table, which is what lets
+  /// past leaders act as forwarding routers after the group moves on.
+  void on_leader_observed(TypeIndex type, LabelId label, NodeId leader,
+                          Vec2 leader_pos);
+
+  /// Last-known leader of a label, if cached.
+  struct LeaderInfo {
+    NodeId node;
+    Vec2 pos;
+    Time at;
+  };
+  const LeaderInfo* known_leader(LabelId label) const {
+    return leaders_.peek(label);
+  }
+
+  const TransportStats& stats() const { return stats_; }
+
+ private:
+  void handle_delivery(const net::RouteEnvelope& envelope);
+  void send_to(const LeaderInfo& info, std::shared_ptr<MtpPayload> payload);
+  void resolve_and_send(std::shared_ptr<MtpPayload> payload);
+
+  node::Mote& mote_;
+  net::GeoRouting& routing_;
+  GroupManager& groups_;
+  ContextRuntime& runtime_;
+  Directory* directory_;
+  TransportConfig config_;
+  LruMap<LabelId, LeaderInfo> leaders_;
+  TransportStats stats_;
+};
+
+}  // namespace et::core

@@ -1,0 +1,88 @@
+#include "env/environment.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace et::env {
+
+Environment::Environment(Rng rng) : rng_(rng) {
+  channels_["magnetic"] = ChannelModel{3.0, 0.1, 0.0, 0.0};
+  channels_["light"] = ChannelModel{2.0, 0.1, 0.0, 0.0};
+  channels_["temperature"] = ChannelModel{2.0, 0.1, 20.0, 0.0};
+}
+
+void Environment::set_channel(std::string name, ChannelModel model) {
+  channels_[std::move(name)] = model;
+}
+
+TargetId Environment::add_target(Target target) {
+  const TargetId id{targets_.size()};
+  target.id = id;
+  assert(target.trajectory != nullptr);
+  targets_.push_back(std::make_unique<Target>(std::move(target)));
+  return id;
+}
+
+void Environment::remove_target_at(TargetId id, Time t) {
+  assert(id.value() < targets_.size());
+  targets_[id.value()]->disappears = t;
+}
+
+const Target& Environment::target(TargetId id) const {
+  assert(id.value() < targets_.size());
+  return *targets_[id.value()];
+}
+
+std::vector<TargetId> Environment::active_targets(Time t) const {
+  std::vector<TargetId> out;
+  for (const auto& tgt : targets_) {
+    if (tgt->active_at(t)) out.push_back(tgt->id);
+  }
+  return out;
+}
+
+std::vector<TargetId> Environment::active_targets_of(std::string_view type,
+                                                     Time t) const {
+  std::vector<TargetId> out;
+  for (const auto& tgt : targets_) {
+    if (tgt->type == type && tgt->active_at(t)) out.push_back(tgt->id);
+  }
+  return out;
+}
+
+bool Environment::senses(std::string_view type, Vec2 pos, Time t) const {
+  for (const auto& tgt : targets_) {
+    if (tgt->type == type && tgt->sensed_from(pos, t)) return true;
+  }
+  return false;
+}
+
+std::vector<TargetId> Environment::sensed_targets(Vec2 pos, Time t) const {
+  std::vector<TargetId> out;
+  for (const auto& tgt : targets_) {
+    if (tgt->sensed_from(pos, t)) out.push_back(tgt->id);
+  }
+  return out;
+}
+
+double Environment::reading(std::string_view channel, Vec2 pos,
+                            Time t) const {
+  auto it = channels_.find(channel);
+  const ChannelModel model =
+      it == channels_.end() ? ChannelModel{} : it->second;
+  double value = model.ambient;
+  for (const auto& tgt : targets_) {
+    if (!tgt->active_at(t)) continue;
+    auto em = tgt->emissions.find(std::string(channel));
+    if (em == tgt->emissions.end()) continue;
+    const double d =
+        std::max(distance(tgt->position_at(t), pos), model.min_distance);
+    value += em->second / std::pow(d, model.falloff);
+  }
+  if (model.noise_stddev > 0.0) {
+    value += rng_.normal(0.0, model.noise_stddev);
+  }
+  return value;
+}
+
+}  // namespace et::env

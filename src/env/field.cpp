@@ -1,0 +1,86 @@
+#include "env/field.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace et::env {
+
+Field::Field(std::vector<Vec2> positions) : positions_(std::move(positions)) {
+  assert(!positions_.empty());
+  Vec2 lo{std::numeric_limits<double>::max(),
+          std::numeric_limits<double>::max()};
+  Vec2 hi{std::numeric_limits<double>::lowest(),
+          std::numeric_limits<double>::lowest()};
+  for (const Vec2& p : positions_) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  bounds_ = Rect{lo, hi};
+}
+
+Field Field::grid(std::size_t rows, std::size_t cols) {
+  assert(rows > 0 && cols > 0);
+  std::vector<Vec2> positions;
+  positions.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      positions.push_back(
+          Vec2{static_cast<double>(c), static_cast<double>(r)});
+    }
+  }
+  return Field(std::move(positions));
+}
+
+Field Field::perturbed_grid(std::size_t rows, std::size_t cols, double jitter,
+                            Rng rng) {
+  assert(rows > 0 && cols > 0);
+  assert(jitter >= 0.0);
+  std::vector<Vec2> positions;
+  positions.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      positions.push_back(Vec2{
+          static_cast<double>(c) + rng.uniform(-jitter, jitter),
+          static_cast<double>(r) + rng.uniform(-jitter, jitter)});
+    }
+  }
+  return Field(std::move(positions));
+}
+
+Field Field::uniform_random(std::size_t count, Rect bounds, Rng rng) {
+  assert(count > 0);
+  std::vector<Vec2> positions;
+  positions.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    positions.push_back(Vec2{rng.uniform(bounds.min.x, bounds.max.x),
+                             rng.uniform(bounds.min.y, bounds.max.y)});
+  }
+  return Field(std::move(positions));
+}
+
+std::vector<NodeId> Field::nodes_within(Vec2 center, double radius) const {
+  std::vector<NodeId> result;
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    if (within_radius(center, positions_[i], radius)) {
+      result.push_back(NodeId{i});
+    }
+  }
+  return result;
+}
+
+NodeId Field::nearest(Vec2 point) const {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    const double d = distance_sq(point, positions_[i]);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return NodeId{best};
+}
+
+}  // namespace et::env

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+/// Mote deployment geometry.
+///
+/// A `Field` is the static layout of the sensor deployment: how many motes,
+/// where each sits, and the field bounds. The paper's case study (§6.1) uses
+/// a rectangular grid with per-hop spacing of one grid unit (140 m at full
+/// scale); ad hoc deployments are modelled by uniform-random or perturbed
+/// placement.
+namespace et::env {
+
+class Field {
+ public:
+  /// Regular rows × cols grid with unit spacing; mote (r, c) sits at
+  /// (c, r). This mirrors the testbed where "motes were put at integer
+  /// (x, y) coordinates".
+  static Field grid(std::size_t rows, std::size_t cols);
+
+  /// Grid with each mote displaced by a uniform offset in
+  /// [-jitter, +jitter] on each axis — a deployment dropped roughly on a
+  /// grid.
+  static Field perturbed_grid(std::size_t rows, std::size_t cols,
+                              double jitter, Rng rng);
+
+  /// `count` motes placed uniformly at random in `bounds` — the paper's
+  /// "dropped randomly over an area" deployment.
+  static Field uniform_random(std::size_t count, Rect bounds, Rng rng);
+
+  std::size_t size() const { return positions_.size(); }
+  Vec2 position(NodeId id) const { return positions_[id.value()]; }
+  const std::vector<Vec2>& positions() const { return positions_; }
+  Rect bounds() const { return bounds_; }
+
+  /// All motes within `radius` of `center` (inclusive). O(n); fields in the
+  /// paper's experiments are a few hundred motes.
+  std::vector<NodeId> nodes_within(Vec2 center, double radius) const;
+
+  /// The mote closest to `point` (ties broken by lowest id). Field must be
+  /// non-empty.
+  NodeId nearest(Vec2 point) const;
+
+ private:
+  explicit Field(std::vector<Vec2> positions);
+
+  std::vector<Vec2> positions_;
+  Rect bounds_;
+};
+
+}  // namespace et::env

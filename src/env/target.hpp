@@ -1,0 +1,82 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "env/trajectory.hpp"
+#include "util/ids.hpp"
+
+/// Physical entities tracked by the sensor network.
+///
+/// A target carries a *type* (matched against context-type activation
+/// conditions: "car", "fire", ...), a motion model, and a sensory signature:
+/// the radius within which motes sense it (the paper's detection radius —
+/// 100 m ≈ 0.7 hop for the T-72 tank) plus per-channel emission strengths
+/// used by scalar sensors (magnetometer, thermometer, ...).
+namespace et::env {
+
+/// How a target's detection radius evolves. Constant for vehicles; growing
+/// for spreading phenomena such as fires.
+class RadiusProfile {
+ public:
+  /// Fixed radius.
+  static RadiusProfile constant(double radius) {
+    return RadiusProfile{radius, 0.0, radius};
+  }
+  /// Radius growing linearly at `rate` grid-units/s from `initial`,
+  /// saturating at `cap`.
+  static RadiusProfile growing(double initial, double rate, double cap) {
+    return RadiusProfile{initial, rate, cap};
+  }
+
+  double at(Time t) const {
+    const double r = initial_ + rate_ * t.to_seconds();
+    return r > cap_ ? cap_ : r;
+  }
+
+ private:
+  RadiusProfile(double initial, double rate, double cap)
+      : initial_(initial), rate_(rate), cap_(cap) {}
+  double initial_;
+  double rate_;
+  double cap_;
+};
+
+struct Target {
+  TargetId id;
+  std::string type;
+  std::unique_ptr<Trajectory> trajectory;
+  RadiusProfile radius = RadiusProfile::constant(1.0);
+
+  /// Emission strength per scalar sensor channel, at distance 1 grid unit.
+  /// E.g. {"magnetic", 40.0} for a tank with 40× the ferrous mass of an
+  /// average vehicle.
+  std::map<std::string, double> emissions;
+
+  /// Targets exist during [appears, disappears). `disappears` of Time::max()
+  /// means the target never leaves the scenario.
+  Time appears = Time::origin();
+  Time disappears = Time::max();
+
+  bool active_at(Time t) const { return t >= appears && t < disappears; }
+
+  /// Trajectory and radius profiles run on the target's *local* clock,
+  /// which starts when it appears: a vehicle entering at t = 60 s starts
+  /// its path then, and a fire ignited at t = 40 s starts growing then.
+  Time local_time(Time t) const {
+    return t >= appears ? Time::origin() + (t - appears) : Time::origin();
+  }
+  Vec2 position_at(Time t) const {
+    return trajectory->position_at(local_time(t));
+  }
+  double radius_at(Time t) const { return radius.at(local_time(t)); }
+
+  /// True when a mote at `pos` senses this target at time `t` (binary-disc
+  /// detection model).
+  bool sensed_from(Vec2 pos, Time t) const {
+    return active_at(t) && within_radius(position_at(t), pos, radius_at(t));
+  }
+};
+
+}  // namespace et::env

@@ -1,0 +1,99 @@
+#include "env/trajectory.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace et::env {
+
+LinearTrajectory::LinearTrajectory(Vec2 from, Vec2 to, double speed)
+    : from_(from), to_(to), speed_(speed) {
+  assert(speed > 0.0);
+  arrival_ = Time::origin() + Duration::seconds(distance(from, to) / speed);
+}
+
+Vec2 LinearTrajectory::position_at(Time t) const {
+  if (t >= arrival_) return to_;
+  if (t <= Time::origin()) return from_;
+  const double frac = (t - Time::origin()).to_seconds() /
+                      (arrival_ - Time::origin()).to_seconds();
+  return lerp(from_, to_, frac);
+}
+
+WaypointTrajectory::WaypointTrajectory(std::vector<Vec2> waypoints,
+                                       double speed)
+    : waypoints_(std::move(waypoints)), speed_(speed) {
+  assert(!waypoints_.empty());
+  assert(speed_ > 0.0);
+  arrivals_.reserve(waypoints_.size());
+  Time t = Time::origin();
+  arrivals_.push_back(t);
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    t += Duration::seconds(distance(waypoints_[i - 1], waypoints_[i]) /
+                           speed_);
+    arrivals_.push_back(t);
+  }
+  arrival_ = t;
+}
+
+Vec2 WaypointTrajectory::position_at(Time t) const {
+  if (t <= arrivals_.front()) return waypoints_.front();
+  if (t >= arrival_) return waypoints_.back();
+  // Find the segment containing t (arrivals_ is sorted).
+  std::size_t hi = 1;
+  while (arrivals_[hi] < t) ++hi;
+  const Time seg_start = arrivals_[hi - 1];
+  const Time seg_end = arrivals_[hi];
+  if (seg_end == seg_start) return waypoints_[hi];
+  const double frac =
+      (t - seg_start).to_seconds() / (seg_end - seg_start).to_seconds();
+  return lerp(waypoints_[hi - 1], waypoints_[hi], frac);
+}
+
+CircularTrajectory::CircularTrajectory(Vec2 center, double radius,
+                                       double speed, double start_angle_rad)
+    : center_(center),
+      radius_(radius),
+      angular_speed_(radius > 0.0 ? speed / radius : 0.0),
+      start_angle_(start_angle_rad) {
+  assert(radius >= 0.0);
+}
+
+Vec2 CircularTrajectory::position_at(Time t) const {
+  const double angle = start_angle_ + angular_speed_ * t.to_seconds();
+  return {center_.x + radius_ * std::cos(angle),
+          center_.y + radius_ * std::sin(angle)};
+}
+
+RandomWalkTrajectory::RandomWalkTrajectory(Rect bounds, Vec2 start,
+                                           double speed, Rng rng)
+    : bounds_(bounds), speed_(speed), rng_(rng) {
+  assert(speed_ > 0.0);
+  points_.push_back(bounds_.clamp(start));
+  arrivals_.push_back(Time::origin());
+}
+
+void RandomWalkTrajectory::extend_to(Time t) const {
+  while (arrivals_.back() < t) {
+    const Vec2 next{rng_.uniform(bounds_.min.x, bounds_.max.x),
+                    rng_.uniform(bounds_.min.y, bounds_.max.y)};
+    const double dist = distance(points_.back(), next);
+    // Skip degenerate hops that would stall the walk.
+    if (dist < 1e-9) continue;
+    arrivals_.push_back(arrivals_.back() + Duration::seconds(dist / speed_));
+    points_.push_back(next);
+  }
+}
+
+Vec2 RandomWalkTrajectory::position_at(Time t) const {
+  if (t <= Time::origin()) return points_.front();
+  extend_to(t);
+  std::size_t hi = 1;
+  while (arrivals_[hi] < t) ++hi;
+  const Time seg_start = arrivals_[hi - 1];
+  const Time seg_end = arrivals_[hi];
+  const double frac =
+      (t - seg_start).to_seconds() / (seg_end - seg_start).to_seconds();
+  return lerp(points_[hi - 1], points_[hi], frac);
+}
+
+}  // namespace et::env

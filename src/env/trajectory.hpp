@@ -1,0 +1,117 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+/// Motion models for physical targets.
+///
+/// A trajectory maps simulated time to a position in field coordinates
+/// (grid units). Speeds are given in grid units (hops) per second — the unit
+/// the paper's §6.2 stress tests use ("maximum trackable speed is 1-3
+/// hops/s").
+namespace et::env {
+
+class Trajectory {
+ public:
+  virtual ~Trajectory() = default;
+
+  /// Position at time `t`. Must be defined for all t >= 0; trajectories
+  /// clamp at their endpoint rather than extrapolate.
+  virtual Vec2 position_at(Time t) const = 0;
+
+  /// True once the motion has reached its terminal point (always false for
+  /// unbounded motions). Used by scenarios to decide when a traverse ends.
+  virtual bool finished(Time t) const = 0;
+};
+
+/// Stands still at a fixed point (e.g. a fire's seat).
+class StationaryTrajectory final : public Trajectory {
+ public:
+  explicit StationaryTrajectory(Vec2 point) : point_(point) {}
+  Vec2 position_at(Time) const override { return point_; }
+  bool finished(Time) const override { return false; }
+
+ private:
+  Vec2 point_;
+};
+
+/// Straight line from `from` to `to` at constant `speed` (grid units per
+/// second), then stops at `to`.
+class LinearTrajectory final : public Trajectory {
+ public:
+  LinearTrajectory(Vec2 from, Vec2 to, double speed);
+
+  Vec2 position_at(Time t) const override;
+  bool finished(Time t) const override { return t >= arrival_; }
+
+  /// Time at which the endpoint is reached.
+  Time arrival_time() const { return arrival_; }
+  double speed() const { return speed_; }
+
+ private:
+  Vec2 from_;
+  Vec2 to_;
+  double speed_;
+  Time arrival_;
+};
+
+/// Piecewise-linear motion through an ordered list of waypoints at constant
+/// speed, stopping at the last.
+class WaypointTrajectory final : public Trajectory {
+ public:
+  /// `waypoints` must contain at least one point; `speed` > 0.
+  WaypointTrajectory(std::vector<Vec2> waypoints, double speed);
+
+  Vec2 position_at(Time t) const override;
+  bool finished(Time t) const override { return t >= arrival_; }
+  Time arrival_time() const { return arrival_; }
+
+ private:
+  std::vector<Vec2> waypoints_;
+  std::vector<Time> arrivals_;  // arrival time at each waypoint
+  double speed_;
+  Time arrival_;
+};
+
+/// Constant-speed circular motion around a center (unbounded).
+class CircularTrajectory final : public Trajectory {
+ public:
+  CircularTrajectory(Vec2 center, double radius, double speed,
+                     double start_angle_rad = 0.0);
+
+  Vec2 position_at(Time t) const override;
+  bool finished(Time) const override { return false; }
+
+ private:
+  Vec2 center_;
+  double radius_;
+  double angular_speed_;  // rad/s
+  double start_angle_;
+};
+
+/// Random walk inside a bounding rectangle: picks a uniformly random
+/// waypoint, moves to it at constant speed, repeats. Segments are generated
+/// lazily but deterministically from the supplied RNG stream.
+class RandomWalkTrajectory final : public Trajectory {
+ public:
+  RandomWalkTrajectory(Rect bounds, Vec2 start, double speed, Rng rng);
+
+  Vec2 position_at(Time t) const override;
+  bool finished(Time) const override { return false; }
+
+ private:
+  /// Extends the precomputed segment list to cover time `t`.
+  void extend_to(Time t) const;
+
+  Rect bounds_;
+  double speed_;
+  mutable Rng rng_;
+  mutable std::vector<Vec2> points_;   // visited waypoints
+  mutable std::vector<Time> arrivals_; // arrival times at points_
+};
+
+}  // namespace et::env

@@ -1,0 +1,47 @@
+#pragma once
+
+/// Umbrella header: the EnviroTrack public API in one include.
+///
+///   #include "envirotrack/envirotrack.hpp"
+///
+/// brings in the deployment facade (core::EnviroTrackSystem), context-type
+/// declarations, the language compiler, the environment/world model, the
+/// metrics suite, and the scenario harnesses. Fine-grained headers remain
+/// available for targeted includes.
+
+// Simulation substrate.
+#include "sim/simulator.hpp"          // IWYU pragma: export
+#include "util/geometry.hpp"          // IWYU pragma: export
+#include "util/ids.hpp"               // IWYU pragma: export
+#include "util/time.hpp"              // IWYU pragma: export
+
+// Physical world.
+#include "env/environment.hpp"        // IWYU pragma: export
+#include "env/field.hpp"              // IWYU pragma: export
+#include "env/target.hpp"             // IWYU pragma: export
+#include "env/trajectory.hpp"         // IWYU pragma: export
+
+// The middleware.
+#include "core/aggregation.hpp"       // IWYU pragma: export
+#include "core/context_type.hpp"      // IWYU pragma: export
+#include "core/directory.hpp"         // IWYU pragma: export
+#include "core/duty_cycle.hpp"        // IWYU pragma: export
+#include "core/group_manager.hpp"     // IWYU pragma: export
+#include "core/sense_registry.hpp"    // IWYU pragma: export
+#include "core/static_object.hpp"     // IWYU pragma: export
+#include "core/system.hpp"            // IWYU pragma: export
+#include "core/tracking_context.hpp"  // IWYU pragma: export
+#include "core/transport.hpp"         // IWYU pragma: export
+
+// The language.
+#include "etl/compiler.hpp"           // IWYU pragma: export
+#include "etl/format.hpp"             // IWYU pragma: export
+#include "etl/parser.hpp"             // IWYU pragma: export
+
+// Instrumentation.
+#include "metrics/channel_report.hpp" // IWYU pragma: export
+#include "metrics/coherence.hpp"      // IWYU pragma: export
+#include "metrics/energy.hpp"         // IWYU pragma: export
+#include "metrics/event_log.hpp"      // IWYU pragma: export
+#include "metrics/trace.hpp"          // IWYU pragma: export
+#include "metrics/track_recorder.hpp" // IWYU pragma: export

@@ -1,0 +1,184 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+/// Abstract syntax of the EnviroTrack language (Appendix A).
+namespace et::etl {
+
+// --- Expressions -----------------------------------------------------------
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+enum class UnaryOp { kNeg, kNot };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A numeric literal.
+struct NumberExpr {
+  double value;
+};
+
+/// A string literal (arguments to log()/state()).
+struct StringExpr {
+  std::string value;
+};
+
+/// true / false.
+struct BoolExpr {
+  bool value;
+};
+
+/// A bare identifier. Meaning is resolved by context at compile time:
+/// inside activation conditions it names a sensor channel or sense
+/// function; inside object bodies it names an aggregate state variable or
+/// a method parameter.
+struct IdentExpr {
+  std::string name;
+};
+
+/// A call: sense functions in activation conditions
+/// (magnetic_sensor_reading()) and the built-ins state("key"), now().
+struct CallExpr {
+  std::string callee;
+  std::vector<ExprPtr> args;
+};
+
+/// self.<member>: self.label, self.x, self.y.
+struct SelfExpr {
+  std::string member;
+};
+
+struct UnaryExpr {
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+struct BinaryExpr {
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct Expr {
+  /// Exactly one alternative is set.
+  std::optional<NumberExpr> number;
+  std::optional<StringExpr> string;
+  std::optional<BoolExpr> boolean;
+  std::optional<IdentExpr> ident;
+  std::optional<CallExpr> call;
+  std::optional<SelfExpr> self;
+  std::optional<UnaryExpr> unary;
+  std::optional<BinaryExpr> binary;
+  int line = 0;
+};
+
+// --- Statements --------------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// send(destination, arg, ...): ship a report to a named node (resolved at
+/// compile time, like the paper's compile-time pursuer identity).
+struct SendStmt {
+  std::string destination;
+  std::vector<ExprPtr> args;
+};
+
+/// log("message", expr...): diagnostic output through a compile-time hook.
+struct LogStmt {
+  std::vector<ExprPtr> args;
+};
+
+/// setState("key", expr): commit persistent context state (rides in
+/// heartbeats, survives leader handoff).
+struct SetStateStmt {
+  std::string key;
+  ExprPtr value;
+};
+
+/// if (cond) { ... } [else { ... }]
+struct IfStmt {
+  ExprPtr condition;
+  std::vector<StmtPtr> then_body;
+  std::vector<StmtPtr> else_body;
+};
+
+struct Stmt {
+  std::optional<SendStmt> send;
+  std::optional<LogStmt> log;
+  std::optional<SetStateStmt> set_state;
+  std::optional<IfStmt> if_stmt;
+  int line = 0;
+};
+
+// --- Declarations -------------------------------------------------------------
+
+/// One aggregate variable:
+///   location : avg(position) confidence=2, freshness=1s;
+struct AggVarDecl {
+  std::string name;
+  std::string aggregation;
+  std::vector<std::string> sensors;  // grammar allows a list; first is used
+  std::optional<double> confidence;  // critical mass N_e
+  std::optional<Duration> freshness; // L_e
+  int line = 0;
+};
+
+/// How a method is invoked.
+struct InvocationDecl {
+  enum class Kind {
+    kTimer,      // TIMER(p)
+    kCondition,  // when (expr)
+    kMessage     // message: a transport port, run on remote invocation
+  };
+  Kind kind = Kind::kTimer;
+  Duration period;   // kTimer
+  ExprPtr condition; // kCondition
+};
+
+struct MethodDecl {
+  std::string name;
+  InvocationDecl invocation;
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+struct ObjectDecl {
+  std::string name;
+  std::vector<MethodDecl> methods;
+  int line = 0;
+};
+
+struct ContextDecl {
+  std::string name;
+  ExprPtr activation;
+  ExprPtr deactivation;  // optional extension
+  std::vector<AggVarDecl> variables;
+  std::vector<ObjectDecl> objects;
+  int line = 0;
+};
+
+struct Program {
+  std::vector<ContextDecl> contexts;
+};
+
+}  // namespace et::etl

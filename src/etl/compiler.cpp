@@ -1,0 +1,455 @@
+#include "etl/compiler.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <set>
+
+#include "core/tracking_context.hpp"
+#include "etl/eval.hpp"
+#include "etl/parser.hpp"
+#include "util/log.hpp"
+
+namespace et::etl {
+
+namespace {
+
+Error semantic_error(int line, const std::string& message) {
+  char prefix[32];
+  std::snprintf(prefix, sizeof(prefix), "line %d: ", line);
+  return Error{"semantic-error", prefix + message};
+}
+
+/// Shared compile-time context captured by all emitted closures.
+struct CompiledUnit {
+  Program program;  // owns every Expr/Stmt the closures point into
+  CompileOptions options;
+  const core::SenseRegistry* senses = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Activation-condition environment: names resolve against a mote's sensors.
+// ---------------------------------------------------------------------------
+
+EvalHooks sense_hooks(const node::Mote& mote, const CompiledUnit& unit) {
+  EvalHooks hooks;
+  hooks.ident = [&mote](const std::string& name) {
+    // A bare identifier in an activation condition reads the sensor
+    // channel, e.g. (temperature > 180).
+    return Value::of(mote.read_sensor(name));
+  };
+  hooks.call = [&mote, &unit](const std::string& callee,
+                              const std::vector<Value>&) {
+    // Calls name registered sense_e() predicates, e.g.
+    // magnetic_sensor_reading().
+    return Value::of(unit.senses->get(callee)(mote));
+  };
+  return hooks;
+}
+
+// ---------------------------------------------------------------------------
+// Object-body environment: names resolve against the live TrackingContext.
+// ---------------------------------------------------------------------------
+
+EvalHooks body_hooks(core::TrackingContext& ctx) {
+  EvalHooks hooks;
+  hooks.ident = [&ctx](const std::string& name) {
+    // Aggregate state variable read under its declared QoS.
+    auto value = ctx.read(name);
+    if (!value) return Value::null();
+    return value->kind == core::AggregateValue::Kind::kVector
+               ? Value::of(value->vector)
+               : Value::of(value->scalar);
+  };
+  hooks.call = [&ctx](const std::string& callee,
+                      const std::vector<Value>& args) {
+    if (callee == "state" && args.size() == 1 && args[0].is_string()) {
+      auto value = ctx.get_state(args[0].string());
+      return value ? Value::of(*value) : Value::null();
+    }
+    if (callee == "now" && args.empty()) {
+      return Value::of(ctx.now().to_seconds());
+    }
+    if (callee == "arg" && args.size() == 1 && args[0].is_number()) {
+      // Message-invoked methods: the invocation's positional arguments.
+      const auto index = static_cast<std::size_t>(args[0].number());
+      const auto& incoming = ctx.incoming_args();
+      return index < incoming.size() ? Value::of(incoming[index])
+                                     : Value::null();
+    }
+    return Value::null();
+  };
+  hooks.self_member = [&ctx](const std::string& member) {
+    if (member == "label") return Value::of(ctx.label());
+    if (member == "x") return Value::of(ctx.node_position().x);
+    if (member == "y") return Value::of(ctx.node_position().y);
+    if (member == "type") return Value::of(std::string(ctx.type_name()));
+    return Value::null();
+  };
+  return hooks;
+}
+
+// ---------------------------------------------------------------------------
+// Statement execution
+// ---------------------------------------------------------------------------
+
+void exec_stmts(const std::vector<StmtPtr>& stmts, core::TrackingContext& ctx,
+                const CompiledUnit& unit, const std::string& method_name);
+
+void exec_stmt(const Stmt& stmt, core::TrackingContext& ctx,
+               const CompiledUnit& unit, const std::string& method_name) {
+  const EvalHooks hooks = body_hooks(ctx);
+
+  if (stmt.send) {
+    // send(dest, self.label, location, ...): labels ride in the message
+    // header; vectors flatten to (x, y); null arguments abort the send —
+    // an unconfirmed siting is not reported.
+    auto dest = unit.options.destinations.find(stmt.send->destination);
+    if (dest == unit.options.destinations.end()) return;  // checked at compile
+    std::vector<double> data;
+    for (const ExprPtr& arg : stmt.send->args) {
+      const Value value = eval_expr(*arg, hooks);
+      if (value.is_null()) return;
+      if (value.is_number()) {
+        data.push_back(value.number());
+      } else if (value.is_vector()) {
+        data.push_back(value.vector().x);
+        data.push_back(value.vector().y);
+      }
+      // Labels and strings are carried by the envelope/tag, not the data.
+    }
+    ctx.send_to_node(dest->second, method_name, std::move(data));
+    return;
+  }
+
+  if (stmt.log) {
+    std::string line;
+    for (const ExprPtr& arg : stmt.log->args) {
+      if (!line.empty()) line += " ";
+      line += eval_expr(*arg, hooks).to_string();
+    }
+    if (unit.options.log_sink) {
+      unit.options.log_sink(line);
+    } else {
+      ET_INFO("etl", "%s", line.c_str());
+    }
+    return;
+  }
+
+  if (stmt.set_state) {
+    const Value value = eval_expr(*stmt.set_state->value, hooks);
+    if (value.is_number()) {
+      ctx.set_state(stmt.set_state->key, value.number());
+    }
+    return;
+  }
+
+  if (stmt.if_stmt) {
+    if (eval_expr(*stmt.if_stmt->condition, hooks).truthy()) {
+      exec_stmts(stmt.if_stmt->then_body, ctx, unit, method_name);
+    } else {
+      exec_stmts(stmt.if_stmt->else_body, ctx, unit, method_name);
+    }
+    return;
+  }
+}
+
+void exec_stmts(const std::vector<StmtPtr>& stmts, core::TrackingContext& ctx,
+                const CompiledUnit& unit, const std::string& method_name) {
+  for (const StmtPtr& stmt : stmts) {
+    exec_stmt(*stmt, ctx, unit, method_name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Semantic validation
+// ---------------------------------------------------------------------------
+
+/// Checks an expression used in an activation condition: idents are sensor
+/// channels (always allowed), calls must name registered sense functions,
+/// self/state are meaningless outside object bodies.
+std::optional<Error> validate_sense_expr(const Expr& expr,
+                                         const core::SenseRegistry& senses) {
+  if (expr.self) {
+    return semantic_error(expr.line,
+                          "'self' is not available in sensing conditions");
+  }
+  if (expr.call) {
+    if (!senses.contains(expr.call->callee)) {
+      return semantic_error(expr.line, "unknown sense function '" +
+                                           expr.call->callee + "()'");
+    }
+    if (!expr.call->args.empty()) {
+      return semantic_error(expr.line, "sense functions take no arguments");
+    }
+    return std::nullopt;
+  }
+  if (expr.unary) return validate_sense_expr(*expr.unary->operand, senses);
+  if (expr.binary) {
+    if (auto err = validate_sense_expr(*expr.binary->lhs, senses)) return err;
+    return validate_sense_expr(*expr.binary->rhs, senses);
+  }
+  return std::nullopt;
+}
+
+/// Checks an expression used in an object body against the declared
+/// aggregate variables.
+std::optional<Error> validate_body_expr(const Expr& expr,
+                                        const std::set<std::string>& vars) {
+  if (expr.ident) {
+    if (!vars.count(expr.ident->name)) {
+      return semantic_error(expr.line, "unknown aggregate variable '" +
+                                           expr.ident->name + "'");
+    }
+    return std::nullopt;
+  }
+  if (expr.call) {
+    const std::string& callee = expr.call->callee;
+    if (callee == "state") {
+      if (expr.call->args.size() != 1 || !(*expr.call->args[0]).string) {
+        return semantic_error(expr.line,
+                              "state(...) takes one string argument");
+      }
+      return std::nullopt;
+    }
+    if (callee == "now") {
+      if (!expr.call->args.empty()) {
+        return semantic_error(expr.line, "now() takes no arguments");
+      }
+      return std::nullopt;
+    }
+    if (callee == "arg") {
+      if (expr.call->args.size() != 1 || !(*expr.call->args[0]).number) {
+        return semantic_error(expr.line,
+                              "arg(...) takes one numeric index");
+      }
+      return std::nullopt;
+    }
+    return semantic_error(expr.line,
+                          "unknown function '" + callee +
+                              "' in object body (expected state/now/arg)");
+  }
+  if (expr.self) {
+    const std::string& member = expr.self->member;
+    if (member != "label" && member != "x" && member != "y" &&
+        member != "type") {
+      return semantic_error(expr.line, "unknown self member '" + member +
+                                           "' (label/x/y/type)");
+    }
+    return std::nullopt;
+  }
+  if (expr.unary) return validate_body_expr(*expr.unary->operand, vars);
+  if (expr.binary) {
+    if (auto err = validate_body_expr(*expr.binary->lhs, vars)) return err;
+    return validate_body_expr(*expr.binary->rhs, vars);
+  }
+  return std::nullopt;
+}
+
+std::optional<Error> validate_stmts(const std::vector<StmtPtr>& stmts,
+                                    const std::set<std::string>& vars,
+                                    const CompileOptions& options);
+
+std::optional<Error> validate_stmt(const Stmt& stmt,
+                                   const std::set<std::string>& vars,
+                                   const CompileOptions& options) {
+  if (stmt.send) {
+    if (!options.destinations.count(stmt.send->destination)) {
+      return semantic_error(stmt.line,
+                            "unknown send destination '" +
+                                stmt.send->destination +
+                                "' (declare it in CompileOptions)");
+    }
+    for (const ExprPtr& arg : stmt.send->args) {
+      if (auto err = validate_body_expr(*arg, vars)) return err;
+    }
+    return std::nullopt;
+  }
+  if (stmt.log) {
+    for (const ExprPtr& arg : stmt.log->args) {
+      if (auto err = validate_body_expr(*arg, vars)) return err;
+    }
+    return std::nullopt;
+  }
+  if (stmt.set_state) {
+    return validate_body_expr(*stmt.set_state->value, vars);
+  }
+  if (stmt.if_stmt) {
+    if (auto err = validate_body_expr(*stmt.if_stmt->condition, vars)) {
+      return err;
+    }
+    if (auto err = validate_stmts(stmt.if_stmt->then_body, vars, options)) {
+      return err;
+    }
+    return validate_stmts(stmt.if_stmt->else_body, vars, options);
+  }
+  return std::nullopt;
+}
+
+std::optional<Error> validate_stmts(const std::vector<StmtPtr>& stmts,
+                                    const std::set<std::string>& vars,
+                                    const CompileOptions& options) {
+  for (const StmtPtr& stmt : stmts) {
+    if (auto err = validate_stmt(*stmt, vars, options)) return err;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Expected<std::vector<core::ContextTypeSpec>> compile(
+    Program program, core::SenseRegistry& senses,
+    const core::AggregationRegistry& aggregations,
+    const CompileOptions& options) {
+  auto unit = std::make_shared<CompiledUnit>();
+  unit->program = std::move(program);
+  unit->options = options;
+  unit->senses = &senses;
+
+  std::vector<core::ContextTypeSpec> specs;
+  std::set<std::string> context_names;
+
+  for (const ContextDecl& context : unit->program.contexts) {
+    if (!context_names.insert(context.name).second) {
+      return semantic_error(context.line,
+                            "duplicate context type '" + context.name + "'");
+    }
+
+    core::ContextTypeSpec spec;
+    spec.name = context.name;
+
+    // Activation / deactivation predicates.
+    if (auto err = validate_sense_expr(*context.activation, senses)) {
+      return *err;
+    }
+    const std::string activation_name = "__" + context.name + "_activation";
+    const Expr* activation_expr = context.activation.get();
+    senses.add(activation_name,
+               [unit, activation_expr](const node::Mote& mote) {
+                 return eval_expr(*activation_expr, sense_hooks(mote, *unit))
+                     .truthy();
+               });
+    spec.activation = activation_name;
+
+    if (context.deactivation) {
+      if (auto err = validate_sense_expr(*context.deactivation, senses)) {
+        return *err;
+      }
+      const std::string deactivation_name =
+          "__" + context.name + "_deactivation";
+      const Expr* deactivation_expr = context.deactivation.get();
+      senses.add(deactivation_name,
+                 [unit, deactivation_expr](const node::Mote& mote) {
+                   return eval_expr(*deactivation_expr,
+                                    sense_hooks(mote, *unit))
+                       .truthy();
+                 });
+      spec.deactivation = deactivation_name;
+    }
+
+    // Aggregate variables.
+    std::set<std::string> var_names;
+    for (const AggVarDecl& var : context.variables) {
+      if (!var_names.insert(var.name).second) {
+        return semantic_error(var.line, "duplicate aggregate variable '" +
+                                            var.name + "'");
+      }
+      if (!aggregations.contains(var.aggregation)) {
+        return semantic_error(var.line, "unknown aggregation function '" +
+                                            var.aggregation + "'");
+      }
+      core::AggregateVarSpec var_spec;
+      var_spec.name = var.name;
+      var_spec.aggregation = var.aggregation;
+      var_spec.sensor = var.sensors.front();
+      if (var.freshness) {
+        if (!var.freshness->is_positive()) {
+          return semantic_error(var.line, "freshness must be positive");
+        }
+        var_spec.freshness = *var.freshness;
+      } else {
+        var_spec.freshness = options.default_freshness;
+      }
+      if (var.confidence) {
+        if (*var.confidence < 1.0 ||
+            *var.confidence != std::floor(*var.confidence)) {
+          return semantic_error(var.line,
+                                "confidence must be a positive integer");
+        }
+        var_spec.critical_mass = static_cast<std::size_t>(*var.confidence);
+      } else {
+        var_spec.critical_mass = options.default_confidence;
+      }
+      spec.variables.push_back(std::move(var_spec));
+    }
+
+    // Attached objects.
+    std::set<std::string> object_names;
+    for (const ObjectDecl& object : context.objects) {
+      if (!object_names.insert(object.name).second) {
+        return semantic_error(object.line,
+                              "duplicate object '" + object.name + "'");
+      }
+      core::ObjectSpec object_spec;
+      object_spec.name = object.name;
+
+      std::set<std::string> method_names;
+      for (const MethodDecl& method : object.methods) {
+        if (!method_names.insert(method.name).second) {
+          return semantic_error(method.line,
+                                "duplicate method '" + method.name + "'");
+        }
+        if (auto err = validate_stmts(method.body, var_names, options)) {
+          return *err;
+        }
+
+        core::MethodSpec method_spec;
+        method_spec.name = method.name;
+        if (method.invocation.kind == InvocationDecl::Kind::kTimer) {
+          if (!method.invocation.period.is_positive()) {
+            return semantic_error(method.line,
+                                  "TIMER period must be positive");
+          }
+          method_spec.invocation.kind = core::InvocationSpec::Kind::kTimer;
+          method_spec.invocation.period = method.invocation.period;
+        } else if (method.invocation.kind == InvocationDecl::Kind::kMessage) {
+          method_spec.invocation.kind = core::InvocationSpec::Kind::kMessage;
+        } else {
+          if (auto err = validate_body_expr(*method.invocation.condition,
+                                            var_names)) {
+            return *err;
+          }
+          method_spec.invocation.kind =
+              core::InvocationSpec::Kind::kCondition;
+          const Expr* condition = method.invocation.condition.get();
+          method_spec.invocation.condition =
+              [unit, condition](core::TrackingContext& ctx) {
+                return eval_expr(*condition, body_hooks(ctx)).truthy();
+              };
+        }
+
+        const std::vector<StmtPtr>* body = &method.body;
+        method_spec.body = [unit, body,
+                            name = method.name](core::TrackingContext& ctx) {
+          exec_stmts(*body, ctx, *unit, name);
+        };
+        object_spec.methods.push_back(std::move(method_spec));
+      }
+      spec.objects.push_back(std::move(object_spec));
+    }
+
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+Expected<std::vector<core::ContextTypeSpec>> compile_source(
+    std::string_view source, core::SenseRegistry& senses,
+    const core::AggregationRegistry& aggregations,
+    const CompileOptions& options) {
+  auto program = parse(source);
+  if (!program.ok()) return program.error();
+  return compile(std::move(program).value(), senses, aggregations, options);
+}
+
+}  // namespace et::etl

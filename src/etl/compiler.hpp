@@ -1,0 +1,54 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/aggregation.hpp"
+#include "core/context_type.hpp"
+#include "core/sense_registry.hpp"
+#include "etl/ast.hpp"
+#include "util/expected.hpp"
+
+/// Compiles EnviroTrack-language programs to runtime ContextTypeSpecs.
+///
+/// The paper's preprocessor "patches a set of NesC program templates" and
+/// replaces aggregate-variable references with middleware calls; this
+/// compiler does the same against the C++ middleware: activation conditions
+/// become registered sense predicates, QoS attributes land in the variable
+/// specs, and object bodies become interpreter closures over the live
+/// TrackingContext.
+namespace et::etl {
+
+struct CompileOptions {
+  /// Resolution of send() destinations — the paper's example "assumes the
+  /// identity of the pursuer is known at compile time".
+  std::map<std::string, NodeId> destinations;
+  /// Receives log() output; default prints via the logging subsystem.
+  std::function<void(const std::string& line)> log_sink;
+  /// Defaults for omitted QoS attributes.
+  Duration default_freshness = Duration::seconds(1);
+  std::size_t default_confidence = 1;
+};
+
+/// Compiles a parsed program; takes ownership of the AST (the emitted
+/// closures reference it). Synthesized activation/deactivation predicates
+/// are registered into `senses` under "__<context>_activation" /
+/// "__<context>_deactivation"; sense functions called by activation
+/// conditions must already be registered. Fails with a diagnostic on
+/// semantic errors: unknown aggregation or sense function, unknown send
+/// destination, body references to undeclared aggregate variables, bad
+/// attribute values, duplicate names.
+Expected<std::vector<core::ContextTypeSpec>> compile(
+    Program program, core::SenseRegistry& senses,
+    const core::AggregationRegistry& aggregations,
+    const CompileOptions& options = {});
+
+/// Convenience: parse + compile.
+Expected<std::vector<core::ContextTypeSpec>> compile_source(
+    std::string_view source, core::SenseRegistry& senses,
+    const core::AggregationRegistry& aggregations,
+    const CompileOptions& options = {});
+
+}  // namespace et::etl

@@ -1,0 +1,122 @@
+#include "etl/eval.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace et::etl {
+
+std::string Value::to_string() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kNumber: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", number_);
+      return buf;
+    }
+    case Kind::kString:
+      return string_;
+    case Kind::kVector:
+      return vector_.to_string();
+    case Kind::kLabel:
+      return "label:" + label_.to_string();
+  }
+  return "?";
+}
+
+namespace {
+
+Value numeric_binary(BinaryOp op, const Value& lhs, const Value& rhs) {
+  if (!lhs.is_number() || !rhs.is_number()) return Value::null();
+  const double a = lhs.number();
+  const double b = rhs.number();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value::of(a + b);
+    case BinaryOp::kSub:
+      return Value::of(a - b);
+    case BinaryOp::kMul:
+      return Value::of(a * b);
+    case BinaryOp::kDiv:
+      return b == 0.0 ? Value::null() : Value::of(a / b);
+    case BinaryOp::kEq:
+      return Value::of(a == b);
+    case BinaryOp::kNe:
+      return Value::of(a != b);
+    case BinaryOp::kLt:
+      return Value::of(a < b);
+    case BinaryOp::kLe:
+      return Value::of(a <= b);
+    case BinaryOp::kGt:
+      return Value::of(a > b);
+    case BinaryOp::kGe:
+      return Value::of(a >= b);
+    default:
+      return Value::null();
+  }
+}
+
+}  // namespace
+
+Value eval_expr(const Expr& expr, const EvalHooks& hooks) {
+  if (expr.number) return Value::of(expr.number->value);
+  if (expr.string) return Value::of(expr.string->value);
+  if (expr.boolean) return Value::of(expr.boolean->value);
+  if (expr.ident) {
+    return hooks.ident ? hooks.ident(expr.ident->name) : Value::null();
+  }
+  if (expr.self) {
+    return hooks.self_member ? hooks.self_member(expr.self->member)
+                             : Value::null();
+  }
+  if (expr.call) {
+    if (!hooks.call) return Value::null();
+    std::vector<Value> args;
+    args.reserve(expr.call->args.size());
+    for (const ExprPtr& arg : expr.call->args) {
+      args.push_back(eval_expr(*arg, hooks));
+    }
+    return hooks.call(expr.call->callee, args);
+  }
+  if (expr.unary) {
+    const Value operand = eval_expr(*expr.unary->operand, hooks);
+    switch (expr.unary->op) {
+      case UnaryOp::kNeg:
+        return operand.is_number() ? Value::of(-operand.number())
+                                   : Value::null();
+      case UnaryOp::kNot:
+        return Value::of(!operand.truthy());
+    }
+    return Value::null();
+  }
+  if (expr.binary) {
+    const BinaryExpr& binary = *expr.binary;
+    // Logical operators short-circuit on truthiness.
+    if (binary.op == BinaryOp::kAnd) {
+      const Value lhs = eval_expr(*binary.lhs, hooks);
+      if (!lhs.truthy()) return Value::of(false);
+      return Value::of(eval_expr(*binary.rhs, hooks).truthy());
+    }
+    if (binary.op == BinaryOp::kOr) {
+      const Value lhs = eval_expr(*binary.lhs, hooks);
+      if (lhs.truthy()) return Value::of(true);
+      return Value::of(eval_expr(*binary.rhs, hooks).truthy());
+    }
+    const Value lhs = eval_expr(*binary.lhs, hooks);
+    const Value rhs = eval_expr(*binary.rhs, hooks);
+    // String equality is supported; everything else is numeric.
+    if (lhs.is_string() && rhs.is_string()) {
+      if (binary.op == BinaryOp::kEq) {
+        return Value::of(lhs.string() == rhs.string());
+      }
+      if (binary.op == BinaryOp::kNe) {
+        return Value::of(lhs.string() != rhs.string());
+      }
+      return Value::null();
+    }
+    return numeric_binary(binary.op, lhs, rhs);
+  }
+  return Value::null();
+}
+
+}  // namespace et::etl

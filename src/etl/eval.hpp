@@ -1,0 +1,33 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "etl/ast.hpp"
+#include "etl/value.hpp"
+
+/// Expression evaluation, parameterized over an environment.
+///
+/// The same expression grammar appears in two environments with different
+/// name resolution: activation conditions run against a mote's sensors,
+/// object bodies run against a live context label's aggregate state. The
+/// hooks below abstract the difference.
+namespace et::etl {
+
+struct EvalHooks {
+  /// Resolves a bare identifier (sensor channel or aggregate variable).
+  std::function<Value(const std::string& name)> ident;
+  /// Resolves a call (sense function, state("key"), now(), ...).
+  std::function<Value(const std::string& callee,
+                      const std::vector<Value>& args)>
+      call;
+  /// Resolves self.<member> (label, x, y); null outside object bodies.
+  std::function<Value(const std::string& member)> self_member;
+};
+
+/// Evaluates `expr`. Null operands propagate: arithmetic or comparison with
+/// a null yields null; `and`/`or` use truthiness with short-circuiting;
+/// `not null` is true (null is falsy).
+Value eval_expr(const Expr& expr, const EvalHooks& hooks);
+
+}  // namespace et::etl

@@ -1,0 +1,233 @@
+#include "etl/format.hpp"
+
+#include <cstdio>
+
+namespace et::etl {
+
+namespace {
+
+/// Operator precedence levels matching the parser's grammar (higher binds
+/// tighter). Used to parenthesize only where necessary.
+int precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr:
+      return 1;
+    case BinaryOp::kAnd:
+      return 2;
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return 3;
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+      return 4;
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+      return 5;
+  }
+  return 0;
+}
+
+const char* op_token(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr:
+      return "or";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kEq:
+      return "==";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+std::string number_text(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+std::string duration_text(Duration d) {
+  const std::int64_t us = d.to_micros();
+  if (us % 1'000'000 == 0) return std::to_string(us / 1'000'000) + "s";
+  if (us % 1'000 == 0) return std::to_string(us / 1'000) + "ms";
+  return std::to_string(us) + "us";
+}
+
+/// Formats `expr`, parenthesizing it when its precedence is below
+/// `min_prec` (the binding strength of the enclosing operator position).
+std::string expr_text(const Expr& expr, int min_prec) {
+  if (expr.number) return number_text(expr.number->value);
+  if (expr.string) return "\"" + expr.string->value + "\"";
+  if (expr.boolean) return expr.boolean->value ? "true" : "false";
+  if (expr.ident) return expr.ident->name;
+  if (expr.self) return "self." + expr.self->member;
+  if (expr.call) {
+    std::string out = expr.call->callee + "(";
+    bool first = true;
+    for (const ExprPtr& arg : expr.call->args) {
+      if (!first) out += ", ";
+      first = false;
+      out += expr_text(*arg, 0);
+    }
+    return out + ")";
+  }
+  if (expr.unary) {
+    const char* prefix = expr.unary->op == UnaryOp::kNot ? "not " : "-";
+    // Unary binds tighter than every binary operator.
+    return std::string(prefix) + expr_text(*expr.unary->operand, 6);
+  }
+  if (expr.binary) {
+    const int prec = precedence(expr.binary->op);
+    // Left-associative: the right operand needs strictly higher binding.
+    std::string out = expr_text(*expr.binary->lhs, prec);
+    out += " ";
+    out += op_token(expr.binary->op);
+    out += " ";
+    out += expr_text(*expr.binary->rhs, prec + 1);
+    if (prec < min_prec) return "(" + out + ")";
+    return out;
+  }
+  return "<?>";
+}
+
+void format_stmts(const std::vector<StmtPtr>& stmts, int indent,
+                  std::string& out);
+
+void format_stmt(const Stmt& stmt, int indent, std::string& out) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  if (stmt.send) {
+    out += pad + "send(" + stmt.send->destination;
+    for (const ExprPtr& arg : stmt.send->args) {
+      out += ", " + expr_text(*arg, 0);
+    }
+    out += ");\n";
+    return;
+  }
+  if (stmt.log) {
+    out += pad + "log(";
+    bool first = true;
+    for (const ExprPtr& arg : stmt.log->args) {
+      if (!first) out += ", ";
+      first = false;
+      out += expr_text(*arg, 0);
+    }
+    out += ");\n";
+    return;
+  }
+  if (stmt.set_state) {
+    out += pad + "setState(\"" + stmt.set_state->key + "\", " +
+           expr_text(*stmt.set_state->value, 0) + ");\n";
+    return;
+  }
+  if (stmt.if_stmt) {
+    out += pad + "if (" + expr_text(*stmt.if_stmt->condition, 0) + ") {\n";
+    format_stmts(stmt.if_stmt->then_body, indent + 2, out);
+    const auto& else_body = stmt.if_stmt->else_body;
+    // Re-sugar a single nested if back into an `else if` chain.
+    if (else_body.size() == 1 && else_body[0]->if_stmt) {
+      out += pad + "} else ";
+      std::string nested;
+      format_stmt(*else_body[0], indent, nested);
+      // Splice: drop the nested statement's leading indentation.
+      out += nested.substr(pad.size());
+      return;
+    }
+    if (!else_body.empty()) {
+      out += pad + "} else {\n";
+      format_stmts(else_body, indent + 2, out);
+    }
+    out += pad + "}\n";
+    return;
+  }
+}
+
+void format_stmts(const std::vector<StmtPtr>& stmts, int indent,
+                  std::string& out) {
+  for (const StmtPtr& stmt : stmts) format_stmt(*stmt, indent, out);
+}
+
+}  // namespace
+
+std::string format_expr(const Expr& expr) { return expr_text(expr, 0); }
+
+std::string format_program(const Program& program) {
+  std::string out;
+  bool first_context = true;
+  for (const ContextDecl& context : program.contexts) {
+    if (!first_context) out += "\n";
+    first_context = false;
+    out += "begin context " + context.name + "\n";
+    out += "  activation: " + expr_text(*context.activation, 0) + ";\n";
+    if (context.deactivation) {
+      out += "  deactivation: " + expr_text(*context.deactivation, 0) +
+             ";\n";
+    }
+    for (const AggVarDecl& var : context.variables) {
+      out += "  " + var.name + " : " + var.aggregation + "(";
+      bool first = true;
+      for (const std::string& sensor : var.sensors) {
+        if (!first) out += ", ";
+        first = false;
+        out += sensor;
+      }
+      out += ")";
+      bool has_attr = false;
+      if (var.confidence) {
+        out += " confidence=" + number_text(*var.confidence);
+        has_attr = true;
+      }
+      if (var.freshness) {
+        out += has_attr ? ", " : " ";
+        out += "freshness=" + duration_text(*var.freshness);
+      }
+      out += ";\n";
+    }
+    for (const ObjectDecl& object : context.objects) {
+      out += "\n  begin object " + object.name + "\n";
+      for (const MethodDecl& method : object.methods) {
+        out += "    invocation: ";
+        switch (method.invocation.kind) {
+          case InvocationDecl::Kind::kTimer:
+            out += "TIMER(" + duration_text(method.invocation.period) + ")";
+            break;
+          case InvocationDecl::Kind::kCondition:
+            out += "when (" + expr_text(*method.invocation.condition, 0) +
+                   ")";
+            break;
+          case InvocationDecl::Kind::kMessage:
+            out += "message";
+            break;
+        }
+        out += "\n    " + method.name + "() {\n";
+        format_stmts(method.body, 6, out);
+        out += "    }\n";
+      }
+      out += "  end\n";
+    }
+    out += "end context\n";
+  }
+  return out;
+}
+
+}  // namespace et::etl

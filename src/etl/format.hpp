@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "etl/ast.hpp"
+
+/// Canonical formatting of EnviroTrack programs.
+///
+/// Renders an AST back to language text in a normalized style (one
+/// canonical spacing/indentation, explicit attributes). Formatting then
+/// re-parsing yields a structurally identical AST — the round-trip
+/// property the tests pin down — which makes the formatter usable for
+/// tooling (the `etlc` checker uses it for `--format`).
+namespace et::etl {
+
+std::string format_program(const Program& program);
+std::string format_expr(const Expr& expr);
+
+}  // namespace et::etl

@@ -1,0 +1,302 @@
+#include <cctype>
+#include <cstdio>
+#include <map>
+
+#include "etl/token.hpp"
+
+namespace et::etl {
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kBegin: return "'begin'";
+    case TokenKind::kEnd: return "'end'";
+    case TokenKind::kContext: return "'context'";
+    case TokenKind::kObject: return "'object'";
+    case TokenKind::kActivation: return "'activation'";
+    case TokenKind::kDeactivation: return "'deactivation'";
+    case TokenKind::kInvocation: return "'invocation'";
+    case TokenKind::kTimer: return "'TIMER'";
+    case TokenKind::kWhen: return "'when'";
+    case TokenKind::kSelf: return "'self'";
+    case TokenKind::kAnd: return "'and'";
+    case TokenKind::kOr: return "'or'";
+    case TokenKind::kNot: return "'not'";
+    case TokenKind::kTrue: return "'true'";
+    case TokenKind::kFalse: return "'false'";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kDuration: return "duration";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kEndOfFile: return "end of file";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, TokenKind, std::less<>>& keywords() {
+  static const std::map<std::string, TokenKind, std::less<>> kKeywords = {
+      {"begin", TokenKind::kBegin},
+      {"end", TokenKind::kEnd},
+      {"context", TokenKind::kContext},
+      {"object", TokenKind::kObject},
+      {"activation", TokenKind::kActivation},
+      {"deactivation", TokenKind::kDeactivation},
+      {"invocation", TokenKind::kInvocation},
+      {"TIMER", TokenKind::kTimer},
+      {"when", TokenKind::kWhen},
+      {"self", TokenKind::kSelf},
+      {"and", TokenKind::kAnd},
+      {"or", TokenKind::kOr},
+      {"not", TokenKind::kNot},
+      {"true", TokenKind::kTrue},
+      {"false", TokenKind::kFalse},
+  };
+  return kKeywords;
+}
+
+Error lex_error(int line, int column, const std::string& message) {
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "line %d:%d: ", line, column);
+  return Error{"lex-error", prefix + message};
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  Expected<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      skip_trivia();
+      if (at_end()) break;
+      const int line = line_;
+      const int column = column_;
+      const char c = peek();
+
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(lex_word(line, column));
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        auto tok = lex_number(line, column);
+        if (!tok.ok()) return tok.error();
+        tokens.push_back(std::move(tok).value());
+        continue;
+      }
+      if (c == '"') {
+        auto tok = lex_string(line, column);
+        if (!tok.ok()) return tok.error();
+        tokens.push_back(std::move(tok).value());
+        continue;
+      }
+      auto tok = lex_punct(line, column);
+      if (!tok.ok()) return tok.error();
+      tokens.push_back(std::move(tok).value());
+    }
+    tokens.push_back(Token{TokenKind::kEndOfFile, "", 0.0, {}, line_, column_});
+    return tokens;
+  }
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void skip_trivia() {
+    for (;;) {
+      while (!at_end() &&
+             std::isspace(static_cast<unsigned char>(peek()))) {
+        advance();
+      }
+      if (peek() == '#' || (peek() == '/' && peek(1) == '/')) {
+        while (!at_end() && peek() != '\n') advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token lex_word(int line, int column) {
+    std::string word;
+    while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                         peek() == '_')) {
+      word.push_back(advance());
+    }
+    auto it = keywords().find(word);
+    Token token;
+    token.kind = it == keywords().end() ? TokenKind::kIdent : it->second;
+    token.text = std::move(word);
+    token.line = line;
+    token.column = column;
+    return token;
+  }
+
+  Expected<Token> lex_number(int line, int column) {
+    std::string digits;
+    while (!at_end() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                         peek() == '.')) {
+      digits.push_back(advance());
+    }
+    double value = 0.0;
+    try {
+      std::size_t consumed = 0;
+      value = std::stod(digits, &consumed);
+      if (consumed != digits.size()) {
+        return lex_error(line, column, "malformed number '" + digits + "'");
+      }
+    } catch (...) {
+      return lex_error(line, column, "malformed number '" + digits + "'");
+    }
+
+    Token token;
+    token.line = line;
+    token.column = column;
+    // Duration suffix: s, ms, us.
+    if (peek() == 'm' && peek(1) == 's') {
+      advance();
+      advance();
+      token.kind = TokenKind::kDuration;
+      token.duration = Duration::micros(
+          static_cast<std::int64_t>(value * 1000.0));
+      return token;
+    }
+    if (peek() == 'u' && peek(1) == 's') {
+      advance();
+      advance();
+      token.kind = TokenKind::kDuration;
+      token.duration = Duration::micros(static_cast<std::int64_t>(value));
+      return token;
+    }
+    if (peek() == 's' &&
+        !std::isalnum(static_cast<unsigned char>(peek(1))) && peek(1) != '_') {
+      advance();
+      token.kind = TokenKind::kDuration;
+      token.duration = Duration::seconds(value);
+      return token;
+    }
+    token.kind = TokenKind::kNumber;
+    token.number = value;
+    return token;
+  }
+
+  Expected<Token> lex_string(int line, int column) {
+    advance();  // opening quote
+    std::string contents;
+    while (!at_end() && peek() != '"') {
+      if (peek() == '\n') {
+        return lex_error(line, column, "unterminated string literal");
+      }
+      contents.push_back(advance());
+    }
+    if (at_end()) {
+      return lex_error(line, column, "unterminated string literal");
+    }
+    advance();  // closing quote
+    Token token;
+    token.kind = TokenKind::kString;
+    token.text = std::move(contents);
+    token.line = line;
+    token.column = column;
+    return token;
+  }
+
+  Expected<Token> lex_punct(int line, int column) {
+    const char c = advance();
+    Token token;
+    token.line = line;
+    token.column = column;
+    switch (c) {
+      case '(': token.kind = TokenKind::kLParen; return token;
+      case ')': token.kind = TokenKind::kRParen; return token;
+      case '{': token.kind = TokenKind::kLBrace; return token;
+      case '}': token.kind = TokenKind::kRBrace; return token;
+      case ':': token.kind = TokenKind::kColon; return token;
+      case ';': token.kind = TokenKind::kSemicolon; return token;
+      case ',': token.kind = TokenKind::kComma; return token;
+      case '.': token.kind = TokenKind::kDot; return token;
+      case '+': token.kind = TokenKind::kPlus; return token;
+      case '-': token.kind = TokenKind::kMinus; return token;
+      case '*': token.kind = TokenKind::kStar; return token;
+      case '/': token.kind = TokenKind::kSlash; return token;
+      case '=':
+        if (peek() == '=') {
+          advance();
+          token.kind = TokenKind::kEq;
+        } else {
+          token.kind = TokenKind::kAssign;
+        }
+        return token;
+      case '!':
+        if (peek() == '=') {
+          advance();
+          token.kind = TokenKind::kNe;
+          return token;
+        }
+        return lex_error(line, column, "stray '!' (use 'not' or '!=')");
+      case '<':
+        if (peek() == '=') {
+          advance();
+          token.kind = TokenKind::kLe;
+        } else {
+          token.kind = TokenKind::kLt;
+        }
+        return token;
+      case '>':
+        if (peek() == '=') {
+          advance();
+          token.kind = TokenKind::kGe;
+        } else {
+          token.kind = TokenKind::kGt;
+        }
+        return token;
+      default:
+        return lex_error(line, column,
+                         std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Expected<std::vector<Token>> tokenize(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace et::etl

@@ -1,0 +1,580 @@
+#include "etl/parser.hpp"
+
+#include <cstdio>
+
+namespace et::etl {
+
+namespace {
+
+Error parse_error(const Token& at, const std::string& message) {
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "line %d:%d: ", at.line, at.column);
+  return Error{"parse-error", prefix + message};
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Expected<Program> parse_program() {
+    Program program;
+    while (!check(TokenKind::kEndOfFile)) {
+      auto context = parse_context();
+      if (!context.ok()) return context.error();
+      program.contexts.push_back(std::move(context).value());
+    }
+    if (program.contexts.empty()) {
+      return parse_error(peek(), "empty program: expected 'begin context'");
+    }
+    return program;
+  }
+
+  Expected<ExprPtr> parse_single_expression() {
+    auto expr = parse_expr();
+    if (!expr.ok()) return expr.error();
+    if (!check(TokenKind::kEndOfFile)) {
+      return parse_error(peek(), "trailing input after expression");
+    }
+    return expr;
+  }
+
+ private:
+  // --- Token plumbing ---
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool check(TokenKind kind) const { return peek().kind == kind; }
+  bool match(TokenKind kind) {
+    if (!check(kind)) return false;
+    advance();
+    return true;
+  }
+  Expected<Token> expect(TokenKind kind, const char* what) {
+    if (!check(kind)) {
+      return parse_error(peek(), std::string("expected ") + what + " (" +
+                                     token_kind_name(kind) + "), found " +
+                                     token_kind_name(peek().kind));
+    }
+    return advance();
+  }
+
+  // --- Declarations ---
+  Expected<ContextDecl> parse_context() {
+    auto begin = expect(TokenKind::kBegin, "'begin'");
+    if (!begin.ok()) return begin.error();
+    if (auto t = expect(TokenKind::kContext, "'context'"); !t.ok()) {
+      return t.error();
+    }
+    auto name = expect(TokenKind::kIdent, "context name");
+    if (!name.ok()) return name.error();
+
+    ContextDecl context;
+    context.name = name.value().text;
+    context.line = name.value().line;
+
+    while (!check(TokenKind::kEnd)) {
+      if (check(TokenKind::kEndOfFile)) {
+        return parse_error(peek(), "unterminated context declaration");
+      }
+      if (match(TokenKind::kActivation)) {
+        if (auto t = expect(TokenKind::kColon, "':'"); !t.ok()) {
+          return t.error();
+        }
+        auto expr = parse_expr();
+        if (!expr.ok()) return expr.error();
+        if (context.activation) {
+          return parse_error(peek(), "duplicate activation condition");
+        }
+        context.activation = std::move(expr).value();
+        if (auto t = expect(TokenKind::kSemicolon, "';'"); !t.ok()) {
+          return t.error();
+        }
+        continue;
+      }
+      if (match(TokenKind::kDeactivation)) {
+        if (auto t = expect(TokenKind::kColon, "':'"); !t.ok()) {
+          return t.error();
+        }
+        auto expr = parse_expr();
+        if (!expr.ok()) return expr.error();
+        if (context.deactivation) {
+          return parse_error(peek(), "duplicate deactivation condition");
+        }
+        context.deactivation = std::move(expr).value();
+        if (auto t = expect(TokenKind::kSemicolon, "';'"); !t.ok()) {
+          return t.error();
+        }
+        continue;
+      }
+      if (check(TokenKind::kBegin)) {
+        auto object = parse_object();
+        if (!object.ok()) return object.error();
+        context.objects.push_back(std::move(object).value());
+        continue;
+      }
+      auto var = parse_agg_var();
+      if (!var.ok()) return var.error();
+      context.variables.push_back(std::move(var).value());
+    }
+    advance();  // 'end'
+    if (auto t = expect(TokenKind::kContext, "'context'"); !t.ok()) {
+      return t.error();
+    }
+    if (!context.activation) {
+      return parse_error(peek(), "context '" + context.name +
+                                     "' has no activation condition");
+    }
+    return context;
+  }
+
+  Expected<AggVarDecl> parse_agg_var() {
+    auto name = expect(TokenKind::kIdent, "aggregate variable name");
+    if (!name.ok()) return name.error();
+    AggVarDecl var;
+    var.name = name.value().text;
+    var.line = name.value().line;
+    if (auto t = expect(TokenKind::kColon, "':'"); !t.ok()) return t.error();
+    auto agg = expect(TokenKind::kIdent, "aggregation function");
+    if (!agg.ok()) return agg.error();
+    var.aggregation = agg.value().text;
+    if (auto t = expect(TokenKind::kLParen, "'('"); !t.ok()) return t.error();
+    do {
+      auto sensor = expect(TokenKind::kIdent, "sensor name");
+      if (!sensor.ok()) return sensor.error();
+      var.sensors.push_back(sensor.value().text);
+    } while (match(TokenKind::kComma));
+    if (auto t = expect(TokenKind::kRParen, "')'"); !t.ok()) return t.error();
+
+    // Attributes until ';'.
+    while (!match(TokenKind::kSemicolon)) {
+      auto attr = expect(TokenKind::kIdent, "attribute name");
+      if (!attr.ok()) return attr.error();
+      if (auto t = expect(TokenKind::kAssign, "'='"); !t.ok()) {
+        return t.error();
+      }
+      if (attr.value().text == "confidence") {
+        auto value = expect(TokenKind::kNumber, "confidence value");
+        if (!value.ok()) return value.error();
+        var.confidence = value.value().number;
+      } else if (attr.value().text == "freshness") {
+        auto value = expect(TokenKind::kDuration, "freshness duration");
+        if (!value.ok()) return value.error();
+        var.freshness = value.value().duration;
+      } else {
+        return parse_error(attr.value(),
+                           "unknown attribute '" + attr.value().text +
+                               "' (expected confidence or freshness)");
+      }
+      if (!check(TokenKind::kSemicolon)) {
+        if (auto t = expect(TokenKind::kComma, "','"); !t.ok()) {
+          return t.error();
+        }
+      }
+    }
+    return var;
+  }
+
+  Expected<ObjectDecl> parse_object() {
+    advance();  // 'begin'
+    if (auto t = expect(TokenKind::kObject, "'object'"); !t.ok()) {
+      return t.error();
+    }
+    auto name = expect(TokenKind::kIdent, "object name");
+    if (!name.ok()) return name.error();
+    ObjectDecl object;
+    object.name = name.value().text;
+    object.line = name.value().line;
+
+    while (!check(TokenKind::kEnd)) {
+      if (check(TokenKind::kEndOfFile)) {
+        return parse_error(peek(), "unterminated object declaration");
+      }
+      auto method = parse_method();
+      if (!method.ok()) return method.error();
+      object.methods.push_back(std::move(method).value());
+    }
+    advance();  // 'end'
+    if (object.methods.empty()) {
+      return parse_error(peek(),
+                         "object '" + object.name + "' has no methods");
+    }
+    return object;
+  }
+
+  Expected<MethodDecl> parse_method() {
+    if (auto t = expect(TokenKind::kInvocation, "'invocation'"); !t.ok()) {
+      return t.error();
+    }
+    if (auto t = expect(TokenKind::kColon, "':'"); !t.ok()) return t.error();
+
+    MethodDecl method;
+    if (match(TokenKind::kTimer)) {
+      if (auto t = expect(TokenKind::kLParen, "'('"); !t.ok()) {
+        return t.error();
+      }
+      auto period = expect(TokenKind::kDuration, "timer period");
+      if (!period.ok()) return period.error();
+      method.invocation.kind = InvocationDecl::Kind::kTimer;
+      method.invocation.period = period.value().duration;
+      if (auto t = expect(TokenKind::kRParen, "')'"); !t.ok()) {
+        return t.error();
+      }
+    } else if (match(TokenKind::kWhen)) {
+      if (auto t = expect(TokenKind::kLParen, "'('"); !t.ok()) {
+        return t.error();
+      }
+      auto condition = parse_expr();
+      if (!condition.ok()) return condition.error();
+      method.invocation.kind = InvocationDecl::Kind::kCondition;
+      method.invocation.condition = std::move(condition).value();
+      if (auto t = expect(TokenKind::kRParen, "')'"); !t.ok()) {
+        return t.error();
+      }
+    } else if (check(TokenKind::kIdent) && peek().text == "message") {
+      advance();
+      method.invocation.kind = InvocationDecl::Kind::kMessage;
+    } else {
+      return parse_error(peek(),
+                         "expected TIMER(...), when (...), or message");
+    }
+
+    auto name = expect(TokenKind::kIdent, "method name");
+    if (!name.ok()) return name.error();
+    method.name = name.value().text;
+    method.line = name.value().line;
+    if (auto t = expect(TokenKind::kLParen, "'('"); !t.ok()) return t.error();
+    if (auto t = expect(TokenKind::kRParen, "')'"); !t.ok()) return t.error();
+    if (auto t = expect(TokenKind::kLBrace, "'{'"); !t.ok()) return t.error();
+    while (!match(TokenKind::kRBrace)) {
+      if (check(TokenKind::kEndOfFile)) {
+        return parse_error(peek(), "unterminated method body");
+      }
+      auto stmt = parse_stmt();
+      if (!stmt.ok()) return stmt.error();
+      method.body.push_back(std::move(stmt).value());
+    }
+    return method;
+  }
+
+  // --- Statements ---
+  Expected<StmtPtr> parse_stmt() {
+    const Token& head = peek();
+    if (head.kind == TokenKind::kIdent) {
+      if (head.text == "send") return parse_send();
+      if (head.text == "log") return parse_log();
+      if (head.text == "setState") return parse_set_state();
+      if (head.text == "if") return parse_if();
+    }
+    return parse_error(head, "expected a statement (send/log/setState/if)");
+  }
+
+  Expected<StmtPtr> parse_send() {
+    const int line = peek().line;
+    advance();  // 'send'
+    if (auto t = expect(TokenKind::kLParen, "'('"); !t.ok()) return t.error();
+    auto dest = expect(TokenKind::kIdent, "destination name");
+    if (!dest.ok()) return dest.error();
+    SendStmt send;
+    send.destination = dest.value().text;
+    while (match(TokenKind::kComma)) {
+      auto arg = parse_expr();
+      if (!arg.ok()) return arg.error();
+      send.args.push_back(std::move(arg).value());
+    }
+    if (auto t = expect(TokenKind::kRParen, "')'"); !t.ok()) return t.error();
+    if (auto t = expect(TokenKind::kSemicolon, "';'"); !t.ok()) {
+      return t.error();
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->send = std::move(send);
+    stmt->line = line;
+    return stmt;
+  }
+
+  Expected<StmtPtr> parse_log() {
+    const int line = peek().line;
+    advance();  // 'log'
+    if (auto t = expect(TokenKind::kLParen, "'('"); !t.ok()) return t.error();
+    LogStmt log;
+    do {
+      auto arg = parse_expr();
+      if (!arg.ok()) return arg.error();
+      log.args.push_back(std::move(arg).value());
+    } while (match(TokenKind::kComma));
+    if (auto t = expect(TokenKind::kRParen, "')'"); !t.ok()) return t.error();
+    if (auto t = expect(TokenKind::kSemicolon, "';'"); !t.ok()) {
+      return t.error();
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->log = std::move(log);
+    stmt->line = line;
+    return stmt;
+  }
+
+  Expected<StmtPtr> parse_set_state() {
+    const int line = peek().line;
+    advance();  // 'setState'
+    if (auto t = expect(TokenKind::kLParen, "'('"); !t.ok()) return t.error();
+    auto key = expect(TokenKind::kString, "state key string");
+    if (!key.ok()) return key.error();
+    if (auto t = expect(TokenKind::kComma, "','"); !t.ok()) return t.error();
+    auto value = parse_expr();
+    if (!value.ok()) return value.error();
+    if (auto t = expect(TokenKind::kRParen, "')'"); !t.ok()) return t.error();
+    if (auto t = expect(TokenKind::kSemicolon, "';'"); !t.ok()) {
+      return t.error();
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->set_state = SetStateStmt{key.value().text, std::move(value).value()};
+    stmt->line = line;
+    return stmt;
+  }
+
+  Expected<StmtPtr> parse_if() {
+    const int line = peek().line;
+    advance();  // 'if'
+    if (auto t = expect(TokenKind::kLParen, "'('"); !t.ok()) return t.error();
+    auto condition = parse_expr();
+    if (!condition.ok()) return condition.error();
+    if (auto t = expect(TokenKind::kRParen, "')'"); !t.ok()) return t.error();
+    if (auto t = expect(TokenKind::kLBrace, "'{'"); !t.ok()) return t.error();
+    IfStmt if_stmt;
+    if_stmt.condition = std::move(condition).value();
+    while (!match(TokenKind::kRBrace)) {
+      auto stmt = parse_stmt();
+      if (!stmt.ok()) return stmt.error();
+      if_stmt.then_body.push_back(std::move(stmt).value());
+    }
+    if (check(TokenKind::kIdent) && peek().text == "else") {
+      advance();
+      // `else if (...) { ... }` chains nest as a single-statement else.
+      if (check(TokenKind::kIdent) && peek().text == "if") {
+        auto nested = parse_if();
+        if (!nested.ok()) return nested.error();
+        if_stmt.else_body.push_back(std::move(nested).value());
+      } else {
+        if (auto t = expect(TokenKind::kLBrace, "'{'"); !t.ok()) {
+          return t.error();
+        }
+        while (!match(TokenKind::kRBrace)) {
+          auto stmt = parse_stmt();
+          if (!stmt.ok()) return stmt.error();
+          if_stmt.else_body.push_back(std::move(stmt).value());
+        }
+      }
+    }
+    auto stmt = std::make_unique<Stmt>();
+    stmt->if_stmt = std::move(if_stmt);
+    stmt->line = line;
+    return stmt;
+  }
+
+  // --- Expressions (precedence climbing) ---
+  Expected<ExprPtr> parse_expr() { return parse_or(); }
+
+  Expected<ExprPtr> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs.ok()) return lhs;
+    while (match(TokenKind::kOr)) {
+      auto rhs = parse_and();
+      if (!rhs.ok()) return rhs;
+      lhs = make_binary(BinaryOp::kOr, std::move(lhs).value(),
+                        std::move(rhs).value());
+    }
+    return lhs;
+  }
+
+  Expected<ExprPtr> parse_and() {
+    auto lhs = parse_comparison();
+    if (!lhs.ok()) return lhs;
+    while (match(TokenKind::kAnd)) {
+      auto rhs = parse_comparison();
+      if (!rhs.ok()) return rhs;
+      lhs = make_binary(BinaryOp::kAnd, std::move(lhs).value(),
+                        std::move(rhs).value());
+    }
+    return lhs;
+  }
+
+  Expected<ExprPtr> parse_comparison() {
+    auto lhs = parse_additive();
+    if (!lhs.ok()) return lhs;
+    for (;;) {
+      BinaryOp op;
+      if (match(TokenKind::kEq)) {
+        op = BinaryOp::kEq;
+      } else if (match(TokenKind::kNe)) {
+        op = BinaryOp::kNe;
+      } else if (match(TokenKind::kLt)) {
+        op = BinaryOp::kLt;
+      } else if (match(TokenKind::kLe)) {
+        op = BinaryOp::kLe;
+      } else if (match(TokenKind::kGt)) {
+        op = BinaryOp::kGt;
+      } else if (match(TokenKind::kGe)) {
+        op = BinaryOp::kGe;
+      } else {
+        return lhs;
+      }
+      auto rhs = parse_additive();
+      if (!rhs.ok()) return rhs;
+      lhs = make_binary(op, std::move(lhs).value(), std::move(rhs).value());
+    }
+  }
+
+  Expected<ExprPtr> parse_additive() {
+    auto lhs = parse_multiplicative();
+    if (!lhs.ok()) return lhs;
+    for (;;) {
+      BinaryOp op;
+      if (match(TokenKind::kPlus)) {
+        op = BinaryOp::kAdd;
+      } else if (match(TokenKind::kMinus)) {
+        op = BinaryOp::kSub;
+      } else {
+        return lhs;
+      }
+      auto rhs = parse_multiplicative();
+      if (!rhs.ok()) return rhs;
+      lhs = make_binary(op, std::move(lhs).value(), std::move(rhs).value());
+    }
+  }
+
+  Expected<ExprPtr> parse_multiplicative() {
+    auto lhs = parse_unary();
+    if (!lhs.ok()) return lhs;
+    for (;;) {
+      BinaryOp op;
+      if (match(TokenKind::kStar)) {
+        op = BinaryOp::kMul;
+      } else if (match(TokenKind::kSlash)) {
+        op = BinaryOp::kDiv;
+      } else {
+        return lhs;
+      }
+      auto rhs = parse_unary();
+      if (!rhs.ok()) return rhs;
+      lhs = make_binary(op, std::move(lhs).value(), std::move(rhs).value());
+    }
+  }
+
+  Expected<ExprPtr> parse_unary() {
+    if (match(TokenKind::kMinus)) {
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      auto expr = std::make_unique<Expr>();
+      expr->unary = UnaryExpr{UnaryOp::kNeg, std::move(operand).value()};
+      return ExprPtr(std::move(expr));
+    }
+    if (match(TokenKind::kNot)) {
+      auto operand = parse_unary();
+      if (!operand.ok()) return operand;
+      auto expr = std::make_unique<Expr>();
+      expr->unary = UnaryExpr{UnaryOp::kNot, std::move(operand).value()};
+      return ExprPtr(std::move(expr));
+    }
+    return parse_primary();
+  }
+
+  Expected<ExprPtr> parse_primary() {
+    const Token& token = peek();
+    auto expr = std::make_unique<Expr>();
+    expr->line = token.line;
+
+    switch (token.kind) {
+      case TokenKind::kNumber:
+        expr->number = NumberExpr{token.number};
+        advance();
+        return ExprPtr(std::move(expr));
+      case TokenKind::kDuration:
+        // Durations in expressions read as seconds.
+        expr->number = NumberExpr{token.duration.to_seconds()};
+        advance();
+        return ExprPtr(std::move(expr));
+      case TokenKind::kString:
+        expr->string = StringExpr{token.text};
+        advance();
+        return ExprPtr(std::move(expr));
+      case TokenKind::kTrue:
+        expr->boolean = BoolExpr{true};
+        advance();
+        return ExprPtr(std::move(expr));
+      case TokenKind::kFalse:
+        expr->boolean = BoolExpr{false};
+        advance();
+        return ExprPtr(std::move(expr));
+      case TokenKind::kSelf: {
+        advance();
+        if (auto t = expect(TokenKind::kDot, "'.'"); !t.ok()) {
+          return t.error();
+        }
+        auto member = expect(TokenKind::kIdent, "self member");
+        if (!member.ok()) return member.error();
+        expr->self = SelfExpr{member.value().text};
+        return ExprPtr(std::move(expr));
+      }
+      case TokenKind::kLParen: {
+        advance();
+        auto inner = parse_expr();
+        if (!inner.ok()) return inner;
+        if (auto t = expect(TokenKind::kRParen, "')'"); !t.ok()) {
+          return t.error();
+        }
+        return inner;
+      }
+      case TokenKind::kIdent: {
+        const std::string name = token.text;
+        advance();
+        if (match(TokenKind::kLParen)) {
+          CallExpr call;
+          call.callee = name;
+          if (!check(TokenKind::kRParen)) {
+            do {
+              auto arg = parse_expr();
+              if (!arg.ok()) return arg;
+              call.args.push_back(std::move(arg).value());
+            } while (match(TokenKind::kComma));
+          }
+          if (auto t = expect(TokenKind::kRParen, "')'"); !t.ok()) {
+            return t.error();
+          }
+          expr->call = std::move(call);
+        } else {
+          expr->ident = IdentExpr{name};
+        }
+        return ExprPtr(std::move(expr));
+      }
+      default:
+        return parse_error(token, std::string("expected an expression, found ") +
+                                      token_kind_name(token.kind));
+    }
+  }
+
+  static ExprPtr make_binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+    auto expr = std::make_unique<Expr>();
+    expr->line = lhs->line;
+    expr->binary = BinaryExpr{op, std::move(lhs), std::move(rhs)};
+    return expr;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Expected<Program> parse(std::string_view source) {
+  auto tokens = tokenize(source);
+  if (!tokens.ok()) return tokens.error();
+  return Parser(std::move(tokens).value()).parse_program();
+}
+
+Expected<ExprPtr> parse_expression(std::string_view source) {
+  auto tokens = tokenize(source);
+  if (!tokens.ok()) return tokens.error();
+  return Parser(std::move(tokens).value()).parse_single_expression();
+}
+
+}  // namespace et::etl

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string_view>
+
+#include "etl/ast.hpp"
+#include "etl/token.hpp"
+#include "util/expected.hpp"
+
+/// Recursive-descent parser for the EnviroTrack language.
+///
+/// Grammar (Appendix A, with the body/statement extensions this
+/// implementation interprets instead of emitting NesC):
+///
+///   program        := context_decl+
+///   context_decl   := 'begin' 'context' IDENT context_stmt* 'end' 'context'
+///   context_stmt   := activation | deactivation | aggr_var | object_decl
+///   activation     := 'activation' ':' expr ';'
+///   deactivation   := 'deactivation' ':' expr ';'
+///   aggr_var       := IDENT ':' IDENT '(' IDENT (',' IDENT)* ')' attrs ';'
+///   attrs          := attr (',' attr)*
+///   attr           := 'confidence' '=' NUMBER | 'freshness' '=' DURATION
+///   object_decl    := 'begin' 'object' IDENT method+ 'end'
+///   method         := 'invocation' ':' invocation IDENT '(' ')'
+///                     '{' stmt* '}'
+///   invocation     := 'TIMER' '(' DURATION ')' | 'when' '(' expr ')'
+///   stmt           := send | log | setState | if
+///   send           := 'send' '(' IDENT (',' expr)* ')' ';'
+///   log            := 'log' '(' expr (',' expr)* ')' ';'
+///   setState       := 'setState' '(' STRING ',' expr ')' ';'
+///   if             := 'if' '(' expr ')' '{' stmt* '}'
+///                     ('else' '{' stmt* '}')?
+///   expr           := or-chain of comparisons over + - * / terms; terms are
+///                     numbers, durations (as seconds), strings, true/false,
+///                     identifiers, calls, 'self' '.' IDENT, parenthesized
+///                     exprs, and unary '-' / 'not'.
+namespace et::etl {
+
+/// Parses source text to an AST. Errors carry line:column positions.
+Expected<Program> parse(std::string_view source);
+
+/// Parses a single expression (used by tests and the condition compiler).
+Expected<ExprPtr> parse_expression(std::string_view source);
+
+}  // namespace et::etl

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/expected.hpp"
+#include "util/time.hpp"
+
+/// Lexical analysis for the EnviroTrack context-definition language.
+///
+/// The language (paper §4 and Appendix A) declares context types: an
+/// activation condition, aggregate state variables with QoS attributes, and
+/// attached objects whose methods carry invocation conditions and small
+/// imperative bodies. The paper implemented it as a NesC preprocessor; here
+/// it compiles to runtime ContextTypeSpecs.
+namespace et::etl {
+
+enum class TokenKind : std::uint8_t {
+  // Structure keywords.
+  kBegin,
+  kEnd,
+  kContext,
+  kObject,
+  kActivation,
+  kDeactivation,  // extension: explicit deactivation condition (footnote 1)
+  kInvocation,
+  kTimer,   // TIMER
+  kWhen,    // when (condition)
+  kSelf,    // self.<member>
+  kAnd,
+  kOr,
+  kNot,
+  kTrue,
+  kFalse,
+
+  // Literals and names.
+  kIdent,
+  kNumber,    // 42, 3.5
+  kDuration,  // 1s, 250ms, 10us
+  kString,    // "track"
+
+  // Punctuation.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kColon,
+  kSemicolon,
+  kComma,
+  kDot,
+  kAssign,  // =
+  kEq,      // ==
+  kNe,      // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+
+  kEndOfFile,
+};
+
+const char* token_kind_name(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;       // identifier / string contents
+  double number = 0.0;    // kNumber
+  Duration duration;      // kDuration
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes `source`. Comments run from '#' or "//" to end of line.
+/// Returns a lexical Error (with line/column in the message) on bad input.
+Expected<std::vector<Token>> tokenize(std::string_view source);
+
+}  // namespace et::etl

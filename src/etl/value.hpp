@@ -1,0 +1,89 @@
+#pragma once
+
+#include <string>
+
+#include "util/geometry.hpp"
+#include "util/ids.hpp"
+
+/// Runtime values of the EnviroTrack language.
+///
+/// Aggregate reads can fail (null flag, §3.2.3); the language makes that a
+/// first-class Null value that propagates through arithmetic and renders
+/// conditions false, so programs degrade gracefully when critical mass is
+/// not met.
+namespace et::etl {
+
+class Value {
+ public:
+  enum class Kind { kNull, kNumber, kString, kVector, kLabel };
+
+  Value() = default;  // null
+
+  static Value null() { return Value(); }
+  static Value of(double v) {
+    Value value;
+    value.kind_ = Kind::kNumber;
+    value.number_ = v;
+    return value;
+  }
+  static Value of(bool v) { return of(v ? 1.0 : 0.0); }
+  static Value of(std::string v) {
+    Value value;
+    value.kind_ = Kind::kString;
+    value.string_ = std::move(v);
+    return value;
+  }
+  static Value of(Vec2 v) {
+    Value value;
+    value.kind_ = Kind::kVector;
+    value.vector_ = v;
+    return value;
+  }
+  static Value of(LabelId v) {
+    Value value;
+    value.kind_ = Kind::kLabel;
+    value.label_ = v;
+    return value;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_vector() const { return kind_ == Kind::kVector; }
+  bool is_label() const { return kind_ == Kind::kLabel; }
+
+  double number() const { return number_; }
+  const std::string& string() const { return string_; }
+  Vec2 vector() const { return vector_; }
+  LabelId label() const { return label_; }
+
+  /// Truthiness: null is false; numbers by non-zero; strings by
+  /// non-emptiness; vectors and labels are true.
+  bool truthy() const {
+    switch (kind_) {
+      case Kind::kNull:
+        return false;
+      case Kind::kNumber:
+        return number_ != 0.0;
+      case Kind::kString:
+        return !string_.empty();
+      case Kind::kVector:
+        return true;
+      case Kind::kLabel:
+        return label_.is_valid();
+    }
+    return false;
+  }
+
+  std::string to_string() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  double number_ = 0.0;
+  std::string string_;
+  Vec2 vector_;
+  LabelId label_;
+};
+
+}  // namespace et::etl

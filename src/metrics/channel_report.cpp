@@ -1,0 +1,15 @@
+#include "metrics/channel_report.hpp"
+
+#include <cstdio>
+
+namespace et::metrics {
+
+std::string ChannelReport::to_string() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "HB loss %.2f%%  Msg loss %.2f%%  Link util %.2f%%",
+                heartbeat_loss_pct, report_loss_pct, link_utilization_pct);
+  return buf;
+}
+
+}  // namespace et::metrics

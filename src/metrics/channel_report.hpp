@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+
+#include "radio/medium.hpp"
+#include "util/time.hpp"
+
+/// Table-1 style communication performance summaries.
+namespace et::metrics {
+
+/// The three columns the paper reports per run: % lost leader heartbeats,
+/// % lost data (report) messages, and average useful link utilization
+/// against the 50 kb/s broadcast channel.
+struct ChannelReport {
+  double heartbeat_loss_pct = 0.0;
+  double report_loss_pct = 0.0;
+  double link_utilization_pct = 0.0;
+
+  static ChannelReport from(const radio::MediumStats& stats, Duration elapsed,
+                            double bitrate_bps) {
+    ChannelReport report;
+    // Heartbeats are broadcasts: loss is what a group member in range
+    // experiences (per receiver-frame pair). Reports are unicast to the
+    // leader, where pair loss and frame loss coincide.
+    report.heartbeat_loss_pct =
+        100.0 * stats.of(radio::MsgType::kHeartbeat).pair_loss_rate();
+    report.report_loss_pct =
+        100.0 * stats.of(radio::MsgType::kReport).pair_loss_rate();
+    report.link_utilization_pct =
+        100.0 * stats.link_utilization(elapsed, bitrate_bps);
+    return report;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace et::metrics

@@ -1,0 +1,40 @@
+#include "metrics/energy.hpp"
+
+namespace et::metrics {
+
+EnergyReport measure_energy(core::EnviroTrackSystem& system,
+                            const EnergyModel& model) {
+  EnergyReport report;
+  report.per_node.reserve(system.node_count());
+  const double elapsed = system.sim().now().to_seconds();
+
+  for (std::size_t i = 0; i < system.node_count(); ++i) {
+    const NodeId id{i};
+    const auto& radio = system.medium().endpoint_stats(id);
+    const auto& cpu = system.network().mote(id).cpu().stats();
+
+    NodeEnergy energy;
+    energy.tx_joules =
+        static_cast<double>(radio.bits_sent) * model.tx_joules_per_bit;
+    energy.rx_joules =
+        static_cast<double>(radio.bits_received) * model.rx_joules_per_bit;
+    energy.cpu_joules = cpu.busy.to_seconds() * model.cpu_active_watts;
+    // Listening is charged only while the receiver was actually powered;
+    // duty cycling shows up here.
+    const double listen_seconds =
+        elapsed - system.medium().radio_off_total(id).to_seconds();
+    energy.listen_joules =
+        std::max(listen_seconds, 0.0) * model.listen_watts;
+    energy.idle_joules = elapsed * model.idle_watts;
+
+    report.totals.tx_joules += energy.tx_joules;
+    report.totals.rx_joules += energy.rx_joules;
+    report.totals.cpu_joules += energy.cpu_joules;
+    report.totals.listen_joules += energy.listen_joules;
+    report.totals.idle_joules += energy.idle_joules;
+    report.per_node.push_back(energy);
+  }
+  return report;
+}
+
+}  // namespace et::metrics

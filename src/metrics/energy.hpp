@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "core/system.hpp"
+
+/// Energy accounting for a deployment.
+///
+/// Disposable motes live on coin cells; the paper's motivation (massive,
+/// cheap, unattended deployments) makes per-node energy the budget that
+/// ultimately bounds a tracking mission. This model charges each mote for
+/// radio transmission and reception per bit, CPU busy time, and a constant
+/// idle draw — the standard first-order WSN energy model. Defaults are in
+/// the right regime for a MICA-class mote (CC1000-era radio, AA cells).
+namespace et::metrics {
+
+struct EnergyModel {
+  /// Joules per transmitted bit (incl. amplifier).
+  double tx_joules_per_bit = 1.0e-6;
+  /// Joules per received bit.
+  double rx_joules_per_bit = 0.5e-6;
+  /// Active CPU draw (W) applied to CPU busy time.
+  double cpu_active_watts = 24.0e-3;
+  /// Receiver idle-listening draw (W), applied to time the radio was on —
+  /// the dominant budget item on always-on motes, and what duty cycling
+  /// reclaims.
+  double listen_watts = 15.0e-3;
+  /// Baseline draw (W) applied to wall-clock time (MCU sleep, sensors).
+  double idle_watts = 0.1e-3;
+};
+
+struct NodeEnergy {
+  double tx_joules = 0.0;
+  double rx_joules = 0.0;
+  double cpu_joules = 0.0;
+  double listen_joules = 0.0;
+  double idle_joules = 0.0;
+
+  double total() const {
+    return tx_joules + rx_joules + cpu_joules + listen_joules + idle_joules;
+  }
+};
+
+struct EnergyReport {
+  std::vector<NodeEnergy> per_node;
+  NodeEnergy totals;
+
+  double max_node_joules() const {
+    double m = 0.0;
+    for (const NodeEnergy& n : per_node) m = std::max(m, n.total());
+    return m;
+  }
+  double mean_node_joules() const {
+    return per_node.empty() ? 0.0
+                            : totals.total() /
+                                  static_cast<double>(per_node.size());
+  }
+};
+
+/// Computes the deployment's energy spend so far from the medium's
+/// per-endpoint counters, the CPU busy times, and the elapsed clock.
+EnergyReport measure_energy(core::EnviroTrackSystem& system,
+                            const EnergyModel& model = {});
+
+}  // namespace et::metrics

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/events.hpp"
+
+/// A bounded recorder of group-management events.
+///
+/// Attach to an EnviroTrackSystem to collect the protocol's lifecycle
+/// stream for assertions (tests) and post-run accounting (benches).
+namespace et::metrics {
+
+class EventLog final : public core::GroupObserver {
+ public:
+  explicit EventLog(std::size_t capacity = 100000) : capacity_(capacity) {}
+
+  void on_group_event(const core::GroupEvent& event) override {
+    counts_[static_cast<std::size_t>(event.kind)]++;
+    total_++;
+    if (events_.size() == capacity_) events_.pop_front();
+    events_.push_back(event);
+  }
+
+  std::uint64_t count(core::GroupEvent::Kind kind) const {
+    return counts_[static_cast<std::size_t>(kind)];
+  }
+  std::uint64_t total() const { return total_; }
+
+  /// Retained events, oldest first (may be truncated to capacity).
+  std::vector<core::GroupEvent> events() const {
+    return {events_.begin(), events_.end()};
+  }
+
+  /// Events of one kind, oldest first.
+  std::vector<core::GroupEvent> events_of(core::GroupEvent::Kind kind) const {
+    std::vector<core::GroupEvent> out;
+    for (const auto& e : events_) {
+      if (e.kind == kind) out.push_back(e);
+    }
+    return out;
+  }
+
+  void clear() {
+    events_.clear();
+    counts_ = {};
+    total_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<core::GroupEvent> events_;
+  std::array<std::uint64_t, 16> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace et::metrics

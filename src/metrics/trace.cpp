@@ -1,0 +1,88 @@
+#include "metrics/trace.hpp"
+
+#include <cassert>
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/log.hpp"
+
+namespace et::metrics {
+
+namespace {
+
+void append_row(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_row(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+}  // namespace
+
+std::string track_csv(const std::vector<TrackPoint>& points) {
+  std::string out =
+      "time_s,label,reported_x,reported_y,actual_x,actual_y,error\n";
+  for (const TrackPoint& p : points) {
+    append_row(out, "%.3f,%llu,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+               p.time.to_seconds(),
+               static_cast<unsigned long long>(p.label.value()),
+               p.reported.x, p.reported.y, p.actual.x, p.actual.y, p.error);
+  }
+  return out;
+}
+
+std::string events_csv(const std::vector<core::GroupEvent>& events) {
+  std::string out = "time_s,node,kind,label,peer,weight\n";
+  for (const core::GroupEvent& e : events) {
+    append_row(out, "%.3f,%llu,%s,%llu,%llu,%llu\n", e.time.to_seconds(),
+               static_cast<unsigned long long>(e.node.value()),
+               core::group_event_kind_name(e.kind),
+               static_cast<unsigned long long>(e.label.value()),
+               static_cast<unsigned long long>(e.peer.value()),
+               static_cast<unsigned long long>(e.weight));
+  }
+  return out;
+}
+
+std::string series_csv(const std::string& x_name,
+                       const std::vector<double>& xs,
+                       const std::vector<Series>& series) {
+  std::string out = x_name;
+  for (const Series& s : series) {
+    assert(s.values.size() == xs.size());
+    out += ",";
+    out += s.name;
+  }
+  out += "\n";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    append_row(out, "%.6g", xs[i]);
+    for (const Series& s : series) {
+      append_row(out, ",%.6g", s.values[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) {
+    ET_WARN("trace", "cannot open '%s' for writing", path.c_str());
+    return false;
+  }
+  const std::size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), file);
+  std::fclose(file);
+  if (written != contents.size()) {
+    ET_WARN("trace", "short write to '%s'", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace et::metrics

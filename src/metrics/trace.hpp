@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/events.hpp"
+#include "metrics/track_recorder.hpp"
+
+/// Run-artifact writers: plain CSV, ready for gnuplot/pandas.
+///
+/// Benches and examples can persist what they measured; the formats are
+/// stable, documented here, and round-trip tested.
+namespace et::metrics {
+
+/// Track CSV: `time_s,label,reported_x,reported_y,actual_x,actual_y,error`
+/// — one row per base-station report (Fig. 3's data).
+std::string track_csv(const std::vector<TrackPoint>& points);
+
+/// Event CSV: `time_s,node,kind,label,peer,weight` — the group-management
+/// lifecycle stream.
+std::string events_csv(const std::vector<core::GroupEvent>& events);
+
+/// Series CSV from parallel vectors: `x,<name>` per column set. `xs` and
+/// every series must have equal lengths.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+std::string series_csv(const std::string& x_name,
+                       const std::vector<double>& xs,
+                       const std::vector<Series>& series);
+
+/// Writes `contents` to `path`; returns false (and logs) on failure.
+bool write_file(const std::string& path, const std::string& contents);
+
+}  // namespace et::metrics

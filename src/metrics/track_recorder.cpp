@@ -1,0 +1,35 @@
+#include "metrics/track_recorder.hpp"
+
+namespace et::metrics {
+
+TrackRecorder::TrackRecorder(core::EnviroTrackSystem& system,
+                             NodeId base_station, TargetId target,
+                             std::string expected_tag)
+    : system_(system), target_(target), tag_(std::move(expected_tag)) {
+  system_.stack(base_station)
+      .on_user_message([this](const core::UserMessagePayload& msg, NodeId) {
+        if (msg.tag != tag_ || msg.data.size() < 2) return;
+        const Time now = system_.sim().now();
+        const Vec2 reported{msg.data[0], msg.data[1]};
+        const Vec2 actual =
+            system_.environment().target(target_).position_at(now);
+        labels_.emplace(msg.src_label, true);
+        points_.push_back(TrackPoint{now, msg.src_label, reported, actual,
+                                     distance(reported, actual)});
+      });
+}
+
+double TrackRecorder::mean_error() const {
+  if (points_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const TrackPoint& p : points_) sum += p.error;
+  return sum / static_cast<double>(points_.size());
+}
+
+double TrackRecorder::max_error() const {
+  double m = 0.0;
+  for (const TrackPoint& p : points_) m = std::max(m, p.error);
+  return m;
+}
+
+}  // namespace et::metrics

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/app_messages.hpp"
+#include "core/system.hpp"
+
+/// Base-station track recording (Fig. 3).
+///
+/// Plays the role of the paper's pursuer laptop: installs itself as the
+/// kUser message consumer on one mote, interprets "track" reports (x, y
+/// from the `location` aggregate) and logs them against the ground-truth
+/// target position at the moment each report arrives.
+namespace et::metrics {
+
+struct TrackPoint {
+  Time time;
+  LabelId label;
+  Vec2 reported;
+  Vec2 actual;  // ground-truth position of the associated target
+  double error;
+};
+
+class TrackRecorder {
+ public:
+  /// Attaches to `base_station`'s middleware stack. Reports are matched to
+  /// ground truth against `target` of the environment.
+  TrackRecorder(core::EnviroTrackSystem& system, NodeId base_station,
+                TargetId target, std::string expected_tag = "track");
+
+  const std::vector<TrackPoint>& points() const { return points_; }
+  std::size_t report_count() const { return points_.size(); }
+
+  /// Labels seen across all received reports (coherence check from the
+  /// application's perspective: should be 1 for a single target).
+  std::size_t distinct_labels() const { return labels_.size(); }
+
+  double mean_error() const;
+  double max_error() const;
+
+ private:
+  core::EnviroTrackSystem& system_;
+  TargetId target_;
+  std::string tag_;
+  std::vector<TrackPoint> points_;
+  std::unordered_map<LabelId, bool> labels_;
+};
+
+}  // namespace et::metrics

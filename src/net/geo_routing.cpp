@@ -1,0 +1,206 @@
+#include "net/geo_routing.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace et::net {
+
+namespace {
+
+constexpr const char* kComponent = "geo-routing";
+
+/// Wire representation of an in-flight envelope.
+class RoutePayload final : public radio::Payload {
+ public:
+  explicit RoutePayload(RouteEnvelope envelope)
+      : envelope_(std::move(envelope)) {}
+
+  std::size_t size_bytes() const override {
+    // envelope id (8) + origin (2) + dest coord (8) + flags/ttl (2) + inner.
+    return 20 + (envelope_.inner ? envelope_.inner->size_bytes() : 0);
+  }
+  const RouteEnvelope& envelope() const { return envelope_; }
+
+ private:
+  RouteEnvelope envelope_;
+};
+
+/// Per-hop acknowledgement.
+class AckPayload final : public radio::Payload {
+ public:
+  explicit AckPayload(std::uint64_t envelope_id) : envelope_id_(envelope_id) {}
+  std::size_t size_bytes() const override { return 8; }
+  std::uint64_t envelope_id() const { return envelope_id_; }
+
+ private:
+  std::uint64_t envelope_id_;
+};
+
+}  // namespace
+
+GeoRouting::GeoRouting(node::Mote& mote, RoutingConfig config)
+    : mote_(mote), config_(config), seen_(config.dedup_capacity) {
+  mote_.set_handler(radio::MsgType::kRoute,
+                    [this](const radio::Frame& f) { handle_route(f); });
+  mote_.set_handler(radio::MsgType::kRouteAck,
+                    [this](const radio::Frame& f) { handle_ack(f); });
+}
+
+void GeoRouting::on_delivery(radio::MsgType inner_type,
+                             DeliveryHandler handler) {
+  auto& slot = delivery_[static_cast<std::size_t>(inner_type)];
+  assert(!slot && "one consumer per inner type");
+  slot = std::move(handler);
+}
+
+const std::vector<NodeId>& GeoRouting::neighbors() const {
+  if (!neighbors_cached_) {
+    neighbor_cache_ = mote_.medium().neighbors(mote_.id());
+    neighbors_cached_ = true;
+  }
+  return neighbor_cache_;
+}
+
+std::optional<NodeId> GeoRouting::best_next_hop(
+    Vec2 dest, const std::vector<NodeId>& exclude) const {
+  const double own = distance_sq(mote_.position(), dest);
+  std::optional<NodeId> best;
+  double best_d = own;
+  for (NodeId n : neighbors()) {
+    if (std::find(exclude.begin(), exclude.end(), n) != exclude.end()) {
+      continue;
+    }
+    const double d = distance_sq(mote_.medium().position_of(n), dest);
+    if (d < best_d) {
+      best_d = d;
+      best = n;
+    }
+  }
+  return best;
+}
+
+void GeoRouting::send(Vec2 dest, radio::MsgType inner_type,
+                      std::shared_ptr<const radio::Payload> inner,
+                      std::optional<NodeId> final_dst) {
+  RouteEnvelope envelope;
+  envelope.envelope_id =
+      (mote_.id().value() << 32) | static_cast<std::uint64_t>(next_seq_++);
+  envelope.origin = mote_.id();
+  envelope.dest = dest;
+  envelope.final_dst = final_dst;
+  envelope.inner_type = inner_type;
+  envelope.inner = std::move(inner);
+  envelope.max_hops = config_.max_hops;
+  stats_.originated++;
+  accept(std::move(envelope));
+}
+
+void GeoRouting::handle_route(const radio::Frame& frame) {
+  const auto* payload = static_cast<const RoutePayload*>(frame.payload.get());
+  const RouteEnvelope& envelope = payload->envelope();
+
+  // Ack the hop first — the previous relay only needs to know we have it,
+  // even when it turns out to be a duplicate.
+  mote_.unicast(frame.src, radio::MsgType::kRouteAck,
+                std::make_shared<AckPayload>(envelope.envelope_id));
+
+  if (seen_.contains(envelope.envelope_id)) {
+    stats_.duplicates++;
+    return;
+  }
+  accept(envelope);
+}
+
+void GeoRouting::handle_ack(const radio::Frame& frame) {
+  const auto* payload = static_cast<const AckPayload*>(frame.payload.get());
+  auto it = pending_.find(payload->envelope_id());
+  if (it == pending_.end()) return;  // late ack after retry resolution
+  it->second.timeout.cancel();
+  pending_.erase(it);
+}
+
+void GeoRouting::accept(RouteEnvelope envelope) {
+  seen_.put(envelope.envelope_id, true);
+
+  if (envelope.final_dst && *envelope.final_dst == mote_.id()) {
+    consume(envelope);
+    return;
+  }
+
+  const auto next = best_next_hop(envelope.dest);
+  if (!next) {
+    // Greedy local minimum: this node is closer to the destination
+    // coordinate than every neighbour.
+    if (!envelope.final_dst) {
+      consume(envelope);  // coordinate-addressed: nearest node consumes
+    } else {
+      stats_.dropped_dead_end++;
+      ET_DEBUG(kComponent, "node %llu: dead end toward %s",
+               static_cast<unsigned long long>(mote_.id().value()),
+               envelope.dest.to_string().c_str());
+    }
+    return;
+  }
+  envelope.hops++;
+  if (envelope.hops > envelope.max_hops) {
+    stats_.dropped_ttl++;
+    return;
+  }
+
+  PendingHop hop{std::move(envelope), *next, config_.hop_attempts,
+                 sim::EventHandle{}, {}};
+  const std::uint64_t id = hop.envelope.envelope_id;
+  pending_[id] = std::move(hop);
+  stats_.forwarded++;
+  transmit_hop(id);
+}
+
+void GeoRouting::transmit_hop(std::uint64_t envelope_id) {
+  auto it = pending_.find(envelope_id);
+  if (it == pending_.end()) return;
+  PendingHop& hop = it->second;
+  hop.attempts_left--;
+  mote_.unicast(hop.next_hop, radio::MsgType::kRoute,
+                std::make_shared<RoutePayload>(hop.envelope));
+  hop.timeout = mote_.sim().schedule(config_.ack_timeout, [this, envelope_id] {
+    auto pending_it = pending_.find(envelope_id);
+    if (pending_it == pending_.end()) return;  // acked meanwhile
+    PendingHop& pending = pending_it->second;
+    if (pending.attempts_left > 0) {
+      stats_.retries++;
+      transmit_hop(envelope_id);
+      return;
+    }
+    // This link is dead (crashed node or persistent interference): route
+    // around it through the next-closest alive neighbour.
+    pending.dead.push_back(pending.next_hop);
+    if (const auto alternative =
+            best_next_hop(pending.envelope.dest, pending.dead)) {
+      pending.next_hop = *alternative;
+      pending.attempts_left = config_.hop_attempts;
+      stats_.retries++;
+      transmit_hop(envelope_id);
+      return;
+    }
+    // No alternative: for coordinate-addressed envelopes this node is the
+    // closest *reachable* one and consumes; targeted envelopes drop.
+    RouteEnvelope envelope = std::move(pending.envelope);
+    pending_.erase(pending_it);
+    if (!envelope.final_dst) {
+      consume(envelope);
+    } else {
+      stats_.dropped_dead_end++;
+    }
+  });
+}
+
+void GeoRouting::consume(const RouteEnvelope& envelope) {
+  stats_.delivered++;
+  const auto& handler =
+      delivery_[static_cast<std::size_t>(envelope.inner_type)];
+  if (handler) handler(envelope);
+}
+
+}  // namespace et::net

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "node/mote.hpp"
+#include "radio/packet.hpp"
+#include "util/geometry.hpp"
+#include "util/lru_map.hpp"
+
+/// Location-aware multi-hop routing.
+///
+/// The paper assumes "network nodes and routing are location-aware" (§2) and
+/// builds its directory (§5.3) and transport (§5.4) on coordinate-addressed
+/// delivery. This module provides that substrate: greedy geographic
+/// forwarding — each hop relays to the neighbour strictly closest to the
+/// destination coordinate — with per-hop stop-and-wait ARQ (the end-to-end
+/// protocols atop it assume links lose frames but not entire paths), TTL,
+/// and duplicate suppression.
+namespace et::net {
+
+/// End-to-end envelope carried inside kRoute frames.
+struct RouteEnvelope {
+  std::uint64_t envelope_id = 0;  // (origin << 32 | seq), for dedup/acks
+  NodeId origin;
+  Vec2 dest;                       // destination coordinate
+  std::optional<NodeId> final_dst; // when set, only this node may consume
+  radio::MsgType inner_type = radio::MsgType::kUser;
+  std::shared_ptr<const radio::Payload> inner;
+  std::uint16_t hops = 0;
+  std::uint16_t max_hops = 32;
+};
+
+struct RoutingConfig {
+  /// Per-hop transmissions before giving up on a link (1 = no retry).
+  int hop_attempts = 3;
+  /// How long to wait for the next hop's ack before retrying.
+  Duration ack_timeout = Duration::millis(60);
+  /// TTL for new envelopes.
+  std::uint16_t max_hops = 32;
+  /// Remembered envelope ids for duplicate suppression.
+  std::size_t dedup_capacity = 128;
+  /// A node "has arrived" when it is within this distance of the
+  /// destination coordinate and no neighbour is closer.
+  double arrival_radius = 0.75;
+};
+
+struct RoutingStats {
+  std::uint64_t originated = 0;
+  std::uint64_t delivered = 0;       // consumed at this node
+  std::uint64_t forwarded = 0;       // relayed one hop
+  std::uint64_t retries = 0;         // per-hop retransmissions
+  std::uint64_t dropped_dead_end = 0;  // greedy local minimum / link dead
+  std::uint64_t dropped_ttl = 0;
+  std::uint64_t duplicates = 0;
+};
+
+/// Per-mote routing service. Owns MsgType::kRoute and kRouteAck on its mote.
+class GeoRouting {
+ public:
+  /// Upcall on consumed envelopes, keyed by inner message type.
+  using DeliveryHandler = std::function<void(const RouteEnvelope&)>;
+
+  GeoRouting(node::Mote& mote, RoutingConfig config = {});
+
+  /// Registers the consumer for an inner message type.
+  void on_delivery(radio::MsgType inner_type, DeliveryHandler handler);
+
+  /// Originates an envelope toward `dest`. When `final_dst` is set the
+  /// envelope is only consumed by that node (otherwise it is consumed by
+  /// the node closest to `dest`).
+  void send(Vec2 dest, radio::MsgType inner_type,
+            std::shared_ptr<const radio::Payload> inner,
+            std::optional<NodeId> final_dst = std::nullopt);
+
+  const RoutingStats& stats() const { return stats_; }
+
+ private:
+  struct PendingHop {
+    RouteEnvelope envelope;
+    NodeId next_hop;
+    int attempts_left;
+    sim::EventHandle timeout;
+    /// Neighbours that exhausted their ARQ attempts for this envelope;
+    /// the forwarder falls back to the next-closest alive neighbour.
+    std::vector<NodeId> dead;
+  };
+
+  void handle_route(const radio::Frame& frame);
+  void handle_ack(const radio::Frame& frame);
+
+  /// Accepts an envelope at this node: consume or forward.
+  void accept(RouteEnvelope envelope);
+  void forward(RouteEnvelope envelope);
+  void transmit_hop(std::uint64_t envelope_id);
+  void consume(const RouteEnvelope& envelope);
+
+  /// The neighbour strictly closer to `dest` than this node, skipping
+  /// `exclude`, or nullopt.
+  std::optional<NodeId> best_next_hop(
+      Vec2 dest, const std::vector<NodeId>& exclude = {}) const;
+  const std::vector<NodeId>& neighbors() const;
+
+  node::Mote& mote_;
+  RoutingConfig config_;
+  std::array<DeliveryHandler, radio::kMsgTypeCount> delivery_{};
+  mutable std::vector<NodeId> neighbor_cache_;
+  mutable bool neighbors_cached_ = false;
+  std::uint32_t next_seq_ = 0;
+  LruMap<std::uint64_t, bool> seen_;
+  std::unordered_map<std::uint64_t, PendingHop> pending_;
+  RoutingStats stats_;
+};
+
+}  // namespace et::net

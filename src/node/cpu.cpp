@@ -1,0 +1,38 @@
+#include "node/cpu.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace et::node {
+
+bool Cpu::post(Duration cost, std::function<void()> fn) {
+  assert(!cost.is_negative());
+  stats_.posted++;
+  if (queue_.size() >= config_.queue_capacity) {
+    stats_.dropped++;
+    return false;
+  }
+  queue_.push_back(Task{cost, std::move(fn)});
+  if (!running_) start_next();
+  return true;
+}
+
+void Cpu::start_next() {
+  if (queue_.empty()) {
+    running_ = false;
+    return;
+  }
+  running_ = true;
+  Task task = std::move(queue_.front());
+  queue_.pop_front();
+  stats_.busy += task.cost;
+  // The task's effects become visible when its service time elapses; the
+  // next task then starts immediately (run-to-completion scheduling).
+  sim_.schedule(task.cost, [this, fn = std::move(task.fn)]() {
+    stats_.executed++;
+    fn();
+    start_next();
+  });
+}
+
+}  // namespace et::node

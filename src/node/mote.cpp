@@ -1,0 +1,62 @@
+#include "node/mote.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace et::node {
+
+Mote::Mote(sim::Simulator& sim, radio::Medium& medium, env::Environment& env,
+           NodeId id, Vec2 position, CpuConfig cpu_config)
+    : sim_(sim),
+      medium_(medium),
+      env_(env),
+      id_(id),
+      position_(position),
+      cpu_(sim, cpu_config),
+      rng_(sim.make_rng("mote-" + std::to_string(id.value()))) {
+  medium_.attach(id, position,
+                 [this](const radio::Frame& frame) { on_frame(frame); });
+}
+
+void Mote::broadcast(radio::MsgType type,
+                     std::shared_ptr<const radio::Payload> payload,
+                     std::optional<double> range_limit) {
+  medium_.send(
+      radio::Frame{id_, std::nullopt, type, std::move(payload), range_limit});
+}
+
+void Mote::unicast(NodeId dst, radio::MsgType type,
+                   std::shared_ptr<const radio::Payload> payload) {
+  medium_.send(radio::Frame{id_, dst, type, std::move(payload)});
+}
+
+void Mote::set_handler(radio::MsgType type, FrameHandler handler) {
+  auto& slot = handlers_[static_cast<std::size_t>(type)];
+  assert(!slot && "each message type has exactly one owning service");
+  slot = std::move(handler);
+}
+
+void Mote::on_frame(const radio::Frame& frame) {
+  if (down_) return;
+  const auto& handler = handlers_[static_cast<std::size_t>(frame.type)];
+  if (!handler) return;  // no service interested: drop silently
+  // Frame processing costs CPU; under overload the post fails and the frame
+  // is effectively lost inside the node.
+  cpu_.post_rx([handler, frame] { handler(frame); });
+}
+
+sim::EventHandle Mote::after(Duration delay, std::function<void()> fn) {
+  return sim_.schedule(delay, [this, fn = std::move(fn)] {
+    if (!down_) cpu_.post_timer(fn);
+  });
+}
+
+sim::EventHandle Mote::every(Duration first_delay, Duration period,
+                             std::function<void()> fn) {
+  return sim_.schedule_periodic(first_delay, period,
+                                [this, fn = std::move(fn)] {
+                                  if (!down_) cpu_.post_timer(fn);
+                                });
+}
+
+}  // namespace et::node

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string_view>
+
+#include "env/environment.hpp"
+#include "node/cpu.hpp"
+#include "radio/medium.hpp"
+#include "radio/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/ids.hpp"
+#include "util/rng.hpp"
+
+/// One sensor node.
+///
+/// A `Mote` wires together the substrate a middleware stack runs on: the
+/// shared radio (frames in/out), the CPU task queue (every handler pays a
+/// service-time cost), timers, the sensing hardware (delegating to the
+/// `Environment` ground truth), and a per-node RNG stream. Middleware
+/// services (group management, transport, directory) register one frame
+/// handler per message type.
+namespace et::node {
+
+class Mote {
+ public:
+  using FrameHandler = std::function<void(const radio::Frame&)>;
+
+  Mote(sim::Simulator& sim, radio::Medium& medium, env::Environment& env,
+       NodeId id, Vec2 position, CpuConfig cpu_config = {});
+
+  Mote(const Mote&) = delete;
+  Mote& operator=(const Mote&) = delete;
+
+  NodeId id() const { return id_; }
+  Vec2 position() const { return position_; }
+  Time now() const { return sim_.now(); }
+  sim::Simulator& sim() { return sim_; }
+  Cpu& cpu() { return cpu_; }
+  const Cpu& cpu() const { return cpu_; }
+  Rng& rng() { return rng_; }
+  radio::Medium& medium() { return medium_; }
+  env::Environment& environment() { return env_; }
+
+  // --- Sensing hardware ---
+
+  /// The sense_e() predicate evaluated against local hardware: does this
+  /// mote currently sense a target of `type`?
+  bool senses(std::string_view type) const {
+    return env_.senses(type, position_, sim_.now());
+  }
+
+  /// Scalar sensor reading ("magnetic", "temperature", ...).
+  double read_sensor(std::string_view channel) const {
+    return env_.reading(channel, position_, sim_.now());
+  }
+
+  // --- Radio ---
+
+  /// Broadcasts `payload` to everyone in range. A `range_limit` below the
+  /// medium's communication radius models reduced transmit power.
+  void broadcast(radio::MsgType type,
+                 std::shared_ptr<const radio::Payload> payload,
+                 std::optional<double> range_limit = std::nullopt);
+
+  /// Sends `payload` addressed to `dst` (must be a direct neighbour to be
+  /// received; multi-hop delivery is the routing layer's job).
+  void unicast(NodeId dst, radio::MsgType type,
+               std::shared_ptr<const radio::Payload> payload);
+
+  /// Registers the handler for one message type. At most one service owns
+  /// each type.
+  void set_handler(radio::MsgType type, FrameHandler handler);
+
+  // --- Timers (all handler executions go through the CPU model) ---
+
+  /// Runs `fn` as a timer task after `delay`.
+  sim::EventHandle after(Duration delay, std::function<void()> fn);
+
+  /// Runs `fn` as a timer task every `period` after `first_delay`.
+  sim::EventHandle every(Duration first_delay, Duration period,
+                         std::function<void()> fn);
+
+  /// Entry point the medium calls on frame arrival; posts an rx task.
+  void on_frame(const radio::Frame& frame);
+
+  /// Failure injection: a down mote neither receives frames nor fires
+  /// timer tasks. (Its already-transmitted frames are unaffected.)
+  void set_down(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
+
+ private:
+  sim::Simulator& sim_;
+  radio::Medium& medium_;
+  env::Environment& env_;
+  NodeId id_;
+  Vec2 position_;
+  Cpu cpu_;
+  Rng rng_;
+  bool down_ = false;
+  std::array<FrameHandler, radio::kMsgTypeCount> handlers_{};
+};
+
+}  // namespace et::node

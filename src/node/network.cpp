@@ -1,0 +1,16 @@
+#include "node/network.hpp"
+
+namespace et::node {
+
+MoteNetwork::MoteNetwork(sim::Simulator& sim, radio::Medium& medium,
+                         env::Environment& env, const env::Field& field,
+                         CpuConfig cpu_config) {
+  motes_.reserve(field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    const NodeId id{i};
+    motes_.push_back(std::make_unique<Mote>(sim, medium, env, id,
+                                            field.position(id), cpu_config));
+  }
+}
+
+}  // namespace et::node

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "env/field.hpp"
+#include "node/mote.hpp"
+
+/// The deployed mote population.
+///
+/// Builds one `Mote` per field position (attached to the shared medium in
+/// id order) and provides indexed access for scenario assembly, metrics,
+/// and failure injection.
+namespace et::node {
+
+class MoteNetwork {
+ public:
+  MoteNetwork(sim::Simulator& sim, radio::Medium& medium,
+              env::Environment& env, const env::Field& field,
+              CpuConfig cpu_config = {});
+
+  MoteNetwork(const MoteNetwork&) = delete;
+  MoteNetwork& operator=(const MoteNetwork&) = delete;
+
+  std::size_t size() const { return motes_.size(); }
+  Mote& mote(NodeId id) { return *motes_[id.value()]; }
+  const Mote& mote(NodeId id) const { return *motes_[id.value()]; }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& m : motes_) fn(*m);
+  }
+
+ private:
+  std::vector<std::unique_ptr<Mote>> motes_;
+};
+
+}  // namespace et::node

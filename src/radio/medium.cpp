@@ -1,0 +1,254 @@
+#include "radio/medium.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace et::radio {
+
+namespace {
+constexpr const char* kComponent = "radio";
+}
+
+const char* msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kHeartbeat:
+      return "heartbeat";
+    case MsgType::kReport:
+      return "report";
+    case MsgType::kRelinquish:
+      return "relinquish";
+    case MsgType::kDirUpdate:
+      return "dir-update";
+    case MsgType::kDirQuery:
+      return "dir-query";
+    case MsgType::kDirReply:
+      return "dir-reply";
+    case MsgType::kMtpData:
+      return "mtp-data";
+    case MsgType::kRoute:
+      return "route";
+    case MsgType::kRouteAck:
+      return "route-ack";
+    case MsgType::kCrossTraffic:
+      return "cross-traffic";
+    case MsgType::kUser:
+      return "user";
+  }
+  return "?";
+}
+
+Medium::Medium(sim::Simulator& sim, RadioConfig config)
+    : sim_(sim), config_(config), rng_(sim.make_rng("radio-medium")) {
+  assert(config_.comm_radius > 0.0);
+  assert(config_.bitrate_bps > 0.0);
+}
+
+void Medium::attach(NodeId id, Vec2 position, Receiver receiver) {
+  assert(id.value() == endpoints_.size() &&
+         "nodes must be attached densely in id order");
+  Endpoint endpoint;
+  endpoint.pos = position;
+  endpoint.recv = std::move(receiver);
+  endpoints_.push_back(std::move(endpoint));
+}
+
+Duration Medium::airtime_of(const Frame& frame) const {
+  const std::size_t bytes =
+      config_.header_bytes + (frame.payload ? frame.payload->size_bytes() : 0);
+  return Duration::seconds(static_cast<double>(bytes) * 8.0 /
+                           config_.bitrate_bps);
+}
+
+void Medium::send(Frame frame) {
+  assert(frame.src.value() < endpoints_.size());
+  assert(frame.payload != nullptr);
+  Endpoint& ep = endpoints_[frame.src.value()];
+  stats_.of(frame.type).offered++;
+  if (ep.queue.size() >= config_.tx_queue_capacity) {
+    stats_.of(frame.type).mac_dropped++;
+    ET_DEBUG(kComponent, "node %llu tx queue overflow, dropping %s",
+             static_cast<unsigned long long>(frame.src.value()),
+             msg_type_name(frame.type));
+    return;
+  }
+  ep.queue.push_back(std::move(frame));
+  try_send(frame.src);
+}
+
+bool Medium::channel_busy_at(NodeId id) const {
+  const Vec2 pos = endpoints_[id.value()].pos;
+  const Time now = sim_.now();
+  for (const Transmission& tx : history_) {
+    if (tx.end > now && tx.start <= now &&
+        (tx.src == id || audible_at(pos, tx.pos))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<NodeId> Medium::neighbors(NodeId id) const {
+  std::vector<NodeId> out;
+  const Vec2 pos = endpoints_[id.value()].pos;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (i == id.value()) continue;
+    if (audible_at(endpoints_[i].pos, pos)) out.push_back(NodeId{i});
+  }
+  return out;
+}
+
+void Medium::try_send(NodeId id) {
+  Endpoint& ep = endpoints_[id.value()];
+  if (ep.transmitting || ep.backoff_pending || ep.queue.empty()) return;
+
+  const bool sensed_busy =
+      channel_busy_at(id) && !rng_.chance(config_.carrier_sense_miss);
+  if (sensed_busy) {
+    // Carrier sensed busy: exponential backoff, no retransmission after the
+    // attempt limit (frame silently dropped, as on the real MAC).
+    ep.backoff_attempts++;
+    if (ep.backoff_attempts > config_.max_backoff_attempts) {
+      Frame dropped = std::move(ep.queue.front());
+      ep.queue.pop_front();
+      ep.backoff_attempts = 0;
+      stats_.of(dropped.type).mac_dropped++;
+      ET_DEBUG(kComponent, "node %llu backoff exhausted, dropping %s",
+               static_cast<unsigned long long>(id.value()),
+               msg_type_name(dropped.type));
+      // Try the next queued frame, if any.
+      if (!ep.queue.empty()) try_send(id);
+      return;
+    }
+    const int window = 1 << std::min(ep.backoff_attempts, 5);
+    const double slots = rng_.uniform(1.0, static_cast<double>(window));
+    ep.backoff_pending = true;
+    sim_.schedule(config_.backoff_slot * slots, [this, id] {
+      endpoints_[id.value()].backoff_pending = false;
+      try_send(id);
+    });
+    return;
+  }
+
+  begin_transmission(id);
+}
+
+void Medium::begin_transmission(NodeId id) {
+  Endpoint& ep = endpoints_[id.value()];
+  assert(!ep.queue.empty());
+  Frame frame = std::move(ep.queue.front());
+  ep.queue.pop_front();
+  ep.backoff_attempts = 0;
+  ep.transmitting = true;
+
+  const Duration airtime = airtime_of(frame);
+  const Time start = sim_.now();
+  const Time end = start + airtime;
+  const std::uint64_t tx_id = next_tx_id_++;
+  history_.push_back(Transmission{tx_id, id, ep.pos, start, end});
+
+  const std::size_t bytes =
+      config_.header_bytes + frame.payload->size_bytes();
+  stats_.bits_sent += bytes * 8;
+  stats_.airtime += airtime;
+  stats_.of(frame.type).transmitted++;
+  ep.stats.frames_sent++;
+  ep.stats.bits_sent += bytes * 8;
+
+  sim_.schedule(airtime, [this, id, frame = std::move(frame), start, end,
+                          tx_id]() mutable {
+    complete_transmission(id, std::move(frame), start, end, tx_id);
+  });
+}
+
+void Medium::complete_transmission(NodeId id, Frame frame, Time start,
+                                   Time end, std::uint64_t tx_id) {
+  endpoints_[id.value()].transmitting = false;
+  deliver(frame, start, end, tx_id);
+  prune_history();
+  // Move on to the next queued frame after a short turnaround gap so two
+  // frames from the same node cannot overlap.
+  if (!endpoints_[id.value()].queue.empty()) {
+    sim_.schedule(Duration::micros(100), [this, id] { try_send(id); });
+  }
+}
+
+bool Medium::corrupted_at(NodeId receiver, Time start, Time end,
+                          std::uint64_t tx_id) const {
+  const Vec2 pos = endpoints_[receiver.value()].pos;
+  for (const Transmission& tx : history_) {
+    if (tx.tx_id == tx_id) continue;
+    const bool overlaps = tx.start < end && tx.end > start;
+    if (!overlaps) continue;
+    // Half-duplex: the receiver's own transmission always interferes.
+    if (tx.src == receiver || audible_at(pos, tx.pos)) return true;
+  }
+  return false;
+}
+
+void Medium::deliver(const Frame& frame, Time start, Time end,
+                     std::uint64_t tx_id) {
+  TypeStats& ts = stats_.of(frame.type);
+  std::size_t delivered = 0;
+
+  auto attempt = [&](NodeId receiver) {
+    if (!endpoints_[receiver.value()].receiver_enabled) return;
+    ts.pair_attempts++;
+    if (config_.model_collisions && corrupted_at(receiver, start, end, tx_id)) {
+      ts.pair_lost_collision++;
+      return;
+    }
+    if (rng_.chance(config_.loss_probability)) {
+      ts.pair_lost_random++;
+      return;
+    }
+    ts.pair_delivered++;
+    ++delivered;
+    Endpoint& ep = endpoints_[receiver.value()];
+    ep.stats.frames_received++;
+    ep.stats.bits_received +=
+        (config_.header_bytes + frame.payload->size_bytes()) * 8;
+    if (ep.recv) ep.recv(frame);
+  };
+
+  const double reach =
+      frame.range_limit ? std::min(*frame.range_limit, config_.comm_radius)
+                        : config_.comm_radius;
+  const Vec2 src_pos = endpoints_[frame.src.value()].pos;
+  if (frame.is_broadcast()) {
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      if (i == frame.src.value()) continue;
+      if (within_radius(src_pos, endpoints_[i].pos, reach)) attempt(NodeId{i});
+    }
+  } else {
+    const NodeId dst = *frame.dst;
+    if (dst.value() < endpoints_.size() &&
+        within_radius(src_pos, endpoints_[dst.value()].pos, reach)) {
+      attempt(dst);
+    }
+  }
+
+  if (delivered == 0) ts.lost++;
+}
+
+void Medium::set_receiver_enabled(NodeId id, bool enabled) {
+  Endpoint& ep = endpoints_[id.value()];
+  if (ep.receiver_enabled == enabled) return;
+  if (enabled) {
+    ep.stats.radio_off += sim_.now() - ep.receiver_off_since;
+  } else {
+    ep.receiver_off_since = sim_.now();
+  }
+  ep.receiver_enabled = enabled;
+}
+
+void Medium::prune_history() {
+  // Transmissions can only collide with others overlapping their airtime;
+  // anything older than the longest plausible frame is irrelevant.
+  const Time cutoff = sim_.now() - Duration::seconds(1.0);
+  std::erase_if(history_,
+                [cutoff](const Transmission& tx) { return tx.end < cutoff; });
+}
+
+}  // namespace et::radio

@@ -1,0 +1,164 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "radio/packet.hpp"
+#include "radio/stats.hpp"
+#include "sim/simulator.hpp"
+#include "util/geometry.hpp"
+#include "util/rng.hpp"
+
+/// The shared wireless channel.
+///
+/// Models the MICA mote radio as the paper's experiments exercised it:
+///  - local broadcast within a fixed communication radius,
+///  - a single shared 50 kb/s channel,
+///  - CSMA with random backoff and *no* link-layer reliability ("no
+///    reliability is implemented in the MAC layer of the MICA motes"),
+///  - losses from both collisions (overlapping audible transmissions,
+///    hidden terminals included) and independent per-receiver noise,
+///  - half-duplex endpoints (a transmitting node hears nothing).
+namespace et::radio {
+
+struct RadioConfig {
+  /// Communication radius in grid units (paper stress tests fix it at 6).
+  double comm_radius = 6.0;
+  /// Channel capacity; 50 kb/s for MICA motes.
+  double bitrate_bps = 50'000.0;
+  /// Independent per-(receiver, frame) loss probability, modelling ambient
+  /// noise / fading the collision model does not capture.
+  double loss_probability = 0.05;
+  /// Link-layer header added to every payload (TinyOS AM-style).
+  std::size_t header_bytes = 7;
+  /// CSMA backoff slot; actual backoff is uniform over an exponentially
+  /// growing window of slots.
+  Duration backoff_slot = Duration::millis(2);
+  /// Probability that a sender misses an ongoing transmission during
+  /// carrier sense (the MICA radio's CSMA is imperfect); a missed sense
+  /// transmits anyway and collides at shared receivers. Protocol churn —
+  /// e.g. handover bursts at higher target speeds — therefore translates
+  /// into collision loss.
+  double carrier_sense_miss = 0.1;
+  /// Backoff attempts before the MAC drops the frame.
+  int max_backoff_attempts = 8;
+  /// Outgoing frame queue per node; overflow drops the newest frame.
+  std::size_t tx_queue_capacity = 16;
+  /// Disable to study the pure random-loss channel.
+  bool model_collisions = true;
+};
+
+class Medium {
+ public:
+  /// Invoked when a frame is successfully received by a node. Runs at the
+  /// simulated instant the last bit arrives.
+  using Receiver = std::function<void(const Frame&)>;
+
+  Medium(sim::Simulator& sim, RadioConfig config);
+
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  /// Registers a node. Ids must be dense from 0 and attached in order.
+  void attach(NodeId id, Vec2 position, Receiver receiver);
+
+  std::size_t node_count() const { return endpoints_.size(); }
+  Vec2 position_of(NodeId id) const { return endpoints_[id.value()].pos; }
+
+  /// Per-node radio activity, the basis of energy accounting.
+  struct EndpointStats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t bits_sent = 0;
+    std::uint64_t bits_received = 0;
+    /// Time spent with the receiver powered down (duty cycling).
+    Duration radio_off = Duration::zero();
+  };
+  const EndpointStats& endpoint_stats(NodeId id) const {
+    return endpoints_[id.value()].stats;
+  }
+
+  /// Powers a node's receiver down/up (duty cycling). A sleeping receiver
+  /// hears nothing — frames addressed to it are lost like any other — but
+  /// the node can still transmit (the radio wakes for the send).
+  void set_receiver_enabled(NodeId id, bool enabled);
+  bool receiver_enabled(NodeId id) const {
+    return endpoints_[id.value()].receiver_enabled;
+  }
+
+  /// Total receiver-off time including a currently-open sleep interval.
+  Duration radio_off_total(NodeId id) const {
+    const Endpoint& ep = endpoints_[id.value()];
+    Duration off = ep.stats.radio_off;
+    if (!ep.receiver_enabled) off += sim_.now() - ep.receiver_off_since;
+    return off;
+  }
+
+  /// Hands a frame to the sender's MAC. May transmit immediately, back off,
+  /// or drop (queue overflow / backoff exhaustion).
+  void send(Frame frame);
+
+  /// Carrier sense at `id`: is any transmission currently audible?
+  bool channel_busy_at(NodeId id) const;
+
+  /// Nodes within the communication radius of `id`, excluding `id`.
+  std::vector<NodeId> neighbors(NodeId id) const;
+
+  bool in_range(NodeId a, NodeId b) const {
+    return within_radius(endpoints_[a.value()].pos, endpoints_[b.value()].pos,
+                         config_.comm_radius);
+  }
+
+  const RadioConfig& config() const { return config_; }
+  const MediumStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MediumStats{}; }
+
+ private:
+  struct Endpoint {
+    Vec2 pos;
+    Receiver recv;
+    std::deque<Frame> queue;
+    bool transmitting = false;
+    bool backoff_pending = false;
+    int backoff_attempts = 0;
+    bool receiver_enabled = true;
+    Time receiver_off_since;
+    EndpointStats stats;
+  };
+
+  /// One on-air (or recently completed) transmission, kept for overlap
+  /// checks against later-starting transmissions.
+  struct Transmission {
+    std::uint64_t tx_id;
+    NodeId src;
+    Vec2 pos;
+    Time start;
+    Time end;
+  };
+
+  Duration airtime_of(const Frame& frame) const;
+  void try_send(NodeId id);
+  void begin_transmission(NodeId id);
+  void complete_transmission(NodeId id, Frame frame, Time start, Time end,
+                             std::uint64_t tx_id);
+  void deliver(const Frame& frame, Time start, Time end, std::uint64_t tx_id);
+  bool audible_at(Vec2 receiver_pos, Vec2 tx_pos) const {
+    return within_radius(tx_pos, receiver_pos, config_.comm_radius);
+  }
+  /// True when some other transmission overlapping [start, end] is audible
+  /// at `pos` (collision), or the receiver itself transmitted then.
+  bool corrupted_at(NodeId receiver, Time start, Time end,
+                    std::uint64_t tx_id) const;
+  void prune_history();
+
+  sim::Simulator& sim_;
+  RadioConfig config_;
+  Rng rng_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<Transmission> history_;  // recent + active transmissions
+  std::uint64_t next_tx_id_ = 0;
+  MediumStats stats_;
+};
+
+}  // namespace et::radio

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "util/ids.hpp"
+
+/// Frames exchanged over the wireless medium.
+///
+/// The simulator does not serialize protocol messages to bytes; payloads are
+/// shared immutable C++ objects carrying a self-reported wire size used for
+/// airtime and utilization accounting (MICA motes: 50 kb/s shared channel).
+namespace et::radio {
+
+/// Message type tags, used for handler dispatch and per-type loss
+/// statistics (Table 1 reports heartbeat loss and data-message loss
+/// separately).
+enum class MsgType : std::uint16_t {
+  kHeartbeat,     // group-management leader heartbeat (§5.2)
+  kReport,        // member -> leader sensor reading (§3.2.3)
+  kRelinquish,    // leader gives up leadership (§5.2)
+  kDirUpdate,     // context label -> directory location update (§5.3)
+  kDirQuery,      // "where are all the fires?" (§5.3)
+  kDirReply,      // directory answer
+  kMtpData,       // transport-layer remote method invocation (§5.4)
+  kRoute,         // geographic-routing encapsulation (multi-hop relay)
+  kRouteAck,      // per-hop acknowledgement of kRoute
+  kCrossTraffic,  // background noise generator (§6.2 bottleneck test)
+  kUser,          // application-defined
+};
+
+inline constexpr std::size_t kMsgTypeCount = 11;
+
+const char* msg_type_name(MsgType type);
+
+/// Base class of every protocol payload. Payloads are immutable once sent;
+/// the medium shares one instance among all receivers.
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  /// Serialized size this message would have on the air, excluding the
+  /// link-layer header (added by the medium). Drives airtime/utilization.
+  virtual std::size_t size_bytes() const = 0;
+};
+
+/// A link-layer frame: one local-broadcast transmission. `dst` filters
+/// which receivers hand the frame up their stack; physically every node in
+/// range hears it (and the group-management layer exploits that for
+/// perimeter snooping).
+struct Frame {
+  NodeId src;
+  std::optional<NodeId> dst;  // nullopt = broadcast
+  MsgType type = MsgType::kUser;
+  std::shared_ptr<const Payload> payload = nullptr;
+  /// Transmit-power control: when set, receivers beyond this distance do
+  /// not hear the frame (used to study heartbeat propagation ranges,
+  /// Fig. 4). Never exceeds the medium's communication radius.
+  std::optional<double> range_limit = std::nullopt;
+
+  bool is_broadcast() const { return !dst.has_value(); }
+};
+
+}  // namespace et::radio

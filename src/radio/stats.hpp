@@ -1,0 +1,88 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "radio/packet.hpp"
+#include "util/time.hpp"
+
+/// Channel statistics backing Table 1 of the paper (% HB loss, % msg loss,
+/// % link utilization).
+namespace et::radio {
+
+/// Counters for one message type.
+struct TypeStats {
+  /// Frames handed to the MAC by the application stack.
+  std::uint64_t offered = 0;
+  /// Frames that made it onto the air (survived CSMA backoff limits).
+  std::uint64_t transmitted = 0;
+  /// Frames dropped by the MAC (queue overflow or backoff exhaustion).
+  std::uint64_t mac_dropped = 0;
+  /// Broadcast frames received by nobody / unicast frames not received by
+  /// their destination — the paper's "sent but never received on any other
+  /// mote" loss measure.
+  std::uint64_t lost = 0;
+  /// (receiver, frame) pairs where the receiver was in range.
+  std::uint64_t pair_attempts = 0;
+  std::uint64_t pair_delivered = 0;
+  std::uint64_t pair_lost_collision = 0;
+  std::uint64_t pair_lost_random = 0;
+
+  /// Fraction of sent frames that were lost (never received where it
+  /// mattered). Returns 0 when nothing was sent.
+  double loss_rate() const {
+    const std::uint64_t sent = transmitted;
+    return sent == 0 ? 0.0
+                     : static_cast<double>(lost) / static_cast<double>(sent);
+  }
+
+  /// Per-(receiver, frame) loss fraction — the per-link loss a given
+  /// receiver experiences. For unicast traffic this equals loss_rate().
+  double pair_loss_rate() const {
+    return pair_attempts == 0
+               ? 0.0
+               : static_cast<double>(pair_attempts - pair_delivered) /
+                     static_cast<double>(pair_attempts);
+  }
+};
+
+struct MediumStats {
+  /// Total payload+header bits put on the air.
+  std::uint64_t bits_sent = 0;
+  /// Aggregate airtime of all transmissions.
+  Duration airtime = Duration::zero();
+
+  std::array<TypeStats, kMsgTypeCount> by_type{};
+
+  TypeStats& of(MsgType type) { return by_type[static_cast<std::size_t>(type)]; }
+  const TypeStats& of(MsgType type) const {
+    return by_type[static_cast<std::size_t>(type)];
+  }
+
+  TypeStats totals() const {
+    TypeStats t;
+    for (const auto& s : by_type) {
+      t.offered += s.offered;
+      t.transmitted += s.transmitted;
+      t.mac_dropped += s.mac_dropped;
+      t.lost += s.lost;
+      t.pair_attempts += s.pair_attempts;
+      t.pair_delivered += s.pair_delivered;
+      t.pair_lost_collision += s.pair_lost_collision;
+      t.pair_lost_random += s.pair_lost_random;
+    }
+    return t;
+  }
+
+  /// Worst-case link utilization over `elapsed`: total bits sent divided by
+  /// channel capacity, assuming a pure broadcast model in which no two
+  /// messages can be sent concurrently — exactly how the paper computes its
+  /// "Link Util" column.
+  double link_utilization(Duration elapsed, double bitrate_bps) const {
+    const double secs = elapsed.to_seconds();
+    if (secs <= 0.0) return 0.0;
+    return static_cast<double>(bits_sent) / (bitrate_bps * secs);
+  }
+};
+
+}  // namespace et::radio

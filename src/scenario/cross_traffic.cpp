@@ -1,0 +1,28 @@
+#include "scenario/cross_traffic.hpp"
+
+namespace et::scenario {
+
+std::vector<NodeId> start_cross_traffic(core::EnviroTrackSystem& system,
+                                        const CrossTrafficConfig& config) {
+  std::vector<NodeId> senders;
+  if (config.senders == 0 || system.node_count() == 0) return senders;
+  const std::size_t stride =
+      std::max<std::size_t>(1, system.node_count() / config.senders);
+  for (std::size_t i = 0; i < system.node_count() && senders.size() < config.senders;
+       i += stride) {
+    senders.push_back(NodeId{i});
+  }
+  for (NodeId id : senders) {
+    auto& mote = system.network().mote(id);
+    // Stagger starts so the generators do not synchronize.
+    const Duration phase = config.period * mote.rng().next_double();
+    mote.every(config.period + phase, config.period,
+               [&mote, bytes = config.payload_bytes] {
+                 mote.broadcast(radio::MsgType::kCrossTraffic,
+                                std::make_shared<CrossTrafficPayload>(bytes));
+               });
+  }
+  return senders;
+}
+
+}  // namespace et::scenario

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/system.hpp"
+
+/// Background "noise" traffic (§6.2).
+///
+/// The paper repeats the Fig. 5 stress test "in the presence of a
+/// substantial amount of cross traffic ... exchanged between motes that do
+/// not participate in the EnviroTrack protocol" to show the bottleneck is
+/// CPU, not bandwidth. This generator makes selected motes broadcast
+/// fixed-size junk frames on a period.
+namespace et::scenario {
+
+class CrossTrafficPayload final : public radio::Payload {
+ public:
+  explicit CrossTrafficPayload(std::size_t bytes) : bytes_(bytes) {}
+  std::size_t size_bytes() const override { return bytes_; }
+
+ private:
+  std::size_t bytes_;
+};
+
+struct CrossTrafficConfig {
+  /// How many motes emit noise (spread evenly across the field).
+  std::size_t senders = 8;
+  Duration period = Duration::millis(250);
+  std::size_t payload_bytes = 24;
+};
+
+/// Starts the generators on `system` (must be started). Senders are chosen
+/// evenly across node ids. Returns the chosen sender ids.
+std::vector<NodeId> start_cross_traffic(core::EnviroTrackSystem& system,
+                                        const CrossTrafficConfig& config);
+
+}  // namespace et::scenario

@@ -1,0 +1,37 @@
+#include "scenario/speed_search.hpp"
+
+namespace et::scenario {
+
+bool speed_trackable(const SpeedSearchParams& params, double speed) {
+  int successes = 0;
+  for (int i = 0; i < params.seeds; ++i) {
+    TankScenarioParams run = params.base;
+    run.speed_hops_per_s = speed;
+    run.seed = params.base.seed + static_cast<std::uint64_t>(i) * 1000003;
+    const TankRunResult result = run_tank_scenario(run);
+    if (result.trackable(params.min_tracked_fraction)) ++successes;
+    // Early exits once the majority is decided either way.
+    const int remaining = params.seeds - i - 1;
+    if (successes * 2 > params.seeds) return true;
+    if ((successes + remaining) * 2 <= params.seeds) return false;
+  }
+  return successes * 2 > params.seeds;
+}
+
+double find_max_trackable_speed(const SpeedSearchParams& params) {
+  if (!speed_trackable(params, params.lo)) return 0.0;
+  if (speed_trackable(params, params.hi)) return params.hi;
+  double lo = params.lo;  // trackable
+  double hi = params.hi;  // not trackable
+  while (hi - lo > params.resolution) {
+    const double mid = 0.5 * (lo + hi);
+    if (speed_trackable(params, mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace et::scenario

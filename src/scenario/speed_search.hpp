@@ -1,0 +1,34 @@
+#pragma once
+
+#include "scenario/tank.hpp"
+
+/// Maximum-trackable-speed search (§6.2).
+///
+/// "The maximum trackable speed is the highest target speed at which the
+/// single group abstraction is maintained" — i.e. context-label coherence
+/// holds across the entire traverse. The search runs the tank scenario at
+/// candidate speeds (majority over several seeds, since the channel is
+/// stochastic) and bisects to the highest trackable speed.
+namespace et::scenario {
+
+struct SpeedSearchParams {
+  /// Scenario template; its `speed_hops_per_s` is overwritten per probe.
+  TankScenarioParams base;
+  /// Search bracket, in hops/s.
+  double lo = 0.05;
+  double hi = 6.0;
+  /// Bisection stops at this resolution (hops/s).
+  double resolution = 0.1;
+  /// Independent runs per probed speed; trackable = majority.
+  int seeds = 3;
+  /// Minimum fraction of samples with the target tracked.
+  double min_tracked_fraction = 0.5;
+};
+
+/// True when the majority of seeded runs at `speed` keep coherence.
+bool speed_trackable(const SpeedSearchParams& params, double speed);
+
+/// Highest trackable speed in [lo, hi], or 0 when even `lo` fails.
+double find_max_trackable_speed(const SpeedSearchParams& params);
+
+}  // namespace et::scenario

@@ -1,0 +1,37 @@
+#pragma once
+
+/// Unit conversions for the paper's tank case study (§6.1).
+///
+/// The deployed grid spacing — one simulation grid unit — corresponds to
+/// 140 m at full scale (the per-hop distance chosen so a target detectable
+/// at 100 m is always in range of some sensor). Target speeds are quoted in
+/// km/hr in §6.1 and in hops/s in §6.2.
+namespace et::scenario {
+
+/// Full-scale metres per grid unit (per hop).
+inline constexpr double kMetersPerHop = 140.0;
+
+/// km/hr -> grid units (hops) per second.
+inline constexpr double kmh_to_hops_per_s(double kmh) {
+  return kmh * 1000.0 / 3600.0 / kMetersPerHop;
+}
+
+/// hops/s -> km/hr.
+inline constexpr double hops_per_s_to_kmh(double hops) {
+  return hops * kMetersPerHop * 3600.0 / 1000.0;
+}
+
+/// Seconds the target needs to cover one hop.
+inline constexpr double seconds_per_hop(double hops_per_s) {
+  return 1.0 / hops_per_s;
+}
+
+/// The paper's reference speeds: 10 s/hop ≈ 50 km/hr, 15 s/hop ≈ 33 km/hr.
+inline constexpr double kTankFastKmh = 50.0;
+inline constexpr double kTankSlowKmh = 33.0;
+
+/// T-72 magnetic signature: detectable at ~100 m ≈ 0.7 hop; the testbed
+/// emulated an effective sensing radius of about one grid unit.
+inline constexpr double kTankSensingRadius = 1.0;
+
+}  // namespace et::scenario

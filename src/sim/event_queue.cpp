@@ -1,0 +1,51 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace et::sim {
+
+EventHandle EventQueue::schedule(Time at, Callback fn) {
+  auto cancelled = std::make_shared<bool>(false);
+  auto fired = std::make_shared<bool>(false);
+  heap_.push(Entry{at, next_seq_++, std::move(fn), cancelled, fired});
+  ++live_count_;
+  return EventHandle{std::move(cancelled), std::move(fired)};
+}
+
+void EventQueue::skip_cancelled() const {
+  while (!heap_.empty() && *heap_.top().cancelled) {
+    heap_.pop();
+    --live_count_;
+  }
+}
+
+bool EventQueue::empty() const {
+  skip_cancelled();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() const {
+  skip_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skip_cancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the entry is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, std::move(top.fn)};
+  *top.fired = true;
+  heap_.pop();
+  --live_count_;
+  return fired;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  live_count_ = 0;
+}
+
+}  // namespace et::sim

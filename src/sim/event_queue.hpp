@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.hpp"
+
+/// The pending-event set of the discrete-event simulator.
+///
+/// Events are totally ordered by (time, insertion sequence) so that
+/// simultaneous events fire in a deterministic FIFO order — essential for
+/// reproducible distributed-protocol runs. Cancellation is O(1) via a shared
+/// tombstone flag; cancelled events are skipped at pop time.
+namespace et::sim {
+
+/// Handle used to cancel a scheduled event. Default-constructed handles are
+/// inert; cancelling an already-fired event is a harmless no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event from firing. Safe to call repeatedly.
+  void cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+
+  /// True when the handle refers to an event that has neither fired nor
+  /// been cancelled.
+  bool pending() const { return cancelled_ && !*cancelled_ && !*fired_; }
+
+ private:
+  friend class EventQueue;
+  friend class Simulator;
+  EventHandle(std::shared_ptr<bool> cancelled, std::shared_ptr<bool> fired)
+      : cancelled_(std::move(cancelled)), fired_(std::move(fired)) {}
+
+  std::shared_ptr<bool> cancelled_;
+  std::shared_ptr<bool> fired_;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `at`. Scheduling in the past is the
+  /// caller's bug; the queue itself only orders what it is given.
+  EventHandle schedule(Time at, Callback fn);
+
+  bool empty() const;
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event. Undefined when empty().
+  Time next_time() const;
+
+  /// Removes and returns the earliest live event. Undefined when empty().
+  struct Fired {
+    Time time;
+    Callback fn;
+  };
+  Fired pop();
+
+  /// Drops every pending event.
+  void clear();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<bool> cancelled;
+    std::shared_ptr<bool> fired;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Discards cancelled entries at the head.
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+  mutable std::size_t live_count_ = 0;
+};
+
+}  // namespace et::sim

@@ -1,0 +1,75 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace et::sim {
+
+Simulator::Simulator(std::uint64_t seed) : seed_(seed), root_rng_(seed) {
+  Logger::instance().set_clock([this] { return now_; });
+}
+
+Simulator::~Simulator() { Logger::instance().clear_clock(); }
+
+EventHandle Simulator::schedule(Duration delay, std::function<void()> fn) {
+  assert(!delay.is_negative());
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
+  assert(at >= now_);
+  return queue_.schedule(at, std::move(fn));
+}
+
+EventHandle Simulator::schedule_periodic(Duration first_delay, Duration period,
+                                         std::function<void()> fn) {
+  assert(period.is_positive());
+  // The chain's tombstone: the returned handle flips it, every subsequent
+  // firing checks it. `fired` stays false for the chain's lifetime so
+  // pending() reports true until cancellation.
+  auto stopped = std::make_shared<bool>(false);
+  auto fired = std::make_shared<bool>(false);
+
+  auto loop = std::make_shared<std::function<void()>>();
+  auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
+  *loop = [this, stopped, loop, shared_fn, period]() {
+    if (*stopped) return;
+    (*shared_fn)();
+    if (*stopped) return;
+    schedule(period, *loop);
+  };
+  schedule(first_delay, *loop);
+  return EventHandle{std::move(stopped), std::move(fired)};
+}
+
+std::size_t Simulator::run_until(Time deadline) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    auto ev = queue_.pop();
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ev.fn();
+    ++fired;
+    ++events_fired_;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+std::size_t Simulator::run_all() {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    auto ev = queue_.pop();
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ev.fn();
+    ++fired;
+    ++events_fired_;
+  }
+  return fired;
+}
+
+}  // namespace et::sim

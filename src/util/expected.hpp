@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+/// A minimal result type for recoverable failures.
+///
+/// Used where an operation can fail for a reason the caller is expected to
+/// handle (parsing, directory lookups, aggregate reads below critical mass).
+/// Exceptions remain reserved for programming errors.
+namespace et {
+
+/// Error payload: a machine-readable code plus a human-readable message.
+struct Error {
+  std::string code;
+  std::string message;
+
+  std::string to_string() const { return code + ": " + message; }
+};
+
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Expected(Error error) : value_(std::move(error)) {}  // NOLINT
+
+  static Expected failure(std::string code, std::string message) {
+    return Expected(Error{std::move(code), std::move(message)});
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(value_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(value_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(value_) : std::move(fallback);
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(value_);
+  }
+
+ private:
+  std::variant<T, Error> value_;
+};
+
+}  // namespace et

@@ -1,0 +1,13 @@
+#include "util/geometry.hpp"
+
+#include <cstdio>
+
+namespace et {
+
+std::string Vec2::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.3f, %.3f)", x, y);
+  return buf;
+}
+
+}  // namespace et

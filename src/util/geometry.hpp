@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <string>
+
+/// 2-D geometry used throughout the sensor field model.
+///
+/// Field coordinates are in *grid units*: in the paper's tank case study one
+/// grid unit corresponds to the 140 m per-hop spacing of the deployed motes
+/// (§6.1). All geometric reasoning (sensing radii, communication radii,
+/// trajectories) happens in this unit system.
+namespace et {
+
+/// A 2-D point / vector in grid units.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator*(Vec2 a, double k) {
+    return {a.x * k, a.y * k};
+  }
+  friend constexpr Vec2 operator*(double k, Vec2 a) { return a * k; }
+  friend constexpr Vec2 operator/(Vec2 a, double k) {
+    return {a.x / k, a.y / k};
+  }
+  Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+
+  friend constexpr bool operator==(Vec2, Vec2) = default;
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  constexpr double norm_sq() const { return x * x + y * y; }
+  double norm() const { return std::sqrt(norm_sq()); }
+
+  /// Unit vector in the same direction; the zero vector maps to itself.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  std::string to_string() const;
+};
+
+/// Euclidean distance between two points.
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Squared distance — cheaper when only comparisons are needed.
+inline constexpr double distance_sq(Vec2 a, Vec2 b) {
+  return (a - b).norm_sq();
+}
+
+/// True when `p` lies within (or on) the disc of radius `r` around `center`.
+inline constexpr bool within_radius(Vec2 center, Vec2 p, double r) {
+  return distance_sq(center, p) <= r * r;
+}
+
+/// Linear interpolation: `a` at t=0, `b` at t=1.
+inline constexpr Vec2 lerp(Vec2 a, Vec2 b, double t) {
+  return a + (b - a) * t;
+}
+
+/// An axis-aligned rectangle, used for field bounds.
+struct Rect {
+  Vec2 min;
+  Vec2 max;
+
+  constexpr double width() const { return max.x - min.x; }
+  constexpr double height() const { return max.y - min.y; }
+  constexpr bool contains(Vec2 p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
+  /// Clamps `p` to the rectangle.
+  constexpr Vec2 clamp(Vec2 p) const {
+    return {p.x < min.x ? min.x : (p.x > max.x ? max.x : p.x),
+            p.y < min.y ? min.y : (p.y > max.y ? max.y : p.y)};
+  }
+};
+
+}  // namespace et

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+/// Strong identifier types.
+///
+/// The simulator and middleware juggle several id spaces (motes, targets,
+/// context labels, connections). Wrapping each in a distinct type prevents
+/// accidental cross-assignment at compile time.
+namespace et {
+
+namespace detail {
+
+/// CRTP base providing comparison, hashing, and formatting for a
+/// 64-bit-backed identifier.
+template <typename Tag>
+class IdBase {
+ public:
+  constexpr IdBase() = default;
+  constexpr explicit IdBase(std::uint64_t v) : value_(v) {}
+
+  constexpr std::uint64_t value() const { return value_; }
+  constexpr bool is_valid() const { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(IdBase, IdBase) = default;
+
+  std::string to_string() const { return std::to_string(value_); }
+
+  static constexpr std::uint64_t kInvalid = ~0ull;
+
+ private:
+  std::uint64_t value_ = kInvalid;
+};
+
+}  // namespace detail
+
+/// Identifies a mote (sensor node). Assigned densely from 0 at deployment.
+struct NodeId : detail::IdBase<NodeId> {
+  using IdBase::IdBase;
+};
+
+/// Identifies a physical target/phenomenon in the environment.
+struct TargetId : detail::IdBase<TargetId> {
+  using IdBase::IdBase;
+};
+
+/// Identifies a context label — the persistent logical address of a tracked
+/// entity. Encodes (creator node, per-node sequence number) so labels minted
+/// concurrently on different motes never collide.
+struct LabelId : detail::IdBase<LabelId> {
+  using IdBase::IdBase;
+
+  static constexpr LabelId make(NodeId creator, std::uint32_t seq) {
+    return LabelId{(creator.value() << 32) | seq};
+  }
+  constexpr NodeId creator() const { return NodeId{value() >> 32}; }
+  constexpr std::uint32_t sequence() const {
+    return static_cast<std::uint32_t>(value() & 0xffffffffull);
+  }
+};
+
+/// Identifies a transport-layer port (a method of an attached object).
+struct PortId : detail::IdBase<PortId> {
+  using IdBase::IdBase;
+};
+
+}  // namespace et
+
+namespace std {
+
+template <>
+struct hash<et::NodeId> {
+  size_t operator()(et::NodeId id) const noexcept {
+    return std::hash<uint64_t>{}(id.value());
+  }
+};
+template <>
+struct hash<et::TargetId> {
+  size_t operator()(et::TargetId id) const noexcept {
+    return std::hash<uint64_t>{}(id.value());
+  }
+};
+template <>
+struct hash<et::LabelId> {
+  size_t operator()(et::LabelId id) const noexcept {
+    return std::hash<uint64_t>{}(id.value());
+  }
+};
+template <>
+struct hash<et::PortId> {
+  size_t operator()(et::PortId id) const noexcept {
+    return std::hash<uint64_t>{}(id.value());
+  }
+};
+
+}  // namespace std

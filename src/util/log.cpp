@@ -1,0 +1,78 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace et {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, std::string_view line) {
+    std::fprintf(stderr, "[%s] %.*s\n", log_level_name(level),
+                 static_cast<int>(line.size()), line.data());
+  };
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, std::string_view line) {
+      std::fprintf(stderr, "[%s] %.*s\n", log_level_name(level),
+                   static_cast<int>(line.size()), line.data());
+    };
+  }
+}
+
+void Logger::logf(LogLevel level, std::string_view component, const char* fmt,
+                  ...) {
+  if (!enabled(level)) return;
+
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+  va_end(args_copy);
+
+  std::string body(needed > 0 ? static_cast<std::size_t>(needed) : 0, '\0');
+  if (needed > 0) {
+    std::vsnprintf(body.data(), body.size() + 1, fmt, args);
+  }
+  va_end(args);
+
+  std::string line;
+  if (clock_) {
+    line += clock_().to_string();
+    line += " ";
+  }
+  line += "[";
+  line.append(component.data(), component.size());
+  line += "] ";
+  line += body;
+  sink_(level, line);
+}
+
+}  // namespace et

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdarg>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/time.hpp"
+
+/// Lightweight leveled logging.
+///
+/// The sink is process-global (the simulator is single-threaded by design)
+/// and can be redirected in tests. The simulator installs a clock hook so
+/// every line carries the simulated timestamp, which is what one wants when
+/// debugging a distributed protocol trace.
+namespace et {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* log_level_name(LogLevel level);
+
+/// Global logging configuration. Not thread-safe; the simulator is
+/// single-threaded and tests adjust it at fixture setup.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view line)>;
+  using ClockFn = std::function<Time()>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Replaces the output sink (default: stderr). Pass nullptr to restore.
+  void set_sink(Sink sink);
+
+  /// Installs a simulated-clock source used to timestamp lines.
+  void set_clock(ClockFn clock) { clock_ = std::move(clock); }
+  void clear_clock() { clock_ = nullptr; }
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  /// printf-style logging. `component` names the subsystem ("radio",
+  /// "group-mgmt", ...).
+  void logf(LogLevel level, std::string_view component, const char* fmt, ...)
+      __attribute__((format(printf, 4, 5)));
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+  ClockFn clock_;
+};
+
+#define ET_LOG(level, component, ...)                              \
+  do {                                                             \
+    if (::et::Logger::instance().enabled(level)) {                 \
+      ::et::Logger::instance().logf(level, component, __VA_ARGS__); \
+    }                                                              \
+  } while (0)
+
+#define ET_TRACE(component, ...) \
+  ET_LOG(::et::LogLevel::kTrace, component, __VA_ARGS__)
+#define ET_DEBUG(component, ...) \
+  ET_LOG(::et::LogLevel::kDebug, component, __VA_ARGS__)
+#define ET_INFO(component, ...) \
+  ET_LOG(::et::LogLevel::kInfo, component, __VA_ARGS__)
+#define ET_WARN(component, ...) \
+  ET_LOG(::et::LogLevel::kWarn, component, __VA_ARGS__)
+#define ET_ERROR(component, ...) \
+  ET_LOG(::et::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace et

@@ -1,0 +1,29 @@
+#include "util/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace et {
+
+namespace {
+
+std::string format_us(std::int64_t us) {
+  char buf[64];
+  const std::int64_t abs_us = us < 0 ? -us : us;
+  if (abs_us >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(us) / 1e6);
+  } else if (abs_us >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(us) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::to_string() const { return format_us(us_); }
+
+std::string Time::to_string() const { return format_us(us_); }
+
+}  // namespace et

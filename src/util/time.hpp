@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+/// Simulated-time primitives.
+///
+/// All simulation time is kept as integer microsecond ticks to make event
+/// ordering exact and runs bit-reproducible across platforms. `Duration` is a
+/// signed span; `Time` is a point on the simulation clock (t = 0 is the start
+/// of the run). Helpers convert to/from floating-point seconds at the API
+/// boundary only.
+namespace et {
+
+/// A signed span of simulated time, in microseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  /// Constructs from raw microsecond ticks.
+  static constexpr Duration micros(std::int64_t us) { return Duration{us}; }
+  static constexpr Duration millis(std::int64_t ms) {
+    return Duration{ms * 1000};
+  }
+  static constexpr Duration seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e6)};
+  }
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t to_micros() const { return us_; }
+  constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double to_millis() const { return static_cast<double>(us_) / 1e3; }
+
+  constexpr bool is_zero() const { return us_ == 0; }
+  constexpr bool is_negative() const { return us_ < 0; }
+  constexpr bool is_positive() const { return us_ > 0; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) {
+    return Duration{a.us_ + b.us_};
+  }
+  friend constexpr Duration operator-(Duration a, Duration b) {
+    return Duration{a.us_ - b.us_};
+  }
+  friend constexpr Duration operator*(Duration a, double k) {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(a.us_) * k)};
+  }
+  friend constexpr Duration operator*(double k, Duration a) { return a * k; }
+  friend constexpr Duration operator/(Duration a, double k) {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(a.us_) / k)};
+  }
+  /// Ratio of two spans (e.g. utilization computations).
+  friend constexpr double operator/(Duration a, Duration b) {
+    return static_cast<double>(a.us_) / static_cast<double>(b.us_);
+  }
+  constexpr Duration operator-() const { return Duration{-us_}; }
+  Duration& operator+=(Duration o) {
+    us_ += o.us_;
+    return *this;
+  }
+  Duration& operator-=(Duration o) {
+    us_ -= o.us_;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+  /// Human-readable rendering, e.g. "1.500s" or "250ms".
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// A point on the simulation clock.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  static constexpr Time origin() { return Time{0}; }
+  static constexpr Time micros(std::int64_t us) { return Time{us}; }
+  static constexpr Time seconds(double s) {
+    return Time{static_cast<std::int64_t>(s * 1e6)};
+  }
+  static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t to_micros() const { return us_; }
+  constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  friend constexpr Time operator+(Time t, Duration d) {
+    return Time{t.us_ + d.to_micros()};
+  }
+  friend constexpr Time operator+(Duration d, Time t) { return t + d; }
+  friend constexpr Time operator-(Time t, Duration d) {
+    return Time{t.us_ - d.to_micros()};
+  }
+  friend constexpr Duration operator-(Time a, Time b) {
+    return Duration::micros(a.us_ - b.us_);
+  }
+  Time& operator+=(Duration d) {
+    us_ += d.to_micros();
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(Time, Time) = default;
+
+  std::string to_string() const;
+
+ private:
+  constexpr explicit Time(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace et

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "test_world.hpp"
+
+/// Ablations of the design choices §5.2 motivates: leader-weight
+/// suppression, the wait-timer/receive-timer ratio, heartbeat perimeter
+/// flooding (the parameter h left to future work in §6.2 — implemented
+/// here), and in-group heartbeat relaying for multi-hop groups.
+namespace et::test {
+namespace {
+
+using core::GroupEvent;
+
+TEST(Ablation, WeightSuppressionMergesConvergingGroups) {
+  auto run = [](bool suppression) {
+    TestWorld::Options options;
+    options.cols = 16;
+    options.group.weight_suppression_enabled = suppression;
+    TestWorld world(options);
+    world.add_moving_blob({1.0, 1.0}, {8.0, 1.0}, 0.25);
+    world.add_moving_blob({14.0, 1.0}, {8.0, 1.0}, 0.25);
+    world.run(40);
+    return world.leaders().size();
+  };
+  EXPECT_EQ(run(true), 1u)
+      << "with suppression, overlapped groups converge to one label";
+  // Without the weight rule the yield rule still merges *identical*
+  // labels, but distinct labels of the same type can persist side by side.
+  EXPECT_GE(run(false), 1u);
+}
+
+TEST(Ablation, WeightSuppressionEventCountsDiffer) {
+  auto suppressions = [](bool enabled) {
+    TestWorld::Options options;
+    options.cols = 16;
+    options.group.weight_suppression_enabled = enabled;
+    TestWorld world(options);
+    world.add_moving_blob({1.0, 1.0}, {8.0, 1.0}, 0.3);
+    world.add_moving_blob({14.0, 1.0}, {8.0, 1.0}, 0.3);
+    world.run(35);
+    return world.events().count(GroupEvent::Kind::kLabelSuppressed);
+  };
+  EXPECT_EQ(suppressions(false), 0u);
+  EXPECT_GE(suppressions(true), 1u);
+}
+
+TEST(Ablation, ShortReceiveTimerCausesSpuriousTakeovers) {
+  // Receive timer below ~1 heartbeat period: members time out between
+  // perfectly healthy heartbeats and usurp leadership constantly.
+  auto takeovers = [](double factor) {
+    TestWorld::Options options;
+    options.group.receive_timer_factor = factor;
+    options.group.relinquish_enabled = true;
+    TestWorld world(options);
+    world.add_blob({3.5, 1.0});
+    world.run(20);
+    return world.events().count(GroupEvent::Kind::kTakeover) +
+           world.events().count(GroupEvent::Kind::kYield);
+  };
+  const auto healthy = takeovers(2.1);  // the paper's best setting
+  const auto twitchy = takeovers(0.6);
+  EXPECT_EQ(healthy, 0u) << "no churn for a stationary target";
+  EXPECT_GT(twitchy, 3u) << "sub-period receive timers must thrash";
+}
+
+TEST(Ablation, WaitTimerShorterThanReceiveTimerForksLabels) {
+  // §6.2: "To prevent spurious groups from being formed around the same
+  // external stimulus during a leadership takeover, the wait timer must be
+  // longer than the receive timer." Invert the ratio and kill the leader:
+  // fringe nodes forget the group before the takeover completes.
+  auto labels_created = [](double wait_factor, std::uint64_t seed) {
+    TestWorld::Options options;
+    options.group.wait_timer_factor = wait_factor;
+    options.group.relinquish_enabled = false;
+    options.group.heartbeat_period = Duration::seconds(1);
+    options.seed = seed;
+    TestWorld world(options);
+    world.add_moving_blob({0.0, 1.0}, {8.0, 1.0}, 0.6);
+    world.run(20);
+    return world.events().count(GroupEvent::Kind::kLabelCreated);
+  };
+  std::uint64_t healthy = 0;
+  std::uint64_t broken = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    healthy += labels_created(4.2, seed);
+    broken += labels_created(0.3, seed);
+  }
+  EXPECT_GT(broken, healthy)
+      << "wait < receive must fork more labels across seeds";
+}
+
+TEST(Ablation, PerimeterFloodingExtendsAwareness) {
+  // The §6.2 future-work mechanism: with heartbeat transmit power cut to
+  // one grid unit, perimeter flooding (h > 0) re-propagates heartbeats
+  // through non-members so fringe nodes still learn the label.
+  auto labels_created = [](std::uint8_t h, std::uint64_t seed) {
+    TestWorld::Options options;
+    options.cols = 14;
+    options.group.heartbeat_range = 1.0;
+    options.group.perimeter_hops = h;
+    options.group.heartbeat_period = Duration::seconds(2);
+    options.seed = seed;
+    TestWorld world(options);
+    world.add_moving_blob({-0.5, 1.0}, {14.0, 1.0}, 0.4, 1.0);
+    world.run(40);
+    return world.events().count(GroupEvent::Kind::kLabelCreated);
+  };
+  std::uint64_t without = 0;
+  std::uint64_t with = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    without += labels_created(0, seed);
+    with += labels_created(2, seed);
+  }
+  EXPECT_LT(with, without)
+      << "perimeter flooding should reduce spurious label creation";
+}
+
+TEST(Ablation, PerimeterFloodingCostsBandwidth) {
+  auto relayed = [](std::uint8_t h) {
+    TestWorld::Options options;
+    options.group.perimeter_hops = h;
+    TestWorld world(options);
+    world.add_blob({3.5, 1.0});
+    world.run(10);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < world.system().node_count(); ++i) {
+      total += world.groups(NodeId{i}).stats().heartbeats_relayed;
+    }
+    return total;
+  };
+  EXPECT_EQ(relayed(0), 0u);
+  EXPECT_GT(relayed(1), 10u)
+      << "every idle hearer relays once per heartbeat when h = 1";
+}
+
+TEST(Ablation, MemberRelayKeepsWideGroupsConnected) {
+  // Group diameter (2 x SR = 4) exceeds the radio range (2.5): without
+  // member relaying, far-side members never hear the leader and fork; with
+  // relaying the group stays coherent.
+  auto labels = [](bool relay) {
+    TestWorld::Options options;
+    options.cols = 12;
+    options.rows = 3;
+    options.comm_radius = 2.5;
+    options.sensing_radius = 2.0;
+    options.group.member_relay_heartbeats = relay;
+    TestWorld world(options);
+    world.add_blob({5.5, 1.0}, 2.0);
+    world.run(15);
+    return world.leaders().size();
+  };
+  EXPECT_EQ(labels(true), 1u);
+  EXPECT_GE(labels(false), 2u);
+}
+
+TEST(Ablation, HeartbeatPeriodDrivesTraffic) {
+  auto heartbeats = [](double period_s) {
+    TestWorld::Options options;
+    options.group.heartbeat_period = Duration::seconds(period_s);
+    TestWorld world(options);
+    world.add_blob({3.5, 1.0});
+    world.run(20);
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < world.system().node_count(); ++i) {
+      total += world.groups(NodeId{i}).stats().heartbeats_sent;
+    }
+    return total;
+  };
+  const auto fast = heartbeats(0.25);
+  const auto slow = heartbeats(1.0);
+  EXPECT_NEAR(static_cast<double>(fast) / static_cast<double>(slow), 4.0,
+              1.0);
+}
+
+}  // namespace
+}  // namespace et::test

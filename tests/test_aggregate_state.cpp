@@ -1,0 +1,152 @@
+#include "core/aggregate_state.hpp"
+
+#include <gtest/gtest.h>
+
+/// Tests of the §3.2.3 approximate-aggregate-state semantics: a successful
+/// read implies (a) fresh samples only, (b) at least N_e distinct
+/// reporters, (c) the newest sample per reporter.
+namespace et::core {
+namespace {
+
+class AggregateStateTest : public ::testing::Test {
+ protected:
+  AggregateStateTest() {
+    spec.name = "test";
+    spec.activation = "x";
+    spec.variables.push_back(AggregateVarSpec{
+        "location", "avg", "position", Duration::seconds(1), 2});
+    spec.variables.push_back(AggregateVarSpec{
+        "heat", "max", "temperature", Duration::seconds(3), 1});
+    table.emplace(spec, registry);
+  }
+
+  void report(std::uint64_t node, double x, double heat, double at_s) {
+    table->add_report(NodeId{node}, {x, 0.0}, Time::seconds(at_s),
+                      {0.0, heat});
+  }
+
+  ContextTypeSpec spec;
+  AggregationRegistry registry = AggregationRegistry::with_builtins();
+  std::optional<AggregateStateTable> table;
+};
+
+TEST_F(AggregateStateTest, EmptyTableReadsNull) {
+  EXPECT_FALSE(table->read(0u, Time::seconds(1)).has_value());
+  EXPECT_FALSE(table->read("location", Time::seconds(1)).has_value());
+  EXPECT_FALSE(table->valid(0, Time::seconds(1)));
+}
+
+TEST_F(AggregateStateTest, CriticalMassGatesReads) {
+  report(0, 1.0, 50.0, 0.5);
+  // One reporter < N_e = 2 for location...
+  EXPECT_FALSE(table->read("location", Time::seconds(1)).has_value());
+  // ...but heat has N_e = 1 and succeeds.
+  EXPECT_TRUE(table->read("heat", Time::seconds(1)).has_value());
+
+  report(1, 3.0, 60.0, 0.6);
+  const auto location = table->read("location", Time::seconds(1));
+  ASSERT_TRUE(location.has_value());
+  EXPECT_DOUBLE_EQ(location->vector.x, 2.0);
+}
+
+TEST_F(AggregateStateTest, FreshnessExpiresSamples) {
+  report(0, 1.0, 50.0, 0.0);
+  report(1, 3.0, 60.0, 0.1);
+  ASSERT_TRUE(table->read("location", Time::seconds(1)).has_value());
+  // At t = 1.2 s the t = 0.0 sample is older than L_e = 1 s.
+  EXPECT_FALSE(table->read("location", Time::seconds(1.2)).has_value());
+  // heat has a 3 s horizon and still reads.
+  EXPECT_TRUE(table->read("heat", Time::seconds(1.2)).has_value());
+  // Much later everything is stale.
+  EXPECT_FALSE(table->read("heat", Time::seconds(10)).has_value());
+}
+
+TEST_F(AggregateStateTest, NewestSamplePerReporterWins) {
+  report(0, 0.0, 10.0, 0.1);
+  report(1, 2.0, 10.0, 0.2);
+  report(0, 4.0, 10.0, 0.5);  // reporter 0 moved its estimate
+  const auto location = table->read("location", Time::seconds(1));
+  ASSERT_TRUE(location.has_value());
+  // avg of newest-per-reporter: (4 + 2) / 2, not (0 + 2 + 4) / 3.
+  EXPECT_DOUBLE_EQ(location->vector.x, 3.0);
+  EXPECT_EQ(table->fresh_reporter_count(0, Time::seconds(1)), 2u);
+}
+
+TEST_F(AggregateStateTest, DuplicateReporterDoesNotMeetCriticalMass) {
+  report(0, 1.0, 10.0, 0.1);
+  report(0, 2.0, 10.0, 0.2);
+  report(0, 3.0, 10.0, 0.3);
+  // Three samples but one distinct reporter: below N_e = 2.
+  EXPECT_FALSE(table->read("location", Time::seconds(0.5)).has_value());
+}
+
+TEST_F(AggregateStateTest, OutOfOrderArrivalHandled) {
+  report(0, 1.0, 10.0, 0.8);
+  report(1, 3.0, 10.0, 0.2);  // older measurement arrives later
+  const auto location = table->read("location", Time::seconds(1));
+  ASSERT_TRUE(location.has_value());
+  EXPECT_DOUBLE_EQ(location->vector.x, 2.0);
+  // Advance so only the newer one is fresh: falls below critical mass.
+  EXPECT_FALSE(table->read("location", Time::seconds(1.5)).has_value());
+}
+
+TEST_F(AggregateStateTest, ReportsReceivedCountsAll) {
+  report(0, 1.0, 10.0, 0.1);
+  report(0, 1.0, 10.0, 0.2);
+  report(1, 1.0, 10.0, 0.3);
+  EXPECT_EQ(table->reports_received(), 3u);
+}
+
+TEST_F(AggregateStateTest, ClearDropsWindow) {
+  report(0, 1.0, 10.0, 0.1);
+  report(1, 3.0, 10.0, 0.2);
+  ASSERT_TRUE(table->read("location", Time::seconds(0.5)).has_value());
+  table->clear();
+  EXPECT_FALSE(table->read("location", Time::seconds(0.5)).has_value());
+}
+
+TEST_F(AggregateStateTest, UnknownVariableReadsNull) {
+  report(0, 1.0, 10.0, 0.1);
+  report(1, 1.0, 10.0, 0.1);
+  EXPECT_FALSE(table->read("bogus", Time::seconds(0.5)).has_value());
+  EXPECT_FALSE(table->read(7u, Time::seconds(0.5)).has_value());
+}
+
+TEST_F(AggregateStateTest, ScalarAggregationUsesSensorColumn) {
+  report(0, 1.0, 45.0, 0.1);
+  report(1, 2.0, 80.0, 0.2);
+  const auto heat = table->read("heat", Time::seconds(1));
+  ASSERT_TRUE(heat.has_value());
+  EXPECT_DOUBLE_EQ(heat->scalar, 80.0);  // max
+}
+
+/// Property sweep: for any (N_e, reporter count) pair, the read succeeds
+/// iff reporters >= N_e — the §3.2.3 guarantee.
+class CriticalMassSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CriticalMassSweep, ReadSucceedsIffCriticalMassMet) {
+  const auto [critical_mass, reporters] = GetParam();
+  ContextTypeSpec spec;
+  spec.name = "sweep";
+  spec.activation = "x";
+  spec.variables.push_back(
+      AggregateVarSpec{"v", "avg", "magnetic", Duration::seconds(1),
+                       static_cast<std::size_t>(critical_mass)});
+  const auto registry = AggregationRegistry::with_builtins();
+  AggregateStateTable table(spec, registry);
+  for (int i = 0; i < reporters; ++i) {
+    table.add_report(NodeId{static_cast<std::uint64_t>(i)}, {0, 0},
+                     Time::seconds(0.5), {1.0});
+  }
+  EXPECT_EQ(table.read(0u, Time::seconds(1)).has_value(),
+            reporters >= critical_mass);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CriticalMassSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(0, 1, 2, 3, 5, 8, 12)));
+
+}  // namespace
+}  // namespace et::core

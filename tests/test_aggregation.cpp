@@ -1,0 +1,146 @@
+#include "core/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace et::core {
+namespace {
+
+std::vector<Sample> make_samples(std::initializer_list<double> scalars) {
+  std::vector<Sample> samples;
+  std::size_t i = 0;
+  for (double v : scalars) {
+    samples.push_back(Sample{NodeId{i}, Time::origin(), v,
+                             Vec2{static_cast<double>(i), 0.0}});
+    ++i;
+  }
+  return samples;
+}
+
+class AggregationTest : public ::testing::Test {
+ protected:
+  AggregationRegistry registry = AggregationRegistry::with_builtins();
+};
+
+TEST_F(AggregationTest, BuiltinsRegistered) {
+  for (const char* name :
+       {"avg", "sum", "min", "max", "count", "centroid", "stddev",
+        "median", "spread", "nearest"}) {
+    EXPECT_TRUE(registry.contains(name)) << name;
+  }
+  EXPECT_FALSE(registry.contains("mode"));
+}
+
+TEST_F(AggregationTest, AvgScalar) {
+  const auto samples = make_samples({1.0, 2.0, 6.0});
+  const auto value = registry.get("avg")(samples, false);
+  EXPECT_EQ(value.kind, AggregateValue::Kind::kScalar);
+  EXPECT_DOUBLE_EQ(value.scalar, 3.0);
+}
+
+TEST_F(AggregationTest, AvgPosition) {
+  std::vector<Sample> samples{
+      Sample{NodeId{0}, Time::origin(), 0.0, {0.0, 0.0}},
+      Sample{NodeId{1}, Time::origin(), 0.0, {2.0, 4.0}},
+  };
+  const auto value = registry.get("avg")(samples, true);
+  EXPECT_EQ(value.kind, AggregateValue::Kind::kVector);
+  EXPECT_EQ(value.vector, (Vec2{1.0, 2.0}));
+}
+
+TEST_F(AggregationTest, SumScalarAndPosition) {
+  const auto samples = make_samples({1.5, 2.5});
+  EXPECT_DOUBLE_EQ(registry.get("sum")(samples, false).scalar, 4.0);
+  const auto vec = registry.get("sum")(samples, true);
+  EXPECT_EQ(vec.vector, (Vec2{1.0, 0.0}));  // positions (0,0) + (1,0)
+}
+
+TEST_F(AggregationTest, MinMax) {
+  const auto samples = make_samples({3.0, -1.0, 7.0});
+  EXPECT_DOUBLE_EQ(registry.get("min")(samples, false).scalar, -1.0);
+  EXPECT_DOUBLE_EQ(registry.get("max")(samples, false).scalar, 7.0);
+}
+
+TEST_F(AggregationTest, Count) {
+  const auto samples = make_samples({9.0, 9.0, 9.0, 9.0});
+  EXPECT_DOUBLE_EQ(registry.get("count")(samples, false).scalar, 4.0);
+}
+
+TEST_F(AggregationTest, CentroidWeighsBySignal) {
+  std::vector<Sample> samples{
+      Sample{NodeId{0}, Time::origin(), 3.0, {0.0, 0.0}},
+      Sample{NodeId{1}, Time::origin(), 1.0, {4.0, 0.0}},
+  };
+  const auto value = registry.get("centroid")(samples, false);
+  EXPECT_EQ(value.kind, AggregateValue::Kind::kVector);
+  EXPECT_DOUBLE_EQ(value.vector.x, 1.0);  // (3*0 + 1*4) / 4
+  EXPECT_DOUBLE_EQ(value.vector.y, 0.0);
+}
+
+TEST_F(AggregationTest, CentroidFallsBackWhenWeightless) {
+  std::vector<Sample> samples{
+      Sample{NodeId{0}, Time::origin(), 0.0, {0.0, 0.0}},
+      Sample{NodeId{1}, Time::origin(), 0.0, {4.0, 2.0}},
+  };
+  const auto value = registry.get("centroid")(samples, false);
+  EXPECT_EQ(value.vector, (Vec2{2.0, 1.0}));  // unweighted centroid
+}
+
+TEST_F(AggregationTest, CustomAggregation) {
+  registry.add("range", [](std::span<const Sample> samples, bool) {
+    double lo = samples.front().scalar;
+    double hi = lo;
+    for (const Sample& s : samples) {
+      lo = std::min(lo, s.scalar);
+      hi = std::max(hi, s.scalar);
+    }
+    return AggregateValue::of(hi - lo);
+  });
+  const auto samples = make_samples({2.0, 9.0, 5.0});
+  EXPECT_DOUBLE_EQ(registry.get("range")(samples, false).scalar, 7.0);
+}
+
+TEST_F(AggregationTest, Stddev) {
+  const auto samples = make_samples({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(registry.get("stddev")(samples, false).scalar, 2.0);
+  const auto constant = make_samples({3.0, 3.0, 3.0});
+  EXPECT_DOUBLE_EQ(registry.get("stddev")(constant, false).scalar, 0.0);
+}
+
+TEST_F(AggregationTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(
+      registry.get("median")(make_samples({9.0, 1.0, 5.0}), false).scalar,
+      5.0);
+  EXPECT_DOUBLE_EQ(
+      registry.get("median")(make_samples({1.0, 9.0, 3.0, 5.0}), false)
+          .scalar,
+      4.0);
+  // Robust to one wild outlier.
+  EXPECT_DOUBLE_EQ(
+      registry.get("median")(make_samples({4.0, 5.0, 1000.0}), false)
+          .scalar,
+      5.0);
+}
+
+TEST_F(AggregationTest, SpreadIsReporterDiameter) {
+  // Reporters sit at x = 0, 1, 2 (make_samples places them on a line).
+  const auto samples = make_samples({1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(registry.get("spread")(samples, false).scalar, 2.0);
+  const auto single = make_samples({1.0});
+  EXPECT_DOUBLE_EQ(registry.get("spread")(single, false).scalar, 0.0);
+}
+
+TEST_F(AggregationTest, NearestPicksStrongestReporter) {
+  // Reporter i sits at (i, 0); strongest is reporter 1.
+  const auto samples = make_samples({1.0, 8.0, 3.0});
+  const auto value = registry.get("nearest")(samples, false);
+  EXPECT_EQ(value.kind, AggregateValue::Kind::kVector);
+  EXPECT_EQ(value.vector, (Vec2{1.0, 0.0}));
+}
+
+TEST_F(AggregationTest, ValueToString) {
+  EXPECT_EQ(AggregateValue::of(2.5).to_string(), "2.5000");
+  EXPECT_EQ(AggregateValue::of(Vec2{1, 2}).to_string(), "(1.000, 2.000)");
+}
+
+}  // namespace
+}  // namespace et::core

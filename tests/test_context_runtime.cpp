@@ -1,0 +1,148 @@
+#include "core/context_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_world.hpp"
+
+/// Tracking-object runtime tests (§3.2.2): object code runs on the leader
+/// only, follows leadership as it migrates, timer and condition invocation
+/// semantics, and the TrackingContext surface.
+namespace et::test {
+namespace {
+
+struct Probe {
+  int timer_calls = 0;
+  int condition_calls = 0;
+  std::vector<NodeId> ran_on;
+  std::vector<LabelId> labels;
+  std::optional<Vec2> last_where;
+};
+
+TestWorld::Options probed_options(Probe* probe) {
+  TestWorld::Options options;
+  options.mutate_spec = [probe](core::ContextTypeSpec& spec) {
+    core::ObjectSpec object;
+    object.name = "probe";
+
+    core::MethodSpec ticker;
+    ticker.name = "tick";
+    ticker.invocation.kind = core::InvocationSpec::Kind::kTimer;
+    ticker.invocation.period = Duration::seconds(1);
+    ticker.body = [probe](core::TrackingContext& ctx) {
+      probe->timer_calls++;
+      probe->ran_on.push_back(ctx.node());
+      probe->labels.push_back(ctx.label());
+      probe->last_where = ctx.read_vector("where");
+    };
+    object.methods.push_back(std::move(ticker));
+
+    core::MethodSpec watcher;
+    watcher.name = "watch";
+    watcher.invocation.kind = core::InvocationSpec::Kind::kCondition;
+    watcher.invocation.condition = [](core::TrackingContext& ctx) {
+      auto strength = ctx.read_scalar("strength");
+      return strength && *strength > 0.5;
+    };
+    watcher.body = [probe](core::TrackingContext&) {
+      probe->condition_calls++;
+    };
+    object.methods.push_back(std::move(watcher));
+    spec.objects.push_back(std::move(object));
+  };
+  return options;
+}
+
+TEST(ContextRuntime, ObjectRunsOnlyOnLeader) {
+  Probe probe;
+  TestWorld world(probed_options(&probe));
+  world.add_blob({3.5, 1.0});
+  world.run(6);
+
+  ASSERT_GT(probe.timer_calls, 3);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  for (NodeId node : probe.ran_on) {
+    EXPECT_EQ(node, *leader) << "object code must run on the group leader";
+  }
+}
+
+TEST(ContextRuntime, NoInvocationsWithoutContext) {
+  Probe probe;
+  TestWorld world(probed_options(&probe));
+  world.run(6);
+  EXPECT_EQ(probe.timer_calls, 0);
+  EXPECT_EQ(probe.condition_calls, 0);
+}
+
+TEST(ContextRuntime, InvocationsStopWhenContextDissolves) {
+  Probe probe;
+  TestWorld world(probed_options(&probe));
+  const TargetId blob = world.add_blob({3.5, 1.0});
+  world.run(5);
+  const int calls_while_active = probe.timer_calls;
+  ASSERT_GT(calls_while_active, 0);
+
+  world.env().remove_target_at(blob, world.sim().now());
+  world.run(1);  // dissolve
+  const int calls_at_dissolve = probe.timer_calls;
+  world.run(6);
+  EXPECT_LE(probe.timer_calls, calls_at_dissolve + 1)
+      << "timer methods must stop after the label dissolves";
+}
+
+TEST(ContextRuntime, ObjectMigratesWithLeadership) {
+  Probe probe;
+  auto options = probed_options(&probe);
+  options.cols = 12;
+  TestWorld world(options);
+  world.add_moving_blob({-0.5, 1.0}, {12.0, 1.0}, 0.35);
+  world.run(38);
+
+  // The object executed on several different nodes, always under the same
+  // context label.
+  std::set<std::uint64_t> distinct_nodes;
+  for (NodeId node : probe.ran_on) distinct_nodes.insert(node.value());
+  EXPECT_GE(distinct_nodes.size(), 3u);
+  std::set<std::uint64_t> distinct_labels;
+  for (LabelId label : probe.labels) distinct_labels.insert(label.value());
+  EXPECT_EQ(distinct_labels.size(), 1u)
+      << "the tracking object's label must not change as nodes change";
+}
+
+TEST(ContextRuntime, AggregateReadsVisibleToObjects) {
+  Probe probe;
+  TestWorld world(probed_options(&probe));
+  world.add_blob({3.5, 1.0});
+  world.run(6);
+  ASSERT_TRUE(probe.last_where.has_value());
+  EXPECT_NEAR(probe.last_where->x, 3.5, 1.2);
+  EXPECT_NEAR(probe.last_where->y, 1.0, 1.2);
+}
+
+TEST(ContextRuntime, ConditionFiresOncePerEdge) {
+  Probe probe;
+  TestWorld world(probed_options(&probe));
+  world.add_blob({3.5, 1.0});
+  world.run(8);
+  // strength stays above threshold once the group forms: a single edge per
+  // leadership tenure (relinquish-free stationary target => exactly one).
+  EXPECT_EQ(probe.condition_calls, 1);
+}
+
+TEST(ContextRuntime, RuntimeStatsCount) {
+  Probe probe;
+  TestWorld world(probed_options(&probe));
+  world.add_blob({3.5, 1.0});
+  world.run(6);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  const auto& stats =
+      world.system().stack(*leader).runtime().stats();
+  EXPECT_EQ(stats.timer_invocations,
+            static_cast<std::uint64_t>(probe.timer_calls));
+  EXPECT_EQ(stats.condition_invocations,
+            static_cast<std::uint64_t>(probe.condition_calls));
+}
+
+}  // namespace
+}  // namespace et::test

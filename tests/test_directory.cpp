@@ -1,0 +1,160 @@
+#include "core/directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_world.hpp"
+
+/// Directory service tests (§5.3): rendezvous hashing, leader updates,
+/// queries, replication, and survival of directory-node failure.
+namespace et::test {
+namespace {
+
+TEST(DirectoryHash, DeterministicAndInBounds) {
+  const Rect bounds{{0, 0}, {10, 5}};
+  const Vec2 a = core::directory_hash_point("fire", bounds);
+  const Vec2 b = core::directory_hash_point("fire", bounds);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(bounds.contains(a));
+  const Vec2 c = core::directory_hash_point("car", bounds);
+  EXPECT_NE(a, c) << "different types should rendezvous differently";
+}
+
+TestWorld::Options directory_options() {
+  TestWorld::Options options;
+  options.rows = 5;
+  options.cols = 10;
+  options.enable_directory = true;
+  options.enable_transport = false;
+  return options;
+}
+
+TEST(Directory, LeaderRegistersAndQueryFindsLabel) {
+  TestWorld world(directory_options());
+  world.add_blob({2.0, 2.0});
+  world.run(8);  // group forms, first directory update lands
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  const LabelId label = world.groups(*leader).current_label(0);
+
+  bool answered = false;
+  std::vector<core::DirectoryEntry> entries;
+  // Query from the far corner.
+  const NodeId querier{world.system().node_count() - 1};
+  world.system().stack(querier).directory()->query(
+      0, [&](bool ok, const std::vector<core::DirectoryEntry>& result) {
+        answered = ok;
+        entries = result;
+      });
+  world.run(5);
+
+  ASSERT_TRUE(answered);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].label, label);
+  EXPECT_NEAR(entries[0].location.x, 2.0, 1.5);
+  EXPECT_NEAR(entries[0].location.y, 2.0, 1.5);
+}
+
+TEST(Directory, QueryWithNoLabelsReturnsEmpty) {
+  TestWorld world(directory_options());
+  world.run(2);
+  bool answered = false;
+  std::size_t count = 99;
+  world.system().stack(NodeId{0}).directory()->query(
+      0, [&](bool ok, const std::vector<core::DirectoryEntry>& result) {
+        answered = ok;
+        count = result.size();
+      });
+  world.run(5);
+  ASSERT_TRUE(answered);
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(Directory, MultipleLabelsListed) {
+  TestWorld world(directory_options());
+  world.add_blob({1.0, 1.0});
+  world.add_blob({8.0, 3.0});
+  world.run(8);
+  ASSERT_EQ(world.leaders().size(), 2u);
+
+  std::vector<core::DirectoryEntry> entries;
+  world.system().stack(NodeId{0}).directory()->query(
+      0, [&](bool ok, const std::vector<core::DirectoryEntry>& result) {
+        if (ok) entries = result;
+      });
+  world.run(5);
+  EXPECT_EQ(entries.size(), 2u);
+}
+
+TEST(Directory, EntriesExpireAfterTtl) {
+  TestWorld::Options options = directory_options();
+  options.group.relinquish_enabled = true;
+  TestWorld world(options);
+  const TargetId blob = world.add_blob({2.0, 2.0});
+  world.run(8);
+  world.env().remove_target_at(blob, world.sim().now());
+  // Default entry TTL is 20 s; run past it.
+  world.run(30);
+
+  std::size_t count = 99;
+  world.system().stack(NodeId{0}).directory()->query(
+      0, [&](bool ok, const std::vector<core::DirectoryEntry>& result) {
+        if (ok) count = result.size();
+      });
+  world.run(5);
+  EXPECT_EQ(count, 0u) << "stale labels must age out of the directory";
+}
+
+TEST(Directory, ReplicationSurvivesDirectoryNodeCrash) {
+  TestWorld world(directory_options());
+  world.add_blob({2.0, 2.0});
+  world.run(8);
+
+  // Identify and kill the primary directory node (nearest to hash point).
+  auto* dir0 = world.system().stack(NodeId{0}).directory();
+  const Vec2 rendezvous = dir0->hash_point(0);
+  const NodeId primary = world.field().nearest(rendezvous);
+  world.system().crash_node(primary);
+  world.run(7);  // next periodic update re-routes to a replica neighbour
+
+  bool answered = false;
+  std::size_t count = 0;
+  const NodeId querier{world.system().node_count() - 1};
+  ASSERT_NE(querier, primary);
+  world.system().stack(querier).directory()->query(
+      0, [&](bool ok, const std::vector<core::DirectoryEntry>& result) {
+        answered = ok;
+        count = result.size();
+      });
+  world.run(5);
+  ASSERT_TRUE(answered) << "queries must be answerable after primary crash";
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Directory, LocationUpdatesFollowMovingTarget) {
+  TestWorld::Options options = directory_options();
+  options.cols = 14;
+  TestWorld world(options);
+  world.add_moving_blob({0.0, 2.0}, {13.0, 2.0}, 0.25);
+  world.run(10);
+
+  auto query_x = [&]() -> double {
+    double x = -100;
+    world.system().stack(NodeId{0}).directory()->query(
+        0, [&](bool ok, const std::vector<core::DirectoryEntry>& result) {
+          if (ok && !result.empty()) x = result.front().location.x;
+        });
+    world.run(4);
+    return x;
+  };
+
+  const double early = query_x();
+  world.run(25);
+  const double late = query_x();
+  ASSERT_GT(early, -100);
+  ASSERT_GT(late, -100);
+  EXPECT_GT(late, early + 2.0)
+      << "directory location must track the moving label";
+}
+
+}  // namespace
+}  // namespace et::test

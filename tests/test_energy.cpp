@@ -1,0 +1,78 @@
+#include "metrics/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_world.hpp"
+
+namespace et::test {
+namespace {
+
+TEST(Energy, IdleDeploymentSpendsOnlyIdlePower) {
+  TestWorld world;
+  world.run(10);
+  const auto report = metrics::measure_energy(world.system());
+  for (const auto& node : report.per_node) {
+    EXPECT_EQ(node.tx_joules, 0.0);
+    EXPECT_EQ(node.rx_joules, 0.0);
+    EXPECT_NEAR(node.idle_joules, 10.0 * 0.1e-3, 1e-9);
+  }
+  EXPECT_GT(report.totals.total(), 0.0);
+}
+
+TEST(Energy, TrackingCostsConcentrateNearTheTarget) {
+  TestWorld world;
+  world.add_blob({3.5, 1.0});
+  world.run(20);
+  const auto report = metrics::measure_energy(world.system());
+
+  // A node in the group (near the blob) vs a distant idle one.
+  const NodeId near = world.field().nearest({3.5, 1.0});
+  const NodeId far{world.system().node_count() - 1};
+  const auto& near_energy = report.per_node[near.value()];
+  const auto& far_energy = report.per_node[far.value()];
+  EXPECT_GT(near_energy.tx_joules, 0.0);
+  EXPECT_GT(near_energy.total(), far_energy.total());
+  // Distant motes still pay reception for overheard heartbeats (CR = 6
+  // covers the whole 8-wide field) but transmit nothing.
+  EXPECT_EQ(far_energy.tx_joules, 0.0);
+}
+
+TEST(Energy, TotalsAreSumOfNodes) {
+  TestWorld world;
+  world.add_blob({3.5, 1.0});
+  world.run(10);
+  const auto report = metrics::measure_energy(world.system());
+  double sum = 0.0;
+  for (const auto& node : report.per_node) sum += node.total();
+  EXPECT_NEAR(sum, report.totals.total(), 1e-12);
+  EXPECT_GE(report.max_node_joules(), report.mean_node_joules());
+}
+
+TEST(Energy, FasterHeartbeatsCostMore) {
+  auto joules = [](double period_s) {
+    TestWorld::Options options;
+    options.group.heartbeat_period = Duration::seconds(period_s);
+    TestWorld world(options);
+    world.add_blob({3.5, 1.0});
+    world.run(20);
+    return metrics::measure_energy(world.system()).totals.total();
+  };
+  EXPECT_GT(joules(0.25), joules(2.0))
+      << "the Fig. 5 responsiveness/energy trade-off";
+}
+
+TEST(Energy, ModelParametersScaleLinearly) {
+  TestWorld world;
+  world.add_blob({3.5, 1.0});
+  world.run(10);
+  metrics::EnergyModel cheap;
+  metrics::EnergyModel pricey = cheap;
+  pricey.tx_joules_per_bit *= 3.0;
+  const auto a = metrics::measure_energy(world.system(), cheap);
+  const auto b = metrics::measure_energy(world.system(), pricey);
+  EXPECT_NEAR(b.totals.tx_joules, 3.0 * a.totals.tx_joules, 1e-12);
+  EXPECT_NEAR(b.totals.rx_joules, a.totals.rx_joules, 1e-12);
+}
+
+}  // namespace
+}  // namespace et::test

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "env/environment.hpp"
+#include "env/field.hpp"
+#include "env/trajectory.hpp"
+
+namespace et::env {
+namespace {
+
+// --- Trajectories ---
+
+TEST(Trajectory, Stationary) {
+  StationaryTrajectory t({2.0, 3.0});
+  EXPECT_EQ(t.position_at(Time::origin()), (Vec2{2, 3}));
+  EXPECT_EQ(t.position_at(Time::seconds(1000)), (Vec2{2, 3}));
+  EXPECT_FALSE(t.finished(Time::seconds(1000)));
+}
+
+TEST(Trajectory, LinearInterpolatesAndClamps) {
+  LinearTrajectory t({0, 0}, {10, 0}, 2.0);  // 5 s traverse
+  EXPECT_EQ(t.position_at(Time::origin()), (Vec2{0, 0}));
+  EXPECT_EQ(t.position_at(Time::seconds(2.5)), (Vec2{5, 0}));
+  EXPECT_EQ(t.position_at(Time::seconds(5)), (Vec2{10, 0}));
+  EXPECT_EQ(t.position_at(Time::seconds(99)), (Vec2{10, 0}));
+  EXPECT_EQ(t.arrival_time(), Time::seconds(5));
+  EXPECT_FALSE(t.finished(Time::seconds(4.9)));
+  EXPECT_TRUE(t.finished(Time::seconds(5)));
+}
+
+TEST(Trajectory, LinearDiagonalSpeed) {
+  LinearTrajectory t({0, 0}, {3, 4}, 1.0);  // length 5 at speed 1
+  EXPECT_EQ(t.arrival_time(), Time::seconds(5));
+  const Vec2 mid = t.position_at(Time::seconds(2.5));
+  EXPECT_NEAR(mid.x, 1.5, 1e-9);
+  EXPECT_NEAR(mid.y, 2.0, 1e-9);
+}
+
+TEST(Trajectory, WaypointVisitsInOrder) {
+  WaypointTrajectory t({{0, 0}, {2, 0}, {2, 2}}, 1.0);
+  EXPECT_EQ(t.position_at(Time::seconds(1)), (Vec2{1, 0}));
+  EXPECT_EQ(t.position_at(Time::seconds(2)), (Vec2{2, 0}));
+  EXPECT_EQ(t.position_at(Time::seconds(3)), (Vec2{2, 1}));
+  EXPECT_EQ(t.position_at(Time::seconds(4)), (Vec2{2, 2}));
+  EXPECT_TRUE(t.finished(Time::seconds(4)));
+  EXPECT_EQ(t.arrival_time(), Time::seconds(4));
+}
+
+TEST(Trajectory, WaypointSinglePoint) {
+  WaypointTrajectory t({{5, 5}}, 1.0);
+  EXPECT_EQ(t.position_at(Time::seconds(3)), (Vec2{5, 5}));
+  EXPECT_TRUE(t.finished(Time::origin()));
+}
+
+TEST(Trajectory, CircularStaysOnCircle) {
+  CircularTrajectory t({0, 0}, 2.0, 1.0);
+  for (double s : {0.0, 1.0, 3.7, 12.0}) {
+    const Vec2 p = t.position_at(Time::seconds(s));
+    EXPECT_NEAR(p.norm(), 2.0, 1e-9) << "at t=" << s;
+  }
+  EXPECT_EQ(t.position_at(Time::origin()), (Vec2{2, 0}));
+  EXPECT_FALSE(t.finished(Time::seconds(100)));
+}
+
+TEST(Trajectory, RandomWalkStaysInBoundsAndIsDeterministic) {
+  const Rect bounds{{0, 0}, {10, 10}};
+  RandomWalkTrajectory a(bounds, {5, 5}, 1.0, Rng(42));
+  RandomWalkTrajectory b(bounds, {5, 5}, 1.0, Rng(42));
+  for (double s = 0; s < 50; s += 0.7) {
+    const Vec2 pa = a.position_at(Time::seconds(s));
+    EXPECT_TRUE(bounds.contains(pa)) << pa.to_string();
+    EXPECT_EQ(pa, b.position_at(Time::seconds(s)));
+  }
+}
+
+TEST(Trajectory, RandomWalkMovesAtConstantSpeed) {
+  RandomWalkTrajectory t({{0, 0}, {20, 20}}, {10, 10}, 2.0, Rng(7));
+  const double dt = 0.1;
+  for (double s = 0; s < 10; s += dt) {
+    const double step = distance(t.position_at(Time::seconds(s)),
+                                 t.position_at(Time::seconds(s + dt)));
+    EXPECT_LE(step, 2.0 * dt + 1e-4);  // microsecond time quantization
+  }
+}
+
+// --- Field ---
+
+TEST(Field, GridLayout) {
+  const Field field = Field::grid(2, 3);
+  EXPECT_EQ(field.size(), 6u);
+  EXPECT_EQ(field.position(NodeId{0}), (Vec2{0, 0}));
+  EXPECT_EQ(field.position(NodeId{2}), (Vec2{2, 0}));
+  EXPECT_EQ(field.position(NodeId{3}), (Vec2{0, 1}));
+  EXPECT_EQ(field.bounds().max, (Vec2{2, 1}));
+}
+
+TEST(Field, PerturbedGridStaysNearLattice) {
+  const Field field = Field::perturbed_grid(4, 4, 0.3, Rng(5));
+  EXPECT_EQ(field.size(), 16u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const Vec2 p = field.position(NodeId{r * 4 + c});
+      EXPECT_LE(std::abs(p.x - static_cast<double>(c)), 0.3);
+      EXPECT_LE(std::abs(p.y - static_cast<double>(r)), 0.3);
+    }
+  }
+}
+
+TEST(Field, UniformRandomInBounds) {
+  const Rect bounds{{0, 0}, {7, 3}};
+  const Field field = Field::uniform_random(50, bounds, Rng(9));
+  EXPECT_EQ(field.size(), 50u);
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    EXPECT_TRUE(bounds.contains(field.position(NodeId{i})));
+  }
+}
+
+TEST(Field, NodesWithin) {
+  const Field field = Field::grid(3, 3);
+  const auto close = field.nodes_within({1, 1}, 1.0);
+  EXPECT_EQ(close.size(), 5u);  // center + 4 orthogonal
+  const auto all = field.nodes_within({1, 1}, 10.0);
+  EXPECT_EQ(all.size(), 9u);
+  const auto none = field.nodes_within({-5, -5}, 1.0);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(Field, Nearest) {
+  const Field field = Field::grid(3, 3);
+  EXPECT_EQ(field.nearest({1.2, 0.9}), NodeId{4});  // (1,1)
+  EXPECT_EQ(field.nearest({-3, -3}), NodeId{0});
+  EXPECT_EQ(field.nearest({0.5, 0.0}), NodeId{0}) << "ties: lowest id";
+}
+
+// --- Environment ---
+
+TEST(Environment, SensesByTypeAndRadius) {
+  Environment env;
+  Target car;
+  car.type = "car";
+  car.trajectory = std::make_unique<StationaryTrajectory>(Vec2{5, 5});
+  car.radius = RadiusProfile::constant(2.0);
+  env.add_target(std::move(car));
+
+  EXPECT_TRUE(env.senses("car", {5, 5}, Time::origin()));
+  EXPECT_TRUE(env.senses("car", {6.9, 5}, Time::origin()));
+  EXPECT_FALSE(env.senses("car", {7.1, 5}, Time::origin()));
+  EXPECT_FALSE(env.senses("truck", {5, 5}, Time::origin()));
+}
+
+TEST(Environment, TargetLifetimeWindow) {
+  Environment env;
+  Target t;
+  t.type = "x";
+  t.trajectory = std::make_unique<StationaryTrajectory>(Vec2{0, 0});
+  t.radius = RadiusProfile::constant(1.0);
+  t.appears = Time::seconds(5);
+  t.disappears = Time::seconds(10);
+  const TargetId id = env.add_target(std::move(t));
+
+  EXPECT_FALSE(env.senses("x", {0, 0}, Time::seconds(4)));
+  EXPECT_TRUE(env.senses("x", {0, 0}, Time::seconds(7)));
+  EXPECT_FALSE(env.senses("x", {0, 0}, Time::seconds(10)));
+  EXPECT_EQ(env.active_targets(Time::seconds(7)).size(), 1u);
+  EXPECT_TRUE(env.active_targets(Time::seconds(12)).empty());
+  EXPECT_EQ(env.target(id).type, "x");
+}
+
+TEST(Environment, LateTargetsStartTheirPathWhenAppearing) {
+  // A vehicle entering at t = 60 s starts from its path's beginning then,
+  // not 60 s into the trajectory.
+  Environment env;
+  Target t;
+  t.type = "car";
+  t.trajectory = std::make_unique<LinearTrajectory>(Vec2{0, 0},
+                                                    Vec2{10, 0}, 1.0);
+  t.radius = RadiusProfile::constant(1.0);
+  t.appears = Time::seconds(60);
+  const TargetId id = env.add_target(std::move(t));
+
+  EXPECT_EQ(env.target(id).position_at(Time::seconds(60)), (Vec2{0, 0}));
+  EXPECT_EQ(env.target(id).position_at(Time::seconds(63)), (Vec2{3, 0}));
+}
+
+TEST(Environment, LateFiresStartGrowingWhenIgnited) {
+  Environment env;
+  Target fire;
+  fire.type = "fire";
+  fire.trajectory = std::make_unique<StationaryTrajectory>(Vec2{0, 0});
+  fire.radius = RadiusProfile::growing(1.0, 1.0, 5.0);
+  fire.appears = Time::seconds(100);
+  const TargetId id = env.add_target(std::move(fire));
+  EXPECT_DOUBLE_EQ(env.target(id).radius_at(Time::seconds(100)), 1.0);
+  EXPECT_DOUBLE_EQ(env.target(id).radius_at(Time::seconds(102)), 3.0);
+}
+
+TEST(Environment, GrowingRadius) {
+  Environment env;
+  Target fire;
+  fire.type = "fire";
+  fire.trajectory = std::make_unique<StationaryTrajectory>(Vec2{0, 0});
+  fire.radius = RadiusProfile::growing(1.0, 0.5, 3.0);
+  env.add_target(std::move(fire));
+
+  EXPECT_FALSE(env.senses("fire", {2, 0}, Time::origin()));
+  EXPECT_TRUE(env.senses("fire", {2, 0}, Time::seconds(2)));   // r = 2
+  EXPECT_FALSE(env.senses("fire", {3.5, 0}, Time::seconds(100)));  // cap 3
+}
+
+TEST(Environment, ScalarReadingFalloff) {
+  Environment env;
+  Target t;
+  t.type = "x";
+  t.trajectory = std::make_unique<StationaryTrajectory>(Vec2{0, 0});
+  t.radius = RadiusProfile::constant(1.0);
+  t.emissions["magnetic"] = 8.0;
+  env.add_target(std::move(t));
+
+  // Magnetic falls off with the cube of distance (§6.1).
+  const double at1 = env.reading("magnetic", {1, 0}, Time::origin());
+  const double at2 = env.reading("magnetic", {2, 0}, Time::origin());
+  EXPECT_NEAR(at1, 8.0, 1e-9);
+  EXPECT_NEAR(at2, 1.0, 1e-9);
+}
+
+TEST(Environment, ReadingsSumOverTargets) {
+  Environment env;
+  for (double x : {-1.0, 1.0}) {
+    Target t;
+    t.type = "x";
+    t.trajectory = std::make_unique<StationaryTrajectory>(Vec2{x, 0});
+    t.radius = RadiusProfile::constant(1.0);
+    t.emissions["magnetic"] = 1.0;
+    env.add_target(std::move(t));
+  }
+  EXPECT_NEAR(env.reading("magnetic", {0, 0}, Time::origin()), 2.0, 1e-9);
+}
+
+TEST(Environment, AmbientAndUnknownChannels) {
+  Environment env;
+  EXPECT_NEAR(env.reading("temperature", {0, 0}, Time::origin()), 20.0,
+              1e-9);
+  EXPECT_NEAR(env.reading("no_such_channel", {0, 0}, Time::origin()), 0.0,
+              1e-9);
+}
+
+TEST(Environment, SensedTargetsLists) {
+  Environment env;
+  Target a;
+  a.type = "car";
+  a.trajectory = std::make_unique<StationaryTrajectory>(Vec2{0, 0});
+  a.radius = RadiusProfile::constant(2.0);
+  const TargetId ida = env.add_target(std::move(a));
+  Target b;
+  b.type = "car";
+  b.trajectory = std::make_unique<StationaryTrajectory>(Vec2{1, 0});
+  b.radius = RadiusProfile::constant(2.0);
+  const TargetId idb = env.add_target(std::move(b));
+
+  const auto sensed = env.sensed_targets({0.5, 0}, Time::origin());
+  ASSERT_EQ(sensed.size(), 2u);
+  EXPECT_EQ(sensed[0], ida);
+  EXPECT_EQ(sensed[1], idb);
+  EXPECT_EQ(env.active_targets_of("car", Time::origin()).size(), 2u);
+  EXPECT_TRUE(env.active_targets_of("bus", Time::origin()).empty());
+}
+
+}  // namespace
+}  // namespace et::env

@@ -1,0 +1,257 @@
+#include "etl/compiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace et::etl {
+namespace {
+
+struct CompilerTest : public ::testing::Test {
+  CompilerTest() {
+    senses.add("magnetic_sensor_reading",
+               [](const node::Mote&) { return false; });
+    options.destinations["pursuer"] = NodeId{0};
+  }
+
+  Expected<std::vector<core::ContextTypeSpec>> run(std::string_view src) {
+    return compile_source(src, senses, aggregations, options);
+  }
+
+  std::vector<core::ContextTypeSpec> run_ok(std::string_view src) {
+    auto specs = run(src);
+    EXPECT_TRUE(specs.ok()) << (specs.ok() ? "" : specs.error().to_string());
+    return specs.ok() ? std::move(specs).value()
+                      : std::vector<core::ContextTypeSpec>{};
+  }
+
+  void expect_error(std::string_view src, std::string_view fragment) {
+    auto specs = run(src);
+    ASSERT_FALSE(specs.ok()) << "expected compile failure";
+    EXPECT_NE(specs.error().message.find(fragment), std::string::npos)
+        << specs.error().message;
+  }
+
+  core::SenseRegistry senses;
+  core::AggregationRegistry aggregations =
+      core::AggregationRegistry::with_builtins();
+  CompileOptions options;
+};
+
+constexpr const char* kFig2 = R"(
+begin context tracker
+  activation: magnetic_sensor_reading();
+  location : avg(position) confidence=2, freshness=1s;
+  begin object reporter
+    invocation: TIMER(5s)
+    report() { send(pursuer, self.label, location); }
+  end
+end context
+)";
+
+TEST_F(CompilerTest, Figure2CompilesToSpec) {
+  const auto specs = run_ok(kFig2);
+  ASSERT_EQ(specs.size(), 1u);
+  const core::ContextTypeSpec& spec = specs[0];
+  EXPECT_EQ(spec.name, "tracker");
+  EXPECT_EQ(spec.activation, "__tracker_activation");
+  EXPECT_TRUE(senses.contains("__tracker_activation"));
+
+  ASSERT_EQ(spec.variables.size(), 1u);
+  EXPECT_EQ(spec.variables[0].name, "location");
+  EXPECT_EQ(spec.variables[0].aggregation, "avg");
+  EXPECT_EQ(spec.variables[0].sensor, "position");
+  EXPECT_EQ(spec.variables[0].critical_mass, 2u);
+  EXPECT_EQ(spec.variables[0].freshness, Duration::seconds(1));
+
+  ASSERT_EQ(spec.objects.size(), 1u);
+  ASSERT_EQ(spec.objects[0].methods.size(), 1u);
+  const core::MethodSpec& method = spec.objects[0].methods[0];
+  EXPECT_EQ(method.invocation.kind, core::InvocationSpec::Kind::kTimer);
+  EXPECT_EQ(method.invocation.period, Duration::seconds(5));
+  EXPECT_TRUE(static_cast<bool>(method.body));
+}
+
+TEST_F(CompilerTest, DefaultsApplied) {
+  options.default_confidence = 3;
+  options.default_freshness = Duration::seconds(7);
+  const auto specs = run_ok(R"(
+    begin context c
+      activation: magnetic_sensor_reading();
+      v : sum(magnetic);
+    end context
+  )");
+  EXPECT_EQ(specs[0].variables[0].critical_mass, 3u);
+  EXPECT_EQ(specs[0].variables[0].freshness, Duration::seconds(7));
+}
+
+TEST_F(CompilerTest, ThresholdActivationNeedsNoRegisteredFunction) {
+  const auto specs = run_ok(R"(
+    begin context fire
+      activation: temperature > 180 and light > 0.5;
+    end context
+  )");
+  EXPECT_TRUE(senses.contains("__fire_activation"));
+  EXPECT_EQ(specs[0].variables.size(), 0u);
+}
+
+TEST_F(CompilerTest, DeactivationRegistered) {
+  run_ok(R"(
+    begin context fire
+      activation: temperature > 180;
+      deactivation: temperature < 60;
+    end context
+  )");
+  EXPECT_TRUE(senses.contains("__fire_deactivation"));
+}
+
+TEST_F(CompilerTest, ConditionMethodCompiles) {
+  const auto specs = run_ok(R"(
+    begin context c
+      activation: magnetic_sensor_reading();
+      heat : avg(temperature) confidence=1, freshness=2s;
+      begin object o
+        invocation: when (heat > 100)
+        m() { log("hot", heat); }
+      end
+    end context
+  )");
+  const auto& method = specs[0].objects[0].methods[0];
+  EXPECT_EQ(method.invocation.kind, core::InvocationSpec::Kind::kCondition);
+  EXPECT_TRUE(static_cast<bool>(method.invocation.condition));
+}
+
+TEST_F(CompilerTest, PortNumberingAcrossObjects) {
+  const auto specs = run_ok(R"(
+    begin context c
+      activation: magnetic_sensor_reading();
+      begin object a
+        invocation: TIMER(1s)
+        m1() { }
+        invocation: TIMER(1s)
+        m2() { }
+      end
+      begin object b
+        invocation: TIMER(1s)
+        m3() { }
+      end
+    end context
+  )");
+  const core::ContextTypeSpec& spec = specs[0];
+  EXPECT_EQ(spec.method_count(), 3u);
+  EXPECT_EQ(spec.port_of("a", "m2"), 1u);
+  EXPECT_EQ(spec.port_of("b", "m3"), 2u);
+  EXPECT_EQ(spec.method_at(2)->name, "m3");
+  EXPECT_EQ(spec.method_at(9), nullptr);
+  EXPECT_FALSE(spec.port_of("b", "nope").has_value());
+}
+
+// --- Semantic errors ---
+
+TEST_F(CompilerTest, ErrorUnknownSenseFunction) {
+  expect_error(R"(
+    begin context c
+      activation: nonexistent_sensor();
+    end context
+  )", "unknown sense function");
+}
+
+TEST_F(CompilerTest, ErrorUnknownAggregation) {
+  expect_error(R"(
+    begin context c
+      activation: magnetic_sensor_reading();
+      v : trimmed_mean(magnetic);
+    end context
+  )", "unknown aggregation");
+}
+
+TEST_F(CompilerTest, ErrorUnknownSendDestination) {
+  expect_error(R"(
+    begin context c
+      activation: magnetic_sensor_reading();
+      begin object o
+        invocation: TIMER(1s)
+        m() { send(nowhere); }
+      end
+    end context
+  )", "unknown send destination");
+}
+
+TEST_F(CompilerTest, ErrorUndeclaredAggregateVariable) {
+  expect_error(R"(
+    begin context c
+      activation: magnetic_sensor_reading();
+      begin object o
+        invocation: TIMER(1s)
+        m() { log(undeclared); }
+      end
+    end context
+  )", "unknown aggregate variable");
+}
+
+TEST_F(CompilerTest, ErrorSelfInActivation) {
+  expect_error(R"(
+    begin context c
+      activation: self.x > 2;
+    end context
+  )", "'self' is not available");
+}
+
+TEST_F(CompilerTest, ErrorBadConfidence) {
+  expect_error(R"(
+    begin context c
+      activation: magnetic_sensor_reading();
+      v : avg(magnetic) confidence=2.5;
+    end context
+  )", "positive integer");
+}
+
+TEST_F(CompilerTest, ErrorDuplicateContext) {
+  expect_error(R"(
+    begin context c
+      activation: magnetic_sensor_reading();
+    end context
+    begin context c
+      activation: magnetic_sensor_reading();
+    end context
+  )", "duplicate context");
+}
+
+TEST_F(CompilerTest, ErrorDuplicateVariable) {
+  expect_error(R"(
+    begin context c
+      activation: magnetic_sensor_reading();
+      v : avg(magnetic);
+      v : sum(magnetic);
+    end context
+  )", "duplicate aggregate variable");
+}
+
+TEST_F(CompilerTest, ErrorUnknownBodyFunction) {
+  expect_error(R"(
+    begin context c
+      activation: magnetic_sensor_reading();
+      begin object o
+        invocation: TIMER(1s)
+        m() { log(rand()); }
+      end
+    end context
+  )", "unknown function");
+}
+
+TEST_F(CompilerTest, ErrorUnknownSelfMember) {
+  expect_error(R"(
+    begin context c
+      activation: magnetic_sensor_reading();
+      begin object o
+        invocation: TIMER(1s)
+        m() { log(self.altitude); }
+      end
+    end context
+  )", "unknown self member");
+}
+
+TEST_F(CompilerTest, ParseErrorsPropagate) {
+  expect_error("begin context", "expected");
+}
+
+}  // namespace
+}  // namespace et::etl

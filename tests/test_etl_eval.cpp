@@ -1,0 +1,134 @@
+#include "etl/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "etl/parser.hpp"
+
+namespace et::etl {
+namespace {
+
+Value eval_src(std::string_view source, const EvalHooks& hooks = {}) {
+  auto expr = parse_expression(source);
+  EXPECT_TRUE(expr.ok()) << (expr.ok() ? "" : expr.error().to_string());
+  if (!expr.ok()) return Value::null();
+  return eval_expr(*expr.value(), hooks);
+}
+
+TEST(Eval, Arithmetic) {
+  EXPECT_DOUBLE_EQ(eval_src("1 + 2 * 3").number(), 7.0);
+  EXPECT_DOUBLE_EQ(eval_src("(1 + 2) * 3").number(), 9.0);
+  EXPECT_DOUBLE_EQ(eval_src("10 / 4").number(), 2.5);
+  EXPECT_DOUBLE_EQ(eval_src("-3 + 1").number(), -2.0);
+  EXPECT_DOUBLE_EQ(eval_src("2 - 3 - 4").number(), -5.0)
+      << "subtraction must associate left";
+}
+
+TEST(Eval, DivisionByZeroIsNull) {
+  EXPECT_TRUE(eval_src("1 / 0").is_null());
+}
+
+TEST(Eval, Comparisons) {
+  EXPECT_DOUBLE_EQ(eval_src("3 > 2").number(), 1.0);
+  EXPECT_DOUBLE_EQ(eval_src("3 < 2").number(), 0.0);
+  EXPECT_DOUBLE_EQ(eval_src("2 >= 2").number(), 1.0);
+  EXPECT_DOUBLE_EQ(eval_src("2 != 2").number(), 0.0);
+  EXPECT_DOUBLE_EQ(eval_src("2 == 2").number(), 1.0);
+}
+
+TEST(Eval, Logic) {
+  EXPECT_TRUE(eval_src("true and true").truthy());
+  EXPECT_FALSE(eval_src("true and false").truthy());
+  EXPECT_TRUE(eval_src("false or true").truthy());
+  EXPECT_TRUE(eval_src("not false").truthy());
+  EXPECT_TRUE(eval_src("1 < 2 and 2 < 3").truthy());
+}
+
+TEST(Eval, ShortCircuit) {
+  int calls = 0;
+  EvalHooks hooks;
+  hooks.call = [&](const std::string&, const std::vector<Value>&) {
+    ++calls;
+    return Value::of(true);
+  };
+  eval_src("false and probe()", hooks);
+  EXPECT_EQ(calls, 0) << "rhs of short-circuited 'and' must not evaluate";
+  eval_src("true or probe()", hooks);
+  EXPECT_EQ(calls, 0) << "rhs of short-circuited 'or' must not evaluate";
+}
+
+TEST(Eval, NullPropagation) {
+  EvalHooks hooks;
+  hooks.ident = [](const std::string&) { return Value::null(); };
+  EXPECT_TRUE(eval_src("missing + 1", hooks).is_null());
+  EXPECT_TRUE(eval_src("missing > 0", hooks).is_null());
+  EXPECT_FALSE(eval_src("missing > 0", hooks).truthy())
+      << "null conditions read as false";
+  EXPECT_TRUE(eval_src("not missing", hooks).truthy());
+  EXPECT_FALSE(eval_src("missing and true", hooks).truthy());
+}
+
+TEST(Eval, IdentResolution) {
+  EvalHooks hooks;
+  hooks.ident = [](const std::string& name) {
+    return name == "heat" ? Value::of(42.0) : Value::null();
+  };
+  EXPECT_DOUBLE_EQ(eval_src("heat + 1", hooks).number(), 43.0);
+  EXPECT_TRUE(eval_src("heat > 40", hooks).truthy());
+}
+
+TEST(Eval, CallsReceiveEvaluatedArgs) {
+  EvalHooks hooks;
+  hooks.call = [](const std::string& callee,
+                  const std::vector<Value>& args) {
+    EXPECT_EQ(callee, "state");
+    EXPECT_EQ(args.size(), 1u);
+    EXPECT_TRUE(args[0].is_string());
+    return Value::of(5.0);
+  };
+  EXPECT_DOUBLE_EQ(eval_src("state(\"x\") * 2", hooks).number(), 10.0);
+}
+
+TEST(Eval, SelfMember) {
+  EvalHooks hooks;
+  hooks.self_member = [](const std::string& member) {
+    return member == "x" ? Value::of(3.5) : Value::null();
+  };
+  EXPECT_DOUBLE_EQ(eval_src("self.x", hooks).number(), 3.5);
+}
+
+TEST(Eval, StringEquality) {
+  EXPECT_TRUE(eval_src("\"a\" == \"a\"").truthy());
+  EXPECT_TRUE(eval_src("\"a\" != \"b\"").truthy());
+  EXPECT_TRUE(eval_src("\"a\" + \"b\"").is_null())
+      << "string arithmetic is not defined";
+}
+
+TEST(Eval, DurationsReadAsSeconds) {
+  EXPECT_DOUBLE_EQ(eval_src("500ms + 1s").number(), 1.5);
+}
+
+TEST(Eval, Truthiness) {
+  EXPECT_FALSE(Value::null().truthy());
+  EXPECT_FALSE(Value::of(0.0).truthy());
+  EXPECT_TRUE(Value::of(-1.0).truthy());
+  EXPECT_FALSE(Value::of(std::string("")).truthy());
+  EXPECT_TRUE(Value::of(std::string("x")).truthy());
+  EXPECT_TRUE(Value::of(Vec2{0, 0}).truthy());
+  EXPECT_FALSE(Value::of(LabelId{}).truthy());
+  EXPECT_TRUE(Value::of(LabelId::make(NodeId{1}, 2)).truthy());
+}
+
+TEST(Eval, ValueToString) {
+  EXPECT_EQ(Value::null().to_string(), "null");
+  EXPECT_EQ(Value::of(2.5).to_string(), "2.5");
+  EXPECT_EQ(Value::of(std::string("hi")).to_string(), "hi");
+}
+
+TEST(Eval, MissingHooksYieldNull) {
+  EXPECT_TRUE(eval_src("anything").is_null());
+  EXPECT_TRUE(eval_src("call()").is_null());
+  EXPECT_TRUE(eval_src("self.label").is_null());
+}
+
+}  // namespace
+}  // namespace et::etl

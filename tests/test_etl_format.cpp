@@ -1,0 +1,173 @@
+#include "etl/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "etl/parser.hpp"
+
+namespace et::etl {
+namespace {
+
+std::string reformat(std::string_view source) {
+  auto program = parse(source);
+  EXPECT_TRUE(program.ok())
+      << (program.ok() ? "" : program.error().to_string());
+  return program.ok() ? format_program(program.value()) : "";
+}
+
+std::string format_expression(std::string_view source) {
+  auto expr = parse_expression(source);
+  EXPECT_TRUE(expr.ok());
+  return expr.ok() ? format_expr(*expr.value()) : "";
+}
+
+TEST(Format, ExpressionCanonicalization) {
+  EXPECT_EQ(format_expression("1+2*3"), "1 + 2 * 3");
+  EXPECT_EQ(format_expression("(1+2)*3"), "(1 + 2) * 3");
+  EXPECT_EQ(format_expression("1*(2+3)"), "1 * (2 + 3)");
+  EXPECT_EQ(format_expression("not (a and b)"), "not (a and b)");
+  EXPECT_EQ(format_expression("a and b or c"), "a and b or c");
+  EXPECT_EQ(format_expression("a and (b or c)"), "a and (b or c)");
+  EXPECT_EQ(format_expression("-x + 1"), "-x + 1");
+  EXPECT_EQ(format_expression("self.x > state(\"k\")"),
+            "self.x > state(\"k\")");
+}
+
+TEST(Format, RedundantParenthesesDropped) {
+  EXPECT_EQ(format_expression("((1) + (2))"), "1 + 2");
+  EXPECT_EQ(format_expression("(a) and ((b))"), "a and b");
+}
+
+TEST(Format, LeftAssociativityPreserved) {
+  // 2 - 3 - 4 is (2-3)-4; formatting must not turn it into 2-(3-4).
+  EXPECT_EQ(format_expression("2 - 3 - 4"), "2 - 3 - 4");
+  EXPECT_EQ(format_expression("2 - (3 - 4)"), "2 - (3 - 4)");
+  EXPECT_EQ(format_expression("8 / 4 / 2"), "8 / 4 / 2");
+  EXPECT_EQ(format_expression("8 / (4 / 2)"), "8 / (4 / 2)");
+}
+
+TEST(Format, DurationsRenderInLargestExactUnit) {
+  EXPECT_EQ(reformat(R"(
+    begin context c
+      activation: s();
+      begin object o
+        invocation: TIMER(1500ms)
+        m() { }
+      end
+    end context
+  )").find("TIMER(1500ms)") != std::string::npos, true);
+  EXPECT_NE(reformat(R"(
+    begin context c
+      activation: s();
+      begin object o
+        invocation: TIMER(2s)
+        m() { }
+      end
+    end context
+  )").find("TIMER(2s)"), std::string::npos);
+}
+
+TEST(Format, FullProgramStructure) {
+  const std::string out = reformat(R"(
+    begin context fire
+      activation: temperature>180 and light>0.5;
+      deactivation: temperature<60;
+      heat : max(temperature) confidence=3, freshness=3s;
+      begin object monitor
+        invocation: when (heat > 100)
+        alarm() { if (heat > 200) { log("inferno", heat); }
+                  else { setState("level", 1); } }
+        invocation: message
+        command() { setState("mode", arg(0)); }
+      end
+    end context
+  )");
+  EXPECT_NE(out.find("begin context fire"), std::string::npos);
+  EXPECT_NE(out.find("activation: temperature > 180 and light > 0.5;"),
+            std::string::npos);
+  EXPECT_NE(out.find("deactivation: temperature < 60;"), std::string::npos);
+  EXPECT_NE(out.find("heat : max(temperature) confidence=3, freshness=3s;"),
+            std::string::npos);
+  EXPECT_NE(out.find("invocation: when (heat > 100)"), std::string::npos);
+  EXPECT_NE(out.find("invocation: message"), std::string::npos);
+  EXPECT_NE(out.find("} else {"), std::string::npos);
+}
+
+/// The round-trip property: format(parse(s)) reparses to a program that
+/// formats identically (format is a fixed point after one pass).
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, FormatParseFormatIsStable) {
+  auto first = parse(GetParam());
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
+  const std::string once = format_program(first.value());
+  auto second = parse(once);
+  ASSERT_TRUE(second.ok()) << "formatted output failed to parse:\n"
+                           << once << "\n"
+                           << second.error().to_string();
+  EXPECT_EQ(format_program(second.value()), once);
+}
+
+TEST(Format, ElseIfChainsResugar) {
+  const std::string out = reformat(R"(
+    begin context c
+      activation: s();
+      v : avg(magnetic) confidence=1, freshness=1s;
+      begin object o
+        invocation: TIMER(1s)
+        m() {
+          if (v > 10) { log("high"); }
+          else { if (v > 5) { log("mid"); } else { log("low"); } }
+        }
+      end
+    end context
+  )");
+  EXPECT_NE(out.find("} else if (v > 5) {"), std::string::npos) << out;
+  EXPECT_NE(out.find("} else {"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, RoundTrip,
+    ::testing::Values(
+        R"(begin context t
+             activation: m();
+             location : avg(position) confidence=2, freshness=1s;
+             begin object r
+               invocation: TIMER(5s)
+               report() { send(base, self.label, location); }
+             end
+           end context)",
+        R"(begin context fire
+             activation: temperature > 180;
+             deactivation: temperature < 60;
+             a : avg(temperature);
+             b : centroid(temperature) confidence=4;
+           end context
+           begin context car
+             activation: magnetic > 2 or acoustic > 5;
+           end context)",
+        R"(begin context x
+             activation: s();
+             v : sum(light, temperature) freshness=250ms;
+             begin object o
+               invocation: when (v >= 10 and not (v > 100))
+               m() {
+                 if (v == 50) { log("mid"); } else { log("other", v / 2); }
+                 setState("seen", state("seen") + 1);
+               }
+             end
+           end context)",
+        R"(begin context chain
+             activation: s();
+             v : avg(magnetic);
+             begin object o
+               invocation: TIMER(1s)
+               m() {
+                 if (v > 10) { log("a"); }
+                 else if (v > 5) { log("b"); }
+                 else { log("c"); }
+               }
+             end
+           end context)"));
+
+}  // namespace
+}  // namespace et::etl

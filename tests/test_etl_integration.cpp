@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "etl/compiler.hpp"
+#include "scenario/units.hpp"
+#include "test_world.hpp"
+
+/// End-to-end tests of language-declared contexts running on the live
+/// middleware: the compiled spec must behave identically to a hand-built
+/// one — activation, aggregation QoS, timer methods, condition methods,
+/// setState persistence, send() delivery.
+namespace et::test {
+namespace {
+
+struct EtlWorld {
+  explicit EtlWorld(const char* program,
+                    std::function<void(etl::CompileOptions&)> tweak = {}) {
+    sim.emplace(31);
+    env.emplace(sim->make_rng("env"));
+    field.emplace(env::Field::grid(3, 10));
+    core::SystemConfig config;
+    config.radio.loss_probability = 0.0;
+    config.radio.model_collisions = false;
+    system.emplace(*sim, *env, *field, config);
+    system->senses().add("blob_sensor", core::sense_target("blob"));
+
+    etl::CompileOptions options;
+    options.destinations["base"] = NodeId{0};
+    options.log_sink = [this](const std::string& line) {
+      logs.push_back(line);
+    };
+    if (tweak) tweak(options);
+    auto specs = etl::compile_source(program, system->senses(),
+                                     system->aggregations(), options);
+    if (!specs.ok()) {
+      ADD_FAILURE() << specs.error().to_string();
+      std::abort();
+    }
+    for (auto& spec : specs.value()) {
+      system->add_context_type(std::move(spec));
+    }
+    system->start();
+    system->stack(NodeId{0}).on_user_message(
+        [this](const core::UserMessagePayload& msg, NodeId) {
+          messages.push_back(msg);
+        });
+  }
+
+  TargetId add_blob(Vec2 at, double radius = 1.2) {
+    env::Target blob;
+    blob.type = "blob";
+    blob.trajectory = std::make_unique<env::StationaryTrajectory>(at);
+    blob.radius = env::RadiusProfile::constant(radius);
+    blob.emissions["magnetic"] = 10.0;
+    return env->add_target(std::move(blob));
+  }
+
+  void run(double seconds) { sim->run_for(Duration::seconds(seconds)); }
+
+  std::optional<sim::Simulator> sim;
+  std::optional<env::Environment> env;
+  std::optional<env::Field> field;
+  std::optional<core::EnviroTrackSystem> system;
+  std::vector<core::UserMessagePayload> messages;
+  std::vector<std::string> logs;
+};
+
+TEST(EtlIntegration, TimerMethodSendsAggregatedPosition) {
+  EtlWorld world(R"(
+    begin context blob
+      activation: blob_sensor();
+      location : avg(position) confidence=2, freshness=1s;
+      begin object reporter
+        invocation: TIMER(2s)
+        report() { send(base, self.label, location); }
+      end
+    end context
+  )");
+  world.add_blob({5.0, 1.0});
+  world.run(10);
+
+  ASSERT_GE(world.messages.size(), 3u);
+  for (const auto& msg : world.messages) {
+    EXPECT_EQ(msg.tag, "report");
+    ASSERT_EQ(msg.data.size(), 2u);  // label rides in the header, not data
+    EXPECT_NEAR(msg.data[0], 5.0, 1.2);
+    EXPECT_NEAR(msg.data[1], 1.0, 1.2);
+    EXPECT_TRUE(msg.src_label.is_valid());
+  }
+}
+
+TEST(EtlIntegration, NullAggregateSuppressesSend) {
+  // confidence=99 can never be met on a 30-mote grid: the send's null
+  // argument must abort the report (unconfirmed sitings stay silent).
+  EtlWorld world(R"(
+    begin context blob
+      activation: blob_sensor();
+      location : avg(position) confidence=99, freshness=1s;
+      begin object reporter
+        invocation: TIMER(1s)
+        report() { send(base, location); }
+      end
+    end context
+  )");
+  world.add_blob({5.0, 1.0});
+  world.run(8);
+  EXPECT_TRUE(world.messages.empty());
+}
+
+TEST(EtlIntegration, ConditionMethodFiresOnEdge) {
+  EtlWorld world(R"(
+    begin context blob
+      activation: blob_sensor();
+      strength : avg(magnetic) confidence=2, freshness=1s;
+      begin object watcher
+        invocation: when (strength > 1)
+        alarm() { log("alarm"); }
+      end
+    end context
+  )");
+  world.add_blob({5.0, 1.0});
+  world.run(10);
+  // Edge-triggered: one alarm per leadership tenure, not one per tick.
+  ASSERT_GE(world.logs.size(), 1u);
+  EXPECT_LE(world.logs.size(), 4u);
+  EXPECT_EQ(world.logs[0], "alarm");
+}
+
+TEST(EtlIntegration, SetStateAndStateRoundTrip) {
+  EtlWorld world(R"(
+    begin context blob
+      activation: blob_sensor();
+      strength : avg(magnetic) confidence=1, freshness=1s;
+      begin object counter
+        invocation: TIMER(1s)
+        bump() {
+          setState("n", state("n") + 1);
+          if (state("n") == 3) { log("third"); }
+        }
+      end
+    end context
+  )");
+  world.add_blob({5.0, 1.0});
+  world.run(10);
+  // state("n") starts null; null + 1 is null, so setState skips until we
+  // seed it... which never happens: verify the null-safety semantics held
+  // (no "third" log, no crash).
+  EXPECT_TRUE(world.logs.empty());
+}
+
+TEST(EtlIntegration, SetStateWithLiteralSeed) {
+  EtlWorld world(R"(
+    begin context blob
+      activation: blob_sensor();
+      strength : avg(magnetic) confidence=1, freshness=1s;
+      begin object counter
+        invocation: TIMER(1s)
+        bump() {
+          if (not state("seeded")) {
+            setState("n", 0);
+            setState("seeded", 1);
+          } else {
+            setState("n", state("n") + 1);
+          }
+          if (state("n") >= 3) { log("reached", state("n")); }
+        }
+      end
+    end context
+  )");
+  world.add_blob({5.0, 1.0});
+  world.run(10);
+  ASSERT_GE(world.logs.size(), 1u);
+  EXPECT_EQ(world.logs[0], "reached 3");
+}
+
+TEST(EtlIntegration, ThresholdActivationContext) {
+  // No sense function at all: activation is a sensor-threshold expression
+  // evaluated against the magnetometer channel.
+  EtlWorld world(R"(
+    begin context blob
+      activation: magnetic > 5;
+      strength : avg(magnetic) confidence=1, freshness=1s;
+      begin object watcher
+        invocation: TIMER(2s)
+        tick() { log("tracking", strength); }
+      end
+    end context
+  )");
+  // Emission 10 at distance <= ~1.26 reads > 5 (1/d^3 falloff).
+  world.add_blob({5.0, 1.0}, 0.1);  // tiny disc: only threshold matters
+  world.run(10);
+  EXPECT_GE(world.logs.size(), 2u);
+}
+
+TEST(EtlIntegration, TwoContextTypesCoexist) {
+  EtlWorld world(R"(
+    begin context blob
+      activation: blob_sensor();
+      location : avg(position) confidence=2, freshness=1s;
+      begin object r
+        invocation: TIMER(2s)
+        blobreport() { send(base, location); }
+      end
+    end context
+    begin context hotspot
+      activation: magnetic > 5;
+      level : max(magnetic) confidence=1, freshness=1s;
+      begin object r
+        invocation: TIMER(2s)
+        hotreport() { send(base, level); }
+      end
+    end context
+  )");
+  world.add_blob({5.0, 1.0});
+  world.run(10);
+  bool saw_blob = false;
+  bool saw_hotspot = false;
+  for (const auto& msg : world.messages) {
+    if (msg.tag == "blobreport") saw_blob = true;
+    if (msg.tag == "hotreport") saw_hotspot = true;
+  }
+  EXPECT_TRUE(saw_blob);
+  EXPECT_TRUE(saw_hotspot);
+}
+
+}  // namespace
+}  // namespace et::test

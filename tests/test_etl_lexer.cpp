@@ -1,0 +1,136 @@
+#include "etl/token.hpp"
+
+#include <gtest/gtest.h>
+
+namespace et::etl {
+namespace {
+
+std::vector<Token> lex_ok(std::string_view source) {
+  auto tokens = tokenize(source);
+  EXPECT_TRUE(tokens.ok()) << (tokens.ok() ? "" : tokens.error().to_string());
+  return tokens.ok() ? tokens.value() : std::vector<Token>{};
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto tokens = lex_ok("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEndOfFile);
+}
+
+TEST(Lexer, Keywords) {
+  const auto tokens =
+      lex_ok("begin end context object activation invocation");
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kBegin);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kEnd);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kContext);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kObject);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kActivation);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kInvocation);
+}
+
+TEST(Lexer, IdentifiersVsKeywords) {
+  const auto tokens = lex_ok("tracker begins TIMER timer");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "tracker");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdent);  // 'begins' != 'begin'
+  EXPECT_EQ(tokens[2].kind, TokenKind::kTimer);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kIdent);  // case-sensitive
+}
+
+TEST(Lexer, Numbers) {
+  const auto tokens = lex_ok("42 3.5 0.125");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ(tokens[0].number, 42.0);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 3.5);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 0.125);
+}
+
+TEST(Lexer, Durations) {
+  const auto tokens = lex_ok("1s 250ms 10us 0.5s");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDuration);
+  EXPECT_EQ(tokens[0].duration, Duration::seconds(1));
+  EXPECT_EQ(tokens[1].duration, Duration::millis(250));
+  EXPECT_EQ(tokens[2].duration, Duration::micros(10));
+  EXPECT_EQ(tokens[3].duration, Duration::millis(500));
+}
+
+TEST(Lexer, DurationSuffixDoesNotEatIdentifiers) {
+  // "5 seconds" must not parse "5s" out of "5 se..."; and "3sigma" is a
+  // number followed by an identifier, not a duration.
+  const auto tokens = lex_ok("3sigma");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].text, "sigma");
+}
+
+TEST(Lexer, Strings) {
+  const auto tokens = lex_ok("\"hello world\"");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "hello world");
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  EXPECT_FALSE(tokenize("\"oops").ok());
+  EXPECT_FALSE(tokenize("\"multi\nline\"").ok());
+}
+
+TEST(Lexer, OperatorsAndPunctuation) {
+  const auto tokens = lex_ok("( ) { } : ; , . = == != < <= > >= + - * /");
+  const TokenKind expected[] = {
+      TokenKind::kLParen, TokenKind::kRParen,  TokenKind::kLBrace,
+      TokenKind::kRBrace, TokenKind::kColon,   TokenKind::kSemicolon,
+      TokenKind::kComma,  TokenKind::kDot,     TokenKind::kAssign,
+      TokenKind::kEq,     TokenKind::kNe,      TokenKind::kLt,
+      TokenKind::kLe,     TokenKind::kGt,      TokenKind::kGe,
+      TokenKind::kPlus,   TokenKind::kMinus,   TokenKind::kStar,
+      TokenKind::kSlash,
+  };
+  ASSERT_EQ(tokens.size(), std::size(expected) + 1);
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(Lexer, Comments) {
+  const auto tokens = lex_ok(
+      "# a hash comment\n"
+      "begin // a slash comment\n"
+      "end");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kBegin);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  const auto tokens = lex_ok("begin\n  context");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(Lexer, BadCharacterReportsPosition) {
+  const auto result = tokenize("begin\n  @");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("2:3"), std::string::npos)
+      << result.error().message;
+}
+
+TEST(Lexer, StrayBangFails) {
+  EXPECT_FALSE(tokenize("!flag").ok());
+  EXPECT_TRUE(tokenize("a != b").ok());
+}
+
+TEST(Lexer, BooleanLiterals) {
+  const auto tokens = lex_ok("true false and or not");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kTrue);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFalse);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kAnd);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kOr);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kNot);
+}
+
+}  // namespace
+}  // namespace et::etl

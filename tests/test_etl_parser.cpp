@@ -1,0 +1,316 @@
+#include "etl/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace et::etl {
+namespace {
+
+Program parse_ok(std::string_view source) {
+  auto program = parse(source);
+  EXPECT_TRUE(program.ok())
+      << (program.ok() ? "" : program.error().to_string());
+  return program.ok() ? std::move(program).value() : Program{};
+}
+
+void expect_parse_error(std::string_view source,
+                        std::string_view fragment = "") {
+  auto program = parse(source);
+  ASSERT_FALSE(program.ok()) << "expected failure for: " << source;
+  if (!fragment.empty()) {
+    EXPECT_NE(program.error().message.find(fragment), std::string::npos)
+        << program.error().message;
+  }
+}
+
+constexpr const char* kFig2 = R"(
+begin context tracker
+  activation: magnetic_sensor_reading();
+  location : avg(position) confidence=2, freshness=1s;
+  begin object reporter
+    invocation: TIMER(5s)
+    report() {
+      send(pursuer, self.label, location);
+    }
+  end
+end context
+)";
+
+TEST(Parser, Figure2Program) {
+  const Program program = parse_ok(kFig2);
+  ASSERT_EQ(program.contexts.size(), 1u);
+  const ContextDecl& ctx = program.contexts[0];
+  EXPECT_EQ(ctx.name, "tracker");
+  ASSERT_TRUE(ctx.activation);
+  ASSERT_TRUE(ctx.activation->call);
+  EXPECT_EQ(ctx.activation->call->callee, "magnetic_sensor_reading");
+
+  ASSERT_EQ(ctx.variables.size(), 1u);
+  const AggVarDecl& var = ctx.variables[0];
+  EXPECT_EQ(var.name, "location");
+  EXPECT_EQ(var.aggregation, "avg");
+  ASSERT_EQ(var.sensors.size(), 1u);
+  EXPECT_EQ(var.sensors[0], "position");
+  ASSERT_TRUE(var.confidence.has_value());
+  EXPECT_DOUBLE_EQ(*var.confidence, 2.0);
+  ASSERT_TRUE(var.freshness.has_value());
+  EXPECT_EQ(*var.freshness, Duration::seconds(1));
+
+  ASSERT_EQ(ctx.objects.size(), 1u);
+  const ObjectDecl& object = ctx.objects[0];
+  EXPECT_EQ(object.name, "reporter");
+  ASSERT_EQ(object.methods.size(), 1u);
+  const MethodDecl& method = object.methods[0];
+  EXPECT_EQ(method.name, "report");
+  EXPECT_EQ(method.invocation.kind, InvocationDecl::Kind::kTimer);
+  EXPECT_EQ(method.invocation.period, Duration::seconds(5));
+  ASSERT_EQ(method.body.size(), 1u);
+  ASSERT_TRUE(method.body[0]->send);
+  EXPECT_EQ(method.body[0]->send->destination, "pursuer");
+  EXPECT_EQ(method.body[0]->send->args.size(), 2u);
+}
+
+TEST(Parser, MultipleContexts) {
+  const Program program = parse_ok(R"(
+    begin context car
+      activation: magnetic();
+    end context
+    begin context fire
+      activation: temperature > 180 and light > 0.5;
+      heat : max(temperature) confidence=3, freshness=3s;
+    end context
+  )");
+  ASSERT_EQ(program.contexts.size(), 2u);
+  EXPECT_EQ(program.contexts[0].name, "car");
+  EXPECT_EQ(program.contexts[1].name, "fire");
+  ASSERT_TRUE(program.contexts[1].activation->binary);
+  EXPECT_EQ(program.contexts[1].activation->binary->op, BinaryOp::kAnd);
+}
+
+TEST(Parser, DeactivationCondition) {
+  const Program program = parse_ok(R"(
+    begin context fire
+      activation: temperature > 180;
+      deactivation: temperature < 60;
+    end context
+  )");
+  ASSERT_TRUE(program.contexts[0].deactivation);
+  EXPECT_EQ(program.contexts[0].deactivation->binary->op, BinaryOp::kLt);
+}
+
+TEST(Parser, ConditionInvocation) {
+  const Program program = parse_ok(R"(
+    begin context fire
+      activation: hot();
+      heat : avg(temperature) confidence=2, freshness=2s;
+      begin object alarm
+        invocation: when (heat > 100)
+        ring() { log("alarm", heat); }
+      end
+    end context
+  )");
+  const MethodDecl& method = program.contexts[0].objects[0].methods[0];
+  EXPECT_EQ(method.invocation.kind, InvocationDecl::Kind::kCondition);
+  ASSERT_TRUE(method.invocation.condition);
+  EXPECT_EQ(method.invocation.condition->binary->op, BinaryOp::kGt);
+}
+
+TEST(Parser, IfElseAndSetState) {
+  const Program program = parse_ok(R"(
+    begin context c
+      activation: s();
+      v : avg(magnetic) confidence=1, freshness=1s;
+      begin object o
+        invocation: TIMER(1s)
+        m() {
+          if (v > 3) {
+            setState("hot", 1);
+          } else {
+            setState("hot", 0);
+            log("cool", v);
+          }
+        }
+      end
+    end context
+  )");
+  const auto& body = program.contexts[0].objects[0].methods[0].body;
+  ASSERT_EQ(body.size(), 1u);
+  ASSERT_TRUE(body[0]->if_stmt);
+  EXPECT_EQ(body[0]->if_stmt->then_body.size(), 1u);
+  EXPECT_EQ(body[0]->if_stmt->else_body.size(), 2u);
+  EXPECT_TRUE(body[0]->if_stmt->then_body[0]->set_state);
+  EXPECT_EQ(body[0]->if_stmt->then_body[0]->set_state->key, "hot");
+}
+
+TEST(Parser, ElseIfChains) {
+  const Program program = parse_ok(R"(
+    begin context c
+      activation: s();
+      v : avg(magnetic) confidence=1, freshness=1s;
+      begin object o
+        invocation: TIMER(1s)
+        m() {
+          if (v > 10) { log("high"); }
+          else if (v > 5) { log("mid"); }
+          else if (v > 1) { log("low"); }
+          else { log("none"); }
+        }
+      end
+    end context
+  )");
+  const auto& body = program.contexts[0].objects[0].methods[0].body;
+  ASSERT_EQ(body.size(), 1u);
+  const Stmt* level = body[0].get();
+  int depth = 0;
+  while (level->if_stmt && level->if_stmt->else_body.size() == 1 &&
+         level->if_stmt->else_body[0]->if_stmt) {
+    level = level->if_stmt->else_body[0].get();
+    ++depth;
+  }
+  EXPECT_EQ(depth, 2);
+  ASSERT_TRUE(level->if_stmt);
+  EXPECT_EQ(level->if_stmt->else_body.size(), 1u);  // final else { log }
+  EXPECT_TRUE(level->if_stmt->else_body[0]->log.has_value());
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto expr = parse_expression("1 + 2 * 3 > 6 and not false");
+  ASSERT_TRUE(expr.ok());
+  const Expr& root = *expr.value();
+  ASSERT_TRUE(root.binary);
+  EXPECT_EQ(root.binary->op, BinaryOp::kAnd);
+  const Expr& cmp = *root.binary->lhs;
+  ASSERT_TRUE(cmp.binary);
+  EXPECT_EQ(cmp.binary->op, BinaryOp::kGt);
+  const Expr& sum = *cmp.binary->lhs;
+  ASSERT_TRUE(sum.binary);
+  EXPECT_EQ(sum.binary->op, BinaryOp::kAdd);
+  const Expr& product = *sum.binary->rhs;
+  ASSERT_TRUE(product.binary);
+  EXPECT_EQ(product.binary->op, BinaryOp::kMul);
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  auto expr = parse_expression("(1 + 2) * 3");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr.value()->binary->op, BinaryOp::kMul);
+  EXPECT_EQ(expr.value()->binary->lhs->binary->op, BinaryOp::kAdd);
+}
+
+TEST(Parser, SelfMember) {
+  auto expr = parse_expression("self.label");
+  ASSERT_TRUE(expr.ok());
+  ASSERT_TRUE(expr.value()->self);
+  EXPECT_EQ(expr.value()->self->member, "label");
+}
+
+TEST(Parser, MultiSensorAggregates) {
+  const Program program = parse_ok(R"(
+    begin context c
+      activation: s();
+      v : avg(magnetic, acoustic) confidence=1, freshness=1s;
+    end context
+  )");
+  EXPECT_EQ(program.contexts[0].variables[0].sensors.size(), 2u);
+}
+
+TEST(Parser, DefaultsWhenAttributesOmitted) {
+  const Program program = parse_ok(R"(
+    begin context c
+      activation: s();
+      v : avg(magnetic);
+    end context
+  )");
+  EXPECT_FALSE(program.contexts[0].variables[0].confidence.has_value());
+  EXPECT_FALSE(program.contexts[0].variables[0].freshness.has_value());
+}
+
+// --- Error cases ---
+
+TEST(Parser, ErrorEmptyProgram) { expect_parse_error("", "empty program"); }
+
+TEST(Parser, ErrorMissingActivation) {
+  expect_parse_error(R"(
+    begin context c
+      v : avg(magnetic);
+    end context
+  )", "no activation");
+}
+
+TEST(Parser, ErrorDuplicateActivation) {
+  expect_parse_error(R"(
+    begin context c
+      activation: a();
+      activation: b();
+    end context
+  )", "duplicate activation");
+}
+
+TEST(Parser, ErrorUnterminatedContext) {
+  expect_parse_error("begin context c activation: a();", "unterminated");
+}
+
+TEST(Parser, ErrorUnknownAttribute) {
+  expect_parse_error(R"(
+    begin context c
+      activation: a();
+      v : avg(m) flavor=3;
+    end context
+  )", "unknown attribute");
+}
+
+TEST(Parser, ErrorObjectWithoutMethods) {
+  expect_parse_error(R"(
+    begin context c
+      activation: a();
+      begin object o
+      end
+    end context
+  )");
+}
+
+TEST(Parser, ErrorBadInvocation) {
+  expect_parse_error(R"(
+    begin context c
+      activation: a();
+      begin object o
+        invocation: WHENEVER(1s)
+        m() { }
+      end
+    end context
+  )", "expected TIMER");
+}
+
+TEST(Parser, ErrorBadStatement) {
+  expect_parse_error(R"(
+    begin context c
+      activation: a();
+      begin object o
+        invocation: TIMER(1s)
+        m() { explode(); }
+      end
+    end context
+  )", "expected a statement");
+}
+
+TEST(Parser, ErrorTimerNeedsDuration) {
+  expect_parse_error(R"(
+    begin context c
+      activation: a();
+      begin object o
+        invocation: TIMER(5)
+        m() { }
+      end
+    end context
+  )", "timer period");
+}
+
+TEST(Parser, ErrorReportsLineNumbers) {
+  auto result = parse("begin context c\n  activation: a()\nend context");
+  ASSERT_FALSE(result.ok());
+  // Missing ';' detected on line 3.
+  EXPECT_NE(result.error().message.find("line 3"), std::string::npos)
+      << result.error().message;
+}
+
+}  // namespace
+}  // namespace et::etl

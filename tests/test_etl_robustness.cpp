@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "etl/compiler.hpp"
+#include "etl/parser.hpp"
+#include "util/rng.hpp"
+
+/// Robustness fuzzing of the language pipeline: random garbage and
+/// randomly truncated/mutated valid programs must produce diagnostics —
+/// never crashes, hangs, or accepted-nonsense.
+namespace et::etl {
+namespace {
+
+constexpr const char* kValid = R"(
+begin context tracker
+  activation: magnetic_sensor_reading();
+  location : avg(position) confidence=2, freshness=1s;
+  begin object reporter
+    invocation: TIMER(5s)
+    report() { send(pursuer, self.label, location); }
+    invocation: when (location > 1)
+    jump() { if (location > 2) { log("far", location); } }
+  end
+end context
+)";
+
+class TruncationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruncationSweep, TruncatedProgramsNeverCrash) {
+  const std::string source = kValid;
+  const std::size_t cut =
+      source.size() * static_cast<std::size_t>(GetParam()) / 16;
+  const auto result = parse(source.substr(0, cut));
+  if (result.ok()) {
+    // Only full prefixes that happen to be complete programs may parse.
+    EXPECT_FALSE(result.value().contexts.empty());
+  } else {
+    EXPECT_FALSE(result.error().message.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cuts, TruncationSweep, ::testing::Range(0, 16));
+
+TEST(EtlRobustness, RandomBytesAreRejectedGracefully) {
+  Rng rng(20240707);
+  const char alphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789(){}:;,.=<>+-*/\"\n \t";
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage;
+    const std::size_t length = 1 + rng.next_below(120);
+    for (std::size_t i = 0; i < length; ++i) {
+      garbage.push_back(
+          alphabet[rng.next_below(sizeof(alphabet) - 1)]);
+    }
+    const auto result = parse(garbage);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.error().message.empty());
+    }
+  }
+}
+
+TEST(EtlRobustness, TokenDeletionMutants) {
+  // Delete each single character class occurrence; parser must diagnose.
+  const std::string source = kValid;
+  Rng rng(7);
+  for (int round = 0; round < 100; ++round) {
+    std::string mutant = source;
+    const std::size_t at = rng.next_below(mutant.size());
+    mutant.erase(at, 1 + rng.next_below(3));
+    (void)parse(mutant);  // must not crash; outcome may be either
+  }
+  SUCCEED();
+}
+
+TEST(EtlRobustness, DeeplyNestedExpressionsParse) {
+  std::string expr = "1";
+  for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1)";
+  const auto result = parse_expression(expr);
+  ASSERT_TRUE(result.ok());
+}
+
+TEST(EtlRobustness, DeeplyNestedIfStatements) {
+  std::string body = "log(\"x\");";
+  for (int i = 0; i < 100; ++i) {
+    body = "if (true) { " + body + " }";
+  }
+  const std::string program =
+      "begin context c\n activation: s();\n begin object o\n"
+      " invocation: TIMER(1s)\n m() { " +
+      body + " }\n end\nend context";
+  core::SenseRegistry senses;
+  senses.add("s", [](const node::Mote&) { return false; });
+  const auto registry = core::AggregationRegistry::with_builtins();
+  const auto result = compile_source(program, senses, registry, {});
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(EtlRobustness, HugeProgramCompiles) {
+  std::string program;
+  for (int i = 0; i < 60; ++i) {
+    program += "begin context ctx" + std::to_string(i) +
+               "\n activation: s();\n v : avg(magnetic) confidence=1, "
+               "freshness=1s;\nend context\n";
+  }
+  core::SenseRegistry senses;
+  senses.add("s", [](const node::Mote&) { return false; });
+  const auto registry = core::AggregationRegistry::with_builtins();
+  const auto result = compile_source(program, senses, registry, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 60u);
+}
+
+}  // namespace
+}  // namespace et::etl

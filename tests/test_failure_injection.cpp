@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "test_world.hpp"
+
+/// Fault-injection tests: node crashes at every protocol role, repeated
+/// leader assassination, and partial-deployment deaths. The middleware's
+/// design goal — "applications must not depend on the correctness or
+/// availability of any particular node" (§2) — is the property under test.
+namespace et::test {
+namespace {
+
+using core::GroupEvent;
+
+TEST(FailureInjection, RepeatedLeaderAssassination) {
+  // Kill every leader as soon as it emerges; the label must survive as
+  // long as live sensing members remain.
+  TestWorld world;
+  world.add_blob({3.5, 1.0}, 1.8);  // big group: many members
+  world.run(4);
+
+  LabelId label;
+  {
+    const auto leader = world.sole_leader();
+    ASSERT_TRUE(leader.has_value());
+    label = world.groups(*leader).current_label(0);
+  }
+
+  int kills = 0;
+  for (int round = 0; round < 3; ++round) {
+    const auto leader = world.sole_leader();
+    if (!leader) break;
+    world.system().crash_node(*leader);
+    ++kills;
+    world.run(4);  // takeover window
+  }
+  ASSERT_EQ(kills, 3);
+  const auto survivor = world.sole_leader();
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_EQ(world.groups(*survivor).current_label(0), label)
+      << "the label must outlive three consecutive leader crashes";
+  EXPECT_GE(world.events().count(GroupEvent::Kind::kTakeover), 3u);
+  EXPECT_EQ(world.events().count(GroupEvent::Kind::kLabelCreated), 1u);
+}
+
+TEST(FailureInjection, MemberCrashOnlyThinsTheGroup) {
+  TestWorld world;
+  world.add_blob({3.5, 1.0}, 1.8);
+  world.run(4);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  const auto members = world.members();
+  ASSERT_GE(members.size(), 2u);
+
+  world.system().crash_node(members.front());
+  world.run(4);
+  // Leadership unaffected; aggregate state still satisfied by the rest.
+  EXPECT_EQ(world.sole_leader(), leader);
+  auto* agg = world.groups(*leader).aggregates(0);
+  ASSERT_NE(agg, nullptr);
+  EXPECT_TRUE(agg->read("where", world.sim().now()).has_value());
+}
+
+TEST(FailureInjection, CriticalMassLostWhenTooManyDie) {
+  TestWorld::Options options;
+  options.critical_mass = 3;
+  TestWorld world(options);
+  world.add_blob({3.5, 1.0}, 1.5);
+  world.run(4);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  ASSERT_TRUE(world.groups(*leader)
+                  .aggregates(0)
+                  ->read("where", world.sim().now())
+                  .has_value());
+
+  // Kill all members: the leader alone cannot reach N_e = 3.
+  for (NodeId member : world.members()) {
+    world.system().crash_node(member);
+  }
+  world.run(3);
+  const auto survivor = world.sole_leader();
+  if (survivor) {
+    auto* agg = world.groups(*survivor).aggregates(0);
+    ASSERT_NE(agg, nullptr);
+    EXPECT_FALSE(agg->read("where", world.sim().now()).has_value())
+        << "reads must turn null once critical mass is unreachable";
+  }
+}
+
+TEST(FailureInjection, WholeGroupDeathEndsTracking) {
+  TestWorld world;
+  world.add_blob({3.5, 1.0});
+  world.run(4);
+  std::vector<NodeId> involved = world.leaders();
+  for (NodeId m : world.members()) involved.push_back(m);
+  ASSERT_FALSE(involved.empty());
+  for (NodeId node : involved) world.system().crash_node(node);
+  world.run(5);
+  // Remaining motes do not sense the blob: nothing tracks it, and nothing
+  // crashes in the process.
+  EXPECT_TRUE(world.leaders().empty());
+}
+
+TEST(FailureInjection, RecoveryAfterGroupDeath) {
+  // After the whole group dies, a *newly sensing* node (target moves on)
+  // legitimately mints a fresh label.
+  TestWorld::Options options;
+  options.cols = 12;
+  TestWorld world(options);
+  world.add_moving_blob({-0.5, 1.0}, {12.0, 1.0}, 0.25);
+  world.run(6);
+  std::vector<NodeId> involved = world.leaders();
+  for (NodeId m : world.members()) involved.push_back(m);
+  for (NodeId node : involved) world.system().crash_node(node);
+
+  world.run(20);  // the target reaches fresh, living motes
+  EXPECT_FALSE(world.leaders().empty())
+      << "tracking must resume once living motes sense the target";
+  // Either a fringe node with wait-timer memory revives the old label, or
+  // a fresh label is minted; both are valid recoveries.
+  EXPECT_GE(world.events().count(GroupEvent::Kind::kLabelCreated), 1u);
+}
+
+TEST(FailureInjection, CrashDuringTakeoverWindow) {
+  // Kill the leader, then kill the first successor mid-handover: the
+  // third node in line must still recover the label.
+  TestWorld world;
+  world.add_blob({3.5, 1.0}, 1.8);
+  world.run(4);
+  const auto first = world.sole_leader();
+  ASSERT_TRUE(first.has_value());
+  const LabelId label = world.groups(*first).current_label(0);
+
+  world.system().crash_node(*first);
+  world.run(1.2);  // inside the 2.1 x 0.5 s receive-timer window
+  // Kill whoever is about to take over (any member).
+  const auto members = world.members();
+  ASSERT_FALSE(members.empty());
+  world.system().crash_node(members.front());
+  world.run(6);
+
+  const auto survivor = world.sole_leader();
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_EQ(world.groups(*survivor).current_label(0), label);
+}
+
+/// Sweep: kill a random subset of the deployment and verify the system
+/// neither crashes nor violates label uniqueness afterwards.
+class RandomCullSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCullSweep, SurvivesRandomNodeDeaths) {
+  TestWorld::Options options;
+  options.cols = 10;
+  options.seed = static_cast<std::uint64_t>(GetParam()) * 31 + 7;
+  TestWorld world(options);
+  world.add_blob({4.5, 1.0}, 1.6);
+  world.run(4);
+
+  Rng rng(options.seed);
+  for (std::size_t i = 0; i < world.system().node_count(); ++i) {
+    if (rng.chance(0.3)) world.system().crash_node(NodeId{i});
+  }
+  world.run(8);
+
+  // Uniqueness among established leaders.
+  std::map<LabelId, int> per_label;
+  for (NodeId leader : world.leaders()) {
+    if (world.groups(leader).leader_weight(0) > 0) {
+      per_label[world.groups(leader).current_label(0)]++;
+    }
+  }
+  for (const auto& [label, count] : per_label) {
+    EXPECT_LE(count, 1) << "duplicate established leaders after cull";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCullSweep, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace et::test

@@ -1,0 +1,69 @@
+#include "util/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace et {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Vec2{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Vec2{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Vec2{2.0, 4.0}));
+  EXPECT_EQ((2.0 * a), (Vec2{2.0, 4.0}));
+  EXPECT_EQ((a / 2.0), (Vec2{0.5, 1.0}));
+}
+
+TEST(Vec2, DotAndNorm) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(a.dot({1.0, 1.0}), 7.0);
+  EXPECT_DOUBLE_EQ(a.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+}
+
+TEST(Vec2, Normalized) {
+  const Vec2 v = Vec2{3.0, 4.0}.normalized();
+  EXPECT_NEAR(v.x, 0.6, 1e-12);
+  EXPECT_NEAR(v.y, 0.8, 1e-12);
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(Geometry, WithinRadius) {
+  EXPECT_TRUE(within_radius({0, 0}, {3, 4}, 5.0));   // boundary inclusive
+  EXPECT_TRUE(within_radius({0, 0}, {1, 1}, 2.0));
+  EXPECT_FALSE(within_radius({0, 0}, {3, 4}, 4.999));
+}
+
+TEST(Geometry, Lerp) {
+  const Vec2 mid = lerp({0, 0}, {10, 20}, 0.5);
+  EXPECT_EQ(mid, (Vec2{5, 10}));
+  EXPECT_EQ(lerp({1, 1}, {2, 2}, 0.0), (Vec2{1, 1}));
+  EXPECT_EQ(lerp({1, 1}, {2, 2}, 1.0), (Vec2{2, 2}));
+}
+
+TEST(Rect, ContainsAndClamp) {
+  const Rect r{{0, 0}, {10, 5}};
+  EXPECT_DOUBLE_EQ(r.width(), 10.0);
+  EXPECT_DOUBLE_EQ(r.height(), 5.0);
+  EXPECT_TRUE(r.contains({5, 2}));
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({10, 5}));
+  EXPECT_FALSE(r.contains({-0.1, 2}));
+  EXPECT_FALSE(r.contains({5, 5.1}));
+  EXPECT_EQ(r.clamp({-3, 2}), (Vec2{0, 2}));
+  EXPECT_EQ(r.clamp({12, 9}), (Vec2{10, 5}));
+  EXPECT_EQ(r.clamp({4, 4}), (Vec2{4, 4}));
+}
+
+TEST(Vec2, ToString) {
+  EXPECT_EQ((Vec2{1.5, -2.25}).to_string(), "(1.500, -2.250)");
+}
+
+}  // namespace
+}  // namespace et

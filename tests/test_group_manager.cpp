@@ -1,0 +1,311 @@
+#include "core/group_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_world.hpp"
+
+/// Protocol-level tests of the §5.2 group-management services on a lossless
+/// deterministic channel.
+namespace et::test {
+namespace {
+
+using core::GroupEvent;
+using core::Role;
+
+TEST(GroupManager, NoTargetNoLabels) {
+  TestWorld world;
+  world.run(10);
+  EXPECT_TRUE(world.leaders().empty());
+  EXPECT_TRUE(world.members().empty());
+  EXPECT_EQ(world.events().count(GroupEvent::Kind::kLabelCreated), 0u);
+}
+
+TEST(GroupManager, SingleTargetFormsSingleGroup) {
+  TestWorld world;
+  world.add_blob({3.5, 1.0});
+  world.run(5);
+
+  // Exactly one leader; sensing motes joined it.
+  ASSERT_TRUE(world.sole_leader().has_value());
+  EXPECT_EQ(world.events().count(GroupEvent::Kind::kLabelCreated), 1u);
+  EXPECT_FALSE(world.members().empty());
+
+  // Every node that senses the blob is involved (leader or member).
+  const Time now = world.sim().now();
+  for (std::size_t i = 0; i < world.system().node_count(); ++i) {
+    const NodeId id{i};
+    const bool senses = world.env().senses(
+        "blob", world.field().position(id), now);
+    const Role role = world.groups(id).role(0);
+    if (senses) {
+      EXPECT_NE(role, Role::kIdle) << "sensing node " << i << " is idle";
+    } else {
+      EXPECT_EQ(role, Role::kIdle) << "non-sensing node " << i << " active";
+    }
+  }
+}
+
+TEST(GroupManager, LeaderIsAlwaysAMemberOfItsGroup) {
+  // Invariant: "The leader of a context label sensor group ... is by
+  // definition a member of that group (i.e., sense_e() is true for it)."
+  TestWorld world;
+  world.add_moving_blob({-1.0, 1.0}, {8.5, 1.0}, 0.4);
+  for (int step = 0; step < 60; ++step) {
+    world.run(0.5);
+    const Time now = world.sim().now();
+    for (NodeId leader : world.leaders()) {
+      // Allow the one-poll lag between losing the sense and relinquishing.
+      const Vec2 pos = world.field().position(leader);
+      const bool senses_now = world.env().senses("blob", pos, now);
+      const bool sensed_recently = world.env().senses(
+          "blob", pos, now - Duration::millis(600));
+      EXPECT_TRUE(senses_now || sensed_recently)
+          << "leader " << leader.value() << " never sensed the target";
+    }
+  }
+}
+
+TEST(GroupManager, AggregateStateReachesLeader) {
+  TestWorld world;
+  world.add_blob({3.5, 1.0});
+  world.run(5);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+
+  auto* agg = world.groups(*leader).aggregates(0);
+  ASSERT_NE(agg, nullptr);
+  const auto where = agg->read("where", world.sim().now());
+  ASSERT_TRUE(where.has_value());
+  EXPECT_EQ(where->kind, core::AggregateValue::Kind::kVector);
+  // Average member position approximates the blob location.
+  EXPECT_NEAR(where->vector.x, 3.5, 1.0);
+  EXPECT_NEAR(where->vector.y, 1.0, 1.0);
+
+  const auto strength = agg->read("strength", world.sim().now());
+  ASSERT_TRUE(strength.has_value());
+  EXPECT_GT(strength->scalar, 0.0);
+}
+
+TEST(GroupManager, LeaderWeightGrowsWithReports) {
+  TestWorld world;
+  world.add_blob({3.5, 1.0});
+  world.run(2);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  const auto w1 = world.groups(*leader).leader_weight(0);
+  world.run(5);
+  const auto w2 = world.groups(*leader).leader_weight(0);
+  EXPECT_GT(w2, w1);
+}
+
+TEST(GroupManager, TargetDisappearanceDissolvesGroup) {
+  TestWorld world;
+  const TargetId blob = world.add_blob({3.5, 1.0});
+  world.run(4);
+  ASSERT_FALSE(world.leaders().empty());
+
+  world.env().remove_target_at(blob, world.sim().now());
+  world.run(4);
+  EXPECT_TRUE(world.leaders().empty());
+  EXPECT_TRUE(world.members().empty());
+  EXPECT_GE(world.events().count(GroupEvent::Kind::kRelinquish), 1u);
+}
+
+TEST(GroupManager, LabelPersistsAcrossLeaderCrash) {
+  // Receive-timer takeover: crash the leader; a member assumes leadership
+  // of the SAME label, carrying its weight.
+  TestWorld world;
+  world.add_blob({3.5, 1.0});
+  world.run(5);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  const LabelId label = world.groups(*leader).current_label(0);
+  const auto weight = world.groups(*leader).leader_weight(0);
+  EXPECT_GT(weight, 0u);
+
+  world.system().crash_node(*leader);
+  // Takeover within ~2.1 heartbeat periods + processing.
+  world.run(3);
+
+  const auto successor = world.sole_leader();
+  ASSERT_TRUE(successor.has_value());
+  EXPECT_NE(*successor, *leader);
+  EXPECT_EQ(world.groups(*successor).current_label(0), label)
+      << "takeover must continue the same context label";
+  EXPECT_GE(world.groups(*successor).leader_weight(0), weight)
+      << "leader weight is passed during leadership takeover";
+  EXPECT_GE(world.events().count(GroupEvent::Kind::kTakeover), 1u);
+  EXPECT_EQ(world.events().count(GroupEvent::Kind::kLabelCreated), 1u)
+      << "no new label may be minted for the same target";
+}
+
+TEST(GroupManager, RelinquishHandsOverWithoutTimeout) {
+  // Explicit relinquish: moving target, leaders hand over as they stop
+  // sensing; the label stays unique the whole way.
+  TestWorld::Options options;
+  options.cols = 12;
+  TestWorld world(options);
+  world.add_moving_blob({-1.0, 1.0}, {12.5, 1.0}, 0.3);
+  world.run(45);
+
+  EXPECT_EQ(world.events().count(GroupEvent::Kind::kLabelCreated), 1u);
+  EXPECT_GE(world.events().count(GroupEvent::Kind::kRelinquish), 3u);
+  // In relinquish mode, takeovers (timeout path) should be rare to none.
+  EXPECT_LE(world.events().count(GroupEvent::Kind::kTakeover),
+            world.events().count(GroupEvent::Kind::kRelinquish));
+}
+
+TEST(GroupManager, SilentModeRecoversViaTakeover) {
+  TestWorld::Options options;
+  options.cols = 12;
+  options.group.relinquish_enabled = false;
+  TestWorld world(options);
+  world.add_moving_blob({-1.0, 1.0}, {12.5, 1.0}, 0.3);
+  world.run(45);
+
+  EXPECT_EQ(world.events().count(GroupEvent::Kind::kRelinquish), 0u);
+  EXPECT_GE(world.events().count(GroupEvent::Kind::kTakeover), 2u);
+}
+
+TEST(GroupManager, TwoSeparatedTargetsTwoLabels) {
+  // "Groups formed around different entities of the same type remain
+  // distinct ... as long as the tracked entities are physically separated."
+  TestWorld::Options options;
+  options.cols = 12;
+  TestWorld world(options);
+  world.add_blob({1.0, 1.0});
+  world.add_blob({10.0, 1.0});
+  world.run(6);
+
+  const auto leaders = world.leaders();
+  ASSERT_EQ(leaders.size(), 2u);
+  EXPECT_NE(world.groups(leaders[0]).current_label(0),
+            world.groups(leaders[1]).current_label(0));
+}
+
+TEST(GroupManager, WaitTimerPreventsSpuriousLabelOnJoin) {
+  // A node that starts sensing inside an existing group's heartbeat range
+  // joins the existing label rather than creating a second one.
+  TestWorld world;
+  world.add_blob({2.5, 1.0}, 1.2);
+  world.run(4);
+  ASSERT_EQ(world.events().count(GroupEvent::Kind::kLabelCreated), 1u);
+
+  // Grow the phenomenon: new nodes start sensing and must join.
+  world.add_blob({3.5, 1.0}, 1.6);
+  world.run(4);
+  EXPECT_EQ(world.events().count(GroupEvent::Kind::kLabelCreated), 1u)
+      << "nodes that heard heartbeats must join, not fork";
+  EXPECT_EQ(world.leaders().size(), 1u);
+}
+
+TEST(GroupManager, ConvergingTargetsMergeUnderOneLabel) {
+  // Two same-type targets start out of radio range (distinct labels) and
+  // converge. Once their sensor groups overlap, exactly one label must
+  // win: the lighter leader deletes its label (suppression) or yields.
+  TestWorld::Options options;
+  options.cols = 16;
+  TestWorld world(options);
+  world.add_moving_blob({1.0, 1.0}, {8.0, 1.0}, 0.25);
+  world.add_moving_blob({14.0, 1.0}, {8.0, 1.0}, 0.25);
+  world.run(4);
+  ASSERT_EQ(world.leaders().size(), 2u)
+      << "separated targets must have separate labels";
+
+  world.run(30);  // both parked at (8, 1): one overlapped group remains
+  EXPECT_EQ(world.leaders().size(), 1u);
+  EXPECT_GE(world.events().count(GroupEvent::Kind::kLabelSuppressed) +
+                world.events().count(GroupEvent::Kind::kYield),
+            1u);
+}
+
+TEST(GroupManager, PersistentStateSurvivesTakeover) {
+  TestWorld world;
+  world.add_blob({3.5, 1.0});
+  world.run(4);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+
+  // Commit state on the leader; let at least one heartbeat carry it.
+  world.groups(*leader).persistent_state(0)["counter"] = 42.0;
+  world.run(2);
+
+  world.system().crash_node(*leader);
+  world.run(3);
+  const auto successor = world.sole_leader();
+  ASSERT_TRUE(successor.has_value());
+  auto& state = world.groups(*successor).persistent_state(0);
+  ASSERT_TRUE(state.count("counter"));
+  EXPECT_DOUBLE_EQ(state.at("counter"), 42.0);
+}
+
+TEST(GroupManager, ReceiveTimerFactorsRespected) {
+  TestWorld::Options options;
+  options.group.heartbeat_period = Duration::seconds(0.4);
+  TestWorld world(options);
+  auto& gm = world.groups(NodeId{0});
+  EXPECT_EQ(gm.receive_timeout(), Duration::seconds(0.4) * 2.1);
+  EXPECT_EQ(gm.wait_timeout(), Duration::seconds(0.4) * 4.2);
+  EXPECT_GT(gm.wait_timeout(), gm.receive_timeout())
+      << "wait timer must exceed the receive timer (§6.2)";
+}
+
+TEST(GroupManager, CrashedNodeGoesSilent) {
+  TestWorld world;
+  world.add_blob({3.5, 1.0});
+  world.run(3);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  world.system().crash_node(*leader);
+  const auto hb_before =
+      world.groups(*leader).stats().heartbeats_sent;
+  world.run(5);
+  EXPECT_EQ(world.groups(*leader).stats().heartbeats_sent, hb_before);
+  EXPECT_EQ(world.groups(*leader).role(0), Role::kIdle);
+  EXPECT_FALSE(world.groups(*leader).alive());
+}
+
+TEST(GroupManager, MemberLeavesWhenSenseCeases) {
+  TestWorld world;
+  const TargetId blob = world.add_blob({3.5, 1.0}, 1.6);
+  world.run(4);
+  const std::size_t involved =
+      world.members().size() + world.leaders().size();
+  ASSERT_GE(involved, 3u);
+
+  // Shrink the phenomenon: outer members must leave.
+  world.env().remove_target_at(blob, world.sim().now());
+  world.add_blob({3.5, 1.0}, 0.8);
+  world.run(4);
+  EXPECT_LT(world.members().size() + world.leaders().size(), involved);
+  EXPECT_GE(world.events().count(GroupEvent::Kind::kLeft), 1u);
+}
+
+TEST(GroupManager, DeactivationConditionOverridesActivation) {
+  // With a separate deactivation predicate that never fires, members stay
+  // in the group even after the activation condition turns false
+  // (§3.2.1, footnote 1).
+  TestWorld::Options options;
+  options.extra_senses.emplace_back(
+      "never", [](const node::Mote&) { return false; });
+  options.mutate_spec = [](core::ContextTypeSpec& spec) {
+    spec.deactivation = "never";
+  };
+  TestWorld world(options);
+  const TargetId blob = world.add_blob({3.5, 1.0});
+  world.run(4);
+  const std::size_t involved_before =
+      world.members().size() + world.leaders().size();
+  ASSERT_GE(involved_before, 2u);
+
+  world.env().remove_target_at(blob, world.sim().now());
+  world.run(4);
+  // Nobody deactivates: the group persists despite the vanished target.
+  EXPECT_EQ(world.members().size() + world.leaders().size(),
+            involved_before);
+  EXPECT_EQ(world.events().count(GroupEvent::Kind::kLeft), 0u);
+  EXPECT_EQ(world.events().count(GroupEvent::Kind::kRelinquish), 0u);
+}
+
+}  // namespace
+}  // namespace et::test

@@ -1,0 +1,123 @@
+#include "util/lru_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace et {
+namespace {
+
+TEST(LruMap, PutAndGet) {
+  LruMap<int, std::string> map(3);
+  map.put(1, "one");
+  map.put(2, "two");
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.get(1), nullptr);
+  EXPECT_EQ(*map.get(1), "one");
+  EXPECT_EQ(map.get(9), nullptr);
+}
+
+TEST(LruMap, OverwriteKeepsSize) {
+  LruMap<int, int> map(2);
+  map.put(1, 10);
+  map.put(1, 11);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.get(1), 11);
+}
+
+TEST(LruMap, EvictsLeastRecentlyUsed) {
+  LruMap<int, int> map(2);
+  map.put(1, 10);
+  map.put(2, 20);
+  const auto evicted = map.put(3, 30);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->first, 1);
+  EXPECT_EQ(evicted->second, 10);
+  EXPECT_FALSE(map.contains(1));
+  EXPECT_TRUE(map.contains(2));
+  EXPECT_TRUE(map.contains(3));
+}
+
+TEST(LruMap, GetRefreshesRecency) {
+  LruMap<int, int> map(2);
+  map.put(1, 10);
+  map.put(2, 20);
+  map.get(1);  // 1 becomes most recent; 2 is now LRU
+  const auto evicted = map.put(3, 30);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->first, 2);
+  EXPECT_TRUE(map.contains(1));
+}
+
+TEST(LruMap, PeekDoesNotRefresh) {
+  LruMap<int, int> map(2);
+  map.put(1, 10);
+  map.put(2, 20);
+  EXPECT_EQ(*map.peek(1), 10);  // no recency change: 1 stays LRU
+  const auto evicted = map.put(3, 30);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->first, 1);
+}
+
+TEST(LruMap, PutRefreshesRecency) {
+  LruMap<int, int> map(2);
+  map.put(1, 10);
+  map.put(2, 20);
+  map.put(1, 11);  // overwrite refreshes
+  const auto evicted = map.put(3, 30);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->first, 2);
+}
+
+TEST(LruMap, Erase) {
+  LruMap<int, int> map(3);
+  map.put(1, 10);
+  EXPECT_TRUE(map.erase(1));
+  EXPECT_FALSE(map.erase(1));
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(LruMap, Clear) {
+  LruMap<int, int> map(3);
+  map.put(1, 10);
+  map.put(2, 20);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.get(1), nullptr);
+  map.put(3, 30);  // still usable
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(LruMap, ForEachOrdersMostRecentFirst) {
+  LruMap<int, int> map(3);
+  map.put(1, 10);
+  map.put(2, 20);
+  map.put(3, 30);
+  map.get(1);
+  std::vector<int> order;
+  map.for_each([&](int key, int) { order.push_back(key); });
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(LruMap, CapacityOne) {
+  LruMap<int, int> map(1);
+  map.put(1, 10);
+  const auto evicted = map.put(2, 20);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->first, 1);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(LruMap, HeavyChurn) {
+  LruMap<int, int> map(16);
+  for (int i = 0; i < 1000; ++i) map.put(i, i);
+  EXPECT_EQ(map.size(), 16u);
+  for (int i = 984; i < 1000; ++i) {
+    ASSERT_TRUE(map.contains(i)) << i;
+    EXPECT_EQ(*map.get(i), i);
+  }
+  EXPECT_FALSE(map.contains(983));
+}
+
+}  // namespace
+}  // namespace et

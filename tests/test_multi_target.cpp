@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "metrics/coherence.hpp"
+#include "test_world.hpp"
+
+/// Multi-target identity tests: "groups formed around different entities
+/// of the same type remain distinct and do not merge as long as the
+/// tracked entities are physically separated" (§3.2.1). Since heartbeats
+/// reach everyone within the communication radius (6 grids), label
+/// identity must be decided by the *entities'* separation, not the radio's
+/// reach — the estimate-gated suppression rule under test here.
+namespace et::test {
+namespace {
+
+using core::GroupEvent;
+
+TEST(MultiTarget, NearbyButDistinctTargetsKeepDistinctLabels) {
+  // Two stationary targets 4 units apart: well inside radio range (6),
+  // well outside each other's sensing discs (1.2).
+  TestWorld::Options options;
+  options.cols = 10;
+  TestWorld world(options);
+  world.add_blob({2.5, 1.0});
+  world.add_blob({6.5, 1.0});
+  world.run(15);  // long enough for weights to diverge
+
+  const auto leaders = world.leaders();
+  ASSERT_EQ(leaders.size(), 2u)
+      << "radio reach must not merge physically separated entities";
+  EXPECT_NE(world.groups(leaders[0]).current_label(0),
+            world.groups(leaders[1]).current_label(0));
+  EXPECT_EQ(world.events().count(GroupEvent::Kind::kLabelSuppressed), 0u);
+}
+
+TEST(MultiTarget, ParallelConvoysTrackIndependently) {
+  // Two same-type targets crossing the field in parallel rows, separated
+  // by more than two sensing radii the whole way.
+  TestWorld::Options options;
+  options.rows = 7;
+  options.cols = 14;
+  options.sensing_radius = 1.0;
+  TestWorld world(options);
+  metrics::CoherenceMonitor monitor(world.system(), Duration::millis(100));
+  // Rows separated by more than SR + wait_radius: unambiguously distinct.
+  const TargetId a =
+      world.add_moving_blob({-1.0, 0.5}, {14.5, 0.5}, 0.25, 1.0);
+  const TargetId b =
+      world.add_moving_blob({-1.0, 5.5}, {14.5, 5.5}, 0.25, 1.0);
+  world.run(70);
+
+  EXPECT_TRUE(monitor.stats_for(a).coherent());
+  EXPECT_TRUE(monitor.stats_for(b).coherent());
+  EXPECT_EQ(monitor.stats_for(a).failed_handovers, 0u);
+  EXPECT_EQ(monitor.stats_for(b).failed_handovers, 0u);
+  // Exactly two labels ever existed.
+  EXPECT_EQ(world.events().count(GroupEvent::Kind::kLabelCreated), 2u);
+}
+
+TEST(MultiTarget, OpposingConvoysPassEachOther) {
+  // Opposite directions in rows 2 x SR + 1 apart: sensing discs never
+  // overlap, so the labels must survive the pass-by intact.
+  TestWorld::Options options;
+  options.rows = 7;
+  options.cols = 14;
+  options.sensing_radius = 1.0;
+  TestWorld world(options);
+  metrics::CoherenceMonitor monitor(world.system(), Duration::millis(100));
+  const TargetId east =
+      world.add_moving_blob({-1.0, 0.5}, {14.5, 0.5}, 0.3, 1.0);
+  const TargetId west =
+      world.add_moving_blob({14.5, 5.5}, {-1.0, 5.5}, 0.3, 1.0);
+  world.run(60);
+
+  EXPECT_TRUE(monitor.stats_for(east).coherent());
+  EXPECT_TRUE(monitor.stats_for(west).coherent());
+  EXPECT_EQ(world.events().count(GroupEvent::Kind::kLabelSuppressed), 0u);
+}
+
+TEST(MultiTarget, PhysicallyMergingTargetsShareOneLabel) {
+  // When the entities themselves converge (sensing discs overlapping), a
+  // single label SHOULD win — that is the spurious-label rule working.
+  TestWorld::Options options;
+  options.cols = 14;
+  TestWorld world(options);
+  world.add_moving_blob({0.0, 1.0}, {7.0, 1.0}, 0.3);
+  world.add_moving_blob({13.0, 1.0}, {7.0, 1.0}, 0.3);
+  world.run(40);
+  EXPECT_EQ(world.leaders().size(), 1u);
+  EXPECT_GE(world.events().count(GroupEvent::Kind::kLabelSuppressed) +
+                world.events().count(GroupEvent::Kind::kYield),
+            1u);
+}
+
+TEST(MultiTarget, SeparatingTargetsGetASecondLabel) {
+  // Two targets start co-located (one label) and then separate: the system
+  // must re-discover the departing entity under a fresh label.
+  TestWorld::Options options;
+  options.cols = 16;
+  TestWorld world(options);
+  world.add_blob({3.0, 1.0});  // stays put
+  world.add_moving_blob({3.0, 1.0}, {14.5, 1.0}, 0.25);  // drives away
+  world.run(6);
+  EXPECT_EQ(world.leaders().size(), 1u) << "co-located: one label";
+
+  world.run(40);  // mover is now far away
+  const auto leaders = world.leaders();
+  EXPECT_EQ(leaders.size(), 2u)
+      << "separated entities must end up with separate labels";
+}
+
+TEST(MultiTarget, ThreeSimultaneousTargets) {
+  TestWorld::Options options;
+  options.rows = 5;
+  options.cols = 16;
+  options.sensing_radius = 1.0;
+  TestWorld world(options);
+  world.add_blob({2.0, 0.5}, 1.0);
+  world.add_blob({8.0, 2.0}, 1.0);
+  world.add_blob({14.0, 3.5}, 1.0);
+  world.run(10);
+  EXPECT_EQ(world.leaders().size(), 3u);
+  // All three aggregate independently.
+  for (NodeId leader : world.leaders()) {
+    auto* agg = world.groups(leader).aggregates(0);
+    ASSERT_NE(agg, nullptr);
+    EXPECT_TRUE(agg->read("where", world.sim().now()).has_value());
+  }
+}
+
+}  // namespace
+}  // namespace et::test

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "metrics/coherence.hpp"
+
+#include "test_world.hpp"
+
+/// Multi-hop group tests: when a group's diameter exceeds the radio range,
+/// heartbeats flood through members and reports relay toward the leader
+/// (§3.2.1's connectivity invariant, exercised for data collection).
+namespace et::test {
+namespace {
+
+TestWorld::Options wide_group_options() {
+  TestWorld::Options options;
+  options.cols = 12;
+  options.rows = 3;
+  options.comm_radius = 2.2;     // group diameter 2 x 2.5 = 5 > range
+  options.sensing_radius = 2.5;
+  options.group.member_relay_heartbeats = true;
+  options.group.report_relay_hops = 3;
+  options.critical_mass = 2;
+  return options;
+}
+
+TEST(MultiHopGroup, FarMembersContributeToAggregateState) {
+  TestWorld world(wide_group_options());
+  world.add_blob({5.5, 1.0}, 2.5);
+  world.run(8);
+
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  auto* agg = world.groups(*leader).aggregates(0);
+  ASSERT_NE(agg, nullptr);
+  // The group spans ~11 motes; the leader must hear well beyond its own
+  // radio range through relaying.
+  const std::size_t reporters =
+      agg->fresh_reporter_count(0, world.sim().now());
+  const std::size_t group_size =
+      world.members().size() + world.leaders().size();
+  EXPECT_GE(group_size, 8u);
+  EXPECT_GE(reporters, group_size - 3)
+      << "most members (incl. out-of-range ones) must reach the leader";
+
+  const auto where = agg->read("where", world.sim().now());
+  ASSERT_TRUE(where.has_value());
+  EXPECT_NEAR(where->vector.x, 5.5, 0.8)
+      << "centroid built from one radio-side only would be biased";
+}
+
+TEST(MultiHopGroup, RelayDisabledLosesFarMembers) {
+  auto options = wide_group_options();
+  options.group.report_relay_hops = 0;
+  TestWorld world(options);
+  world.add_blob({5.5, 1.0}, 2.5);
+  world.run(8);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  auto* agg = world.groups(*leader).aggregates(0);
+  ASSERT_NE(agg, nullptr);
+  const std::size_t reporters =
+      agg->fresh_reporter_count(0, world.sim().now());
+  const std::size_t group_size =
+      world.members().size() + world.leaders().size();
+  EXPECT_LT(reporters, group_size)
+      << "without relaying, out-of-range members cannot report";
+}
+
+TEST(MultiHopGroup, RelayedReportsAreNotDoubleCounted) {
+  TestWorld world(wide_group_options());
+  world.add_blob({5.5, 1.0}, 2.5);
+  world.run(8);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  // The leader's weight counts received measurements; with dedup it cannot
+  // exceed the total number of measurements members produced.
+  std::uint64_t reports_produced = 0;
+  for (std::size_t i = 0; i < world.system().node_count(); ++i) {
+    reports_produced += world.groups(NodeId{i}).stats().reports_sent;
+  }
+  EXPECT_LE(world.groups(*leader).leader_weight(0), reports_produced);
+}
+
+TEST(MultiHopGroup, WideGroupTracksMovingTarget) {
+  auto options = wide_group_options();
+  options.cols = 16;
+  // Keep CR:SR above 1 — below it the architecture legitimately breaks
+  // down (Fig. 6) because disjoint fringes sense the target concurrently.
+  options.comm_radius = 2.8;
+  TestWorld world(options);
+  metrics::CoherenceMonitor monitor(world.system(), Duration::millis(100));
+  const TargetId target =
+      world.add_moving_blob({-1.0, 1.0}, {16.5, 1.0}, 0.25, 2.5);
+  world.run(75);
+  const auto& stats = monitor.stats_for(target);
+  EXPECT_TRUE(stats.coherent())
+      << stats.distinct_labels << " labels for one wide target";
+  EXPECT_GT(stats.tracked_fraction(), 0.6);
+}
+
+}  // namespace
+}  // namespace et::test

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "test_world.hpp"
+
+/// Long-horizon soak: one simulated hour of perpetual handovers on a lossy
+/// channel. Guards against resource leaks that only show up over time —
+/// growing event queues (uncancelled timers), unbounded dedup caches, or
+/// protocol livelock.
+namespace et::test {
+namespace {
+
+TEST(Soak, OneSimulatedHourStaysBounded) {
+  TestWorld::Options options;
+  options.cols = 10;
+  options.loss_probability = 0.1;
+  options.model_collisions = true;
+  TestWorld world(options);
+
+  // A target orbiting through the field forever: the group hands over,
+  // dissolves (orbit leaves coverage), and re-forms continuously.
+  env::Target orbiter;
+  orbiter.type = "blob";
+  orbiter.trajectory = std::make_unique<env::CircularTrajectory>(
+      Vec2{4.5, 1.0}, 3.0, 0.4);
+  orbiter.radius = env::RadiusProfile::constant(1.2);
+  world.env().add_target(std::move(orbiter));
+
+  std::size_t max_pending = 0;
+  for (int block = 0; block < 6; ++block) {
+    world.run(600);  // 10 simulated minutes
+    max_pending = std::max(max_pending, world.sim().pending_events());
+  }
+
+  // The pending-event set must stay O(deployment), not O(time).
+  EXPECT_LT(max_pending, 500u) << "event queue grows without bound";
+  EXPECT_GT(world.sim().events_fired(), 500'000u);
+
+  // The protocol still functions after an hour: coherent tracking resumes
+  // whenever the orbit passes through coverage.
+  const auto created =
+      world.events().count(core::GroupEvent::Kind::kLabelCreated);
+  EXPECT_GT(created, 10u) << "re-forms on every orbital pass";
+  EXPECT_GT(world.events().count(core::GroupEvent::Kind::kRelinquish), 10u);
+}
+
+}  // namespace
+}  // namespace et::test

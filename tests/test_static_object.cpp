@@ -1,0 +1,151 @@
+#include "core/static_object.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_world.hpp"
+
+/// Static-object tests (§3.2): node-pinned objects running independently
+/// of any context label.
+namespace et::test {
+namespace {
+
+TEST(StaticObject, TimerMethodsRunWithoutAnyTarget) {
+  TestWorld world;
+  int ticks = 0;
+  core::StaticObjectSpec spec;
+  spec.name = "housekeeper";
+  spec.methods.push_back(core::StaticObjectSpec::TimerMethod{
+      "tick", Duration::seconds(1),
+      [&ticks](core::StaticContext&) { ++ticks; }});
+  world.system().stack(NodeId{0}).add_static_object(std::move(spec));
+  world.run(10);
+  EXPECT_GE(ticks, 9);
+  EXPECT_TRUE(world.leaders().empty()) << "no context involved";
+}
+
+TEST(StaticObject, ContextExposesNodeAndSensors) {
+  TestWorld world;
+  world.add_blob({1.0, 0.0});
+  std::optional<Vec2> seen_pos;
+  double seen_reading = -1;
+  bool seen_senses = false;
+  core::StaticObjectSpec spec;
+  spec.name = "observer";
+  spec.methods.push_back(core::StaticObjectSpec::TimerMethod{
+      "observe", Duration::seconds(1), [&](core::StaticContext& ctx) {
+        seen_pos = ctx.node_position();
+        seen_reading = ctx.read_sensor("magnetic");
+        seen_senses = ctx.senses("blob");
+      }});
+  // Node 1 sits at (1, 0) — on top of the blob.
+  world.system().stack(NodeId{1}).add_static_object(std::move(spec));
+  world.run(3);
+  ASSERT_TRUE(seen_pos.has_value());
+  EXPECT_EQ(*seen_pos, (Vec2{1.0, 0.0}));
+  EXPECT_GT(seen_reading, 0.0);
+  EXPECT_TRUE(seen_senses);
+}
+
+TEST(StaticObject, NodeToNodeMessaging) {
+  TestWorld::Options options;
+  options.cols = 8;
+  TestWorld world(options);
+
+  // A sender static object on node 0 and a receiver on the far corner.
+  std::vector<double> received;
+  NodeId received_from;
+  core::StaticObjectSpec receiver;
+  receiver.name = "sink";
+  receiver.on_message = [&](core::StaticContext&,
+                            const core::UserMessagePayload& msg,
+                            NodeId origin) {
+    received = msg.data;
+    received_from = origin;
+  };
+  const NodeId far{world.system().node_count() - 1};
+  world.system().stack(far).add_static_object(std::move(receiver));
+
+  core::StaticObjectSpec sender;
+  sender.name = "beacon";
+  sender.methods.push_back(core::StaticObjectSpec::TimerMethod{
+      "send", Duration::seconds(2), [far](core::StaticContext& ctx) {
+        ctx.send_to_node(far, "beacon", {ctx.now().to_seconds()});
+      }});
+  world.system().stack(NodeId{0}).add_static_object(std::move(sender));
+
+  world.run(6);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received_from, NodeId{0});
+}
+
+TEST(StaticObject, CoexistsWithUserHandler) {
+  TestWorld world;
+  int object_deliveries = 0;
+  int handler_deliveries = 0;
+
+  core::StaticObjectSpec sink;
+  sink.name = "sink";
+  sink.on_message = [&](core::StaticContext&,
+                        const core::UserMessagePayload&,
+                        NodeId) { ++object_deliveries; };
+  auto& stack = world.system().stack(NodeId{0});
+  stack.add_static_object(std::move(sink));
+  stack.on_user_message(
+      [&](const core::UserMessagePayload&, NodeId) {
+        ++handler_deliveries;
+      });
+
+  core::StaticObjectSpec sender;
+  sender.name = "beacon";
+  sender.methods.push_back(core::StaticObjectSpec::TimerMethod{
+      "send", Duration::seconds(1), [](core::StaticContext& ctx) {
+        ctx.send_to_node(NodeId{0}, "x", {1.0});
+      }});
+  world.system().stack(NodeId{5}).add_static_object(std::move(sender));
+
+  world.run(5);
+  EXPECT_GE(object_deliveries, 3);
+  EXPECT_EQ(object_deliveries, handler_deliveries)
+      << "both consumers must see every message";
+}
+
+TEST(StaticObject, MultipleObjectsOnOneNode) {
+  TestWorld world;
+  int a_ticks = 0;
+  int b_ticks = 0;
+  core::StaticObjectSpec a;
+  a.name = "a";
+  a.methods.push_back(core::StaticObjectSpec::TimerMethod{
+      "t", Duration::seconds(1), [&](core::StaticContext&) { ++a_ticks; }});
+  core::StaticObjectSpec b;
+  b.name = "b";
+  b.methods.push_back(core::StaticObjectSpec::TimerMethod{
+      "t", Duration::seconds(2), [&](core::StaticContext&) { ++b_ticks; }});
+  auto& stack = world.system().stack(NodeId{3});
+  auto& obj_a = stack.add_static_object(std::move(a));
+  stack.add_static_object(std::move(b));
+  world.run(8);
+  EXPECT_GE(a_ticks, 7);
+  EXPECT_GE(b_ticks, 3);
+  EXPECT_LE(b_ticks, 4);
+  EXPECT_EQ(obj_a.invocations(), static_cast<std::uint64_t>(a_ticks));
+}
+
+TEST(StaticObject, DiesWithItsNode) {
+  TestWorld world;
+  int ticks = 0;
+  core::StaticObjectSpec spec;
+  spec.name = "mortal";
+  spec.methods.push_back(core::StaticObjectSpec::TimerMethod{
+      "t", Duration::seconds(1), [&](core::StaticContext&) { ++ticks; }});
+  world.system().stack(NodeId{0}).add_static_object(std::move(spec));
+  world.run(3);
+  const int before = ticks;
+  world.system().crash_node(NodeId{0});
+  world.run(5);
+  // At most one already-queued CPU task may still drain at crash time.
+  EXPECT_LE(ticks, before + 1);
+}
+
+}  // namespace
+}  // namespace et::test

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "metrics/coherence.hpp"
+#include "test_world.hpp"
+
+/// Stress and sweep tests: channel-loss tolerance curve, a large
+/// deployment, and protocol introspection under load.
+namespace et::test {
+namespace {
+
+/// Loss sweep: the slow-tank workload must stay coherent through heavy
+/// loss; the protocol is designed for "an unreliable environment" (§5.2).
+class LossSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LossSweep, SlowTargetCoherentUnderLoss) {
+  const double loss = GetParam() / 100.0;
+  TestWorld::Options options;
+  options.cols = 10;
+  options.loss_probability = loss;
+  options.model_collisions = true;
+  options.seed = 500 + GetParam();
+  TestWorld world(options);
+  metrics::CoherenceMonitor monitor(world.system(), Duration::millis(100));
+  const TargetId target =
+      world.add_moving_blob({-0.5, 1.0}, {10.5, 1.0}, 0.1);
+  world.run(115);
+
+  const auto& stats = monitor.stats_for(target);
+  if (loss <= 0.30) {
+    EXPECT_TRUE(stats.coherent())
+        << "loss " << loss << ": " << stats.distinct_labels << " labels";
+    EXPECT_GT(stats.tracked_fraction(), 0.5);
+  } else {
+    // Beyond the design envelope: only liveness is required.
+    EXPECT_GT(stats.total_samples, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossPct, LossSweep,
+                         ::testing::Values(0, 5, 10, 20, 30, 45));
+
+TEST(Stress, LargeDeploymentRunsAndTracks) {
+  // 20 x 40 = 800 motes, one target: system-level scalability smoke.
+  TestWorld::Options options;
+  options.rows = 20;
+  options.cols = 40;
+  options.comm_radius = 4.0;
+  options.seed = 77;
+  TestWorld world(options);
+  world.add_moving_blob({-0.5, 10.0}, {40.5, 10.0}, 0.8);
+  world.run(30);  // mid-traverse
+
+  EXPECT_EQ(world.leaders().size(), 1u);
+  // Only a tiny fraction of the 800 motes is ever involved.
+  EXPECT_LT(world.members().size(), 25u);
+  world.run(30);  // target exits; group dissolves cleanly
+  EXPECT_TRUE(world.leaders().empty());
+  EXPECT_GT(world.sim().events_fired(), 100'000u);
+}
+
+TEST(Stress, ManySimultaneousPhenomena) {
+  TestWorld::Options options;
+  options.rows = 12;
+  options.cols = 24;
+  options.sensing_radius = 1.0;
+  options.seed = 13;
+  TestWorld world(options);
+  // A 2 x 3 lattice of targets, 8 units apart.
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      world.add_blob({4.0 + c * 8.0, 2.5 + r * 6.0}, 1.0);
+    }
+  }
+  world.run(12);
+  EXPECT_EQ(world.leaders().size(), 6u);
+  // Every leader confirms its own phenomenon.
+  for (NodeId leader : world.leaders()) {
+    auto* agg = world.groups(leader).aggregates(0);
+    ASSERT_NE(agg, nullptr);
+    EXPECT_TRUE(agg->read("where", world.sim().now()).has_value());
+  }
+}
+
+TEST(Stress, EngagedIntrospection) {
+  TestWorld world;
+  EXPECT_FALSE(world.groups(NodeId{0}).engaged());
+  world.add_blob({3.5, 1.0});
+  world.run(4);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  EXPECT_TRUE(world.groups(*leader).engaged());
+  // A node far from the blob, outside heartbeat wait memory: not engaged.
+  bool found_unengaged = false;
+  for (std::size_t i = 0; i < world.system().node_count(); ++i) {
+    if (!world.groups(NodeId{i}).engaged()) found_unengaged = true;
+  }
+  EXPECT_TRUE(found_unengaged);
+}
+
+TEST(Stress, MediumStatsReset) {
+  TestWorld world;
+  world.add_blob({3.5, 1.0});
+  world.run(4);
+  ASSERT_GT(world.system().medium().stats().bits_sent, 0u);
+  world.system().medium().reset_stats();
+  EXPECT_EQ(world.system().medium().stats().bits_sent, 0u);
+  world.run(2);
+  EXPECT_GT(world.system().medium().stats().bits_sent, 0u)
+      << "accounting resumes after a reset (per-phase measurement)";
+}
+
+}  // namespace
+}  // namespace et::test

@@ -1,0 +1,67 @@
+#include "scenario/tank.hpp"
+
+#include <gtest/gtest.h>
+
+/// End-to-end integration smoke test: the Fig. 2 application on the §6.1
+/// testbed. A single tank crossing the grid must produce exactly one
+/// coherent context label, successful leadership handovers, and position
+/// reports at the base station.
+namespace et::scenario {
+namespace {
+
+TEST(TankSmoke, SlowTankIsTrackedCoherently) {
+  TankScenarioParams params;
+  params.cols = 10;
+  params.rows = 3;
+  params.speed_hops_per_s = kmh_to_hops_per_s(kTankSlowKmh);
+  params.group.heartbeat_period = Duration::seconds(0.5);
+  params.seed = 7;
+
+  const TankRunResult result = run_tank_scenario(params);
+
+  // Coherence: one label for the whole traverse (Fig. 4's 100% case).
+  EXPECT_EQ(result.tracking.distinct_labels, 1u)
+      << "failed handovers: " << result.tracking.failed_handovers;
+  EXPECT_GT(result.tracking.tracked_fraction(), 0.8);
+  // The label moved across nodes as the tank moved.
+  EXPECT_GE(result.tracking.successful_handovers, 3u);
+  EXPECT_EQ(result.tracking.failed_handovers, 0u);
+
+  // Protocol actually ran.
+  EXPECT_GT(result.groups.heartbeats_sent, 10u);
+  EXPECT_GT(result.groups.reports_received, 10u);
+  EXPECT_GE(result.groups.relinquishes, 1u);
+
+  // The pursuer received reports from a single label, with bounded error.
+  EXPECT_GE(result.track.size(), 5u);
+  EXPECT_EQ(result.track_labels, 1u);
+  for (const auto& point : result.track) {
+    EXPECT_LT(point.error, 2.5) << "report wildly off target";
+  }
+
+  // Channel load stays a tiny fraction of capacity (Table 1: ~2-3%).
+  EXPECT_LT(result.channel.link_utilization_pct, 15.0);
+}
+
+TEST(TankSmoke, ReportsCarryAveragedPositions) {
+  TankScenarioParams params;
+  params.cols = 8;
+  params.speed_hops_per_s = 0.1;
+  params.seed = 21;
+  const TankRunResult result = run_tank_scenario(params);
+  ASSERT_GE(result.track.size(), 3u);
+  // Reported y must hover around the mote rows adjacent to the track, i.e.
+  // within the field; reported x must progress forward over time.
+  double last_x = -10.0;
+  int regressions = 0;
+  for (const auto& point : result.track) {
+    EXPECT_GE(point.reported.y, -0.5);
+    EXPECT_LE(point.reported.y, 2.5);
+    if (point.reported.x < last_x - 1.0) ++regressions;
+    last_x = point.reported.x;
+  }
+  EXPECT_LE(regressions, 1);  // loss-induced anomalies are rare, not the norm
+}
+
+}  // namespace
+}  // namespace et::scenario

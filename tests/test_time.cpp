@@ -1,0 +1,71 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace et {
+namespace {
+
+TEST(Duration, ConstructionAndConversion) {
+  EXPECT_EQ(Duration::micros(1500).to_micros(), 1500);
+  EXPECT_EQ(Duration::millis(3).to_micros(), 3000);
+  EXPECT_EQ(Duration::seconds(2.5).to_micros(), 2'500'000);
+  EXPECT_DOUBLE_EQ(Duration::seconds(0.25).to_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(Duration::millis(250).to_millis(), 250.0);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::millis(300);
+  const Duration b = Duration::millis(200);
+  EXPECT_EQ((a + b).to_micros(), 500'000);
+  EXPECT_EQ((a - b).to_micros(), 100'000);
+  EXPECT_EQ((a * 2.0).to_micros(), 600'000);
+  EXPECT_EQ((2.0 * a).to_micros(), 600'000);
+  EXPECT_EQ((a / 2.0).to_micros(), 150'000);
+  EXPECT_DOUBLE_EQ(a / b, 1.5);
+  EXPECT_EQ((-a).to_micros(), -300'000);
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = Duration::millis(100);
+  d += Duration::millis(50);
+  EXPECT_EQ(d.to_micros(), 150'000);
+  d -= Duration::millis(150);
+  EXPECT_TRUE(d.is_zero());
+}
+
+TEST(Duration, Predicates) {
+  EXPECT_TRUE(Duration::zero().is_zero());
+  EXPECT_TRUE(Duration::micros(-1).is_negative());
+  EXPECT_TRUE(Duration::micros(1).is_positive());
+  EXPECT_FALSE(Duration::micros(1).is_negative());
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_GE(Duration::seconds(1), Duration::millis(1000));
+  EXPECT_EQ(Duration::seconds(1), Duration::micros(1'000'000));
+}
+
+TEST(Duration, ToString) {
+  EXPECT_EQ(Duration::seconds(1.5).to_string(), "1.500s");
+  EXPECT_EQ(Duration::millis(250).to_string(), "250.000ms");
+  EXPECT_EQ(Duration::micros(42).to_string(), "42us");
+}
+
+TEST(Time, PointArithmetic) {
+  const Time t = Time::seconds(10);
+  EXPECT_EQ((t + Duration::seconds(5)).to_seconds(), 15.0);
+  EXPECT_EQ((t - Duration::seconds(5)).to_seconds(), 5.0);
+  EXPECT_EQ((Time::seconds(12) - t).to_seconds(), 2.0);
+  Time u = t;
+  u += Duration::seconds(1);
+  EXPECT_EQ(u.to_seconds(), 11.0);
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Time::origin(), Time::micros(1));
+  EXPECT_LT(Time::seconds(1), Time::max());
+}
+
+}  // namespace
+}  // namespace et

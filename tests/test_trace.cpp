@@ -1,0 +1,83 @@
+#include "metrics/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace et::metrics {
+namespace {
+
+TEST(Trace, TrackCsvFormat) {
+  std::vector<TrackPoint> points;
+  points.push_back(TrackPoint{Time::seconds(1.5),
+                              LabelId::make(NodeId{2}, 3),
+                              {1.25, 0.5},
+                              {1.0, 0.5},
+                              0.25});
+  const std::string csv = track_csv(points);
+  std::istringstream in(csv);
+  std::string header;
+  std::string row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header,
+            "time_s,label,reported_x,reported_y,actual_x,actual_y,error");
+  EXPECT_EQ(row, "1.500," +
+                     std::to_string(LabelId::make(NodeId{2}, 3).value()) +
+                     ",1.2500,0.5000,1.0000,0.5000,0.2500");
+}
+
+TEST(Trace, EventsCsvFormat) {
+  std::vector<core::GroupEvent> events(1);
+  events[0].kind = core::GroupEvent::Kind::kTakeover;
+  events[0].time = Time::seconds(2);
+  events[0].node = NodeId{4};
+  events[0].label = LabelId::make(NodeId{1}, 0);
+  events[0].peer = NodeId{9};
+  events[0].weight = 7;
+  const std::string csv = events_csv(events);
+  EXPECT_NE(csv.find("takeover"), std::string::npos);
+  EXPECT_NE(csv.find("2.000,4,"), std::string::npos);
+  EXPECT_EQ(csv.find("\n"), csv.find("time_s,node,kind,label,peer,weight") +
+                                std::string("time_s,node,kind,label,peer,"
+                                            "weight")
+                                    .size());
+}
+
+TEST(Trace, SeriesCsv) {
+  const std::string csv =
+      series_csv("hb_period", {0.25, 0.5},
+                 {{"sr1", {0.7, 0.5}}, {"sr2", {1.2, 0.9}}});
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "hb_period,sr1,sr2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0.25,0.7,1.2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "0.5,0.5,0.9");
+}
+
+TEST(Trace, EmptyInputsYieldHeaderOnly) {
+  EXPECT_EQ(track_csv({}).find('\n'), track_csv({}).size() - 1);
+  EXPECT_EQ(series_csv("x", {}, {}), "x\n");
+}
+
+TEST(Trace, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "et_trace_test.csv";
+  ASSERT_TRUE(write_file(path, "a,b\n1,2\n"));
+  std::ifstream in(path);
+  std::stringstream read;
+  read << in.rdbuf();
+  EXPECT_EQ(read.str(), "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(Trace, WriteFileFailsGracefully) {
+  EXPECT_FALSE(write_file("/nonexistent-dir/x/y.csv", "data"));
+}
+
+}  // namespace
+}  // namespace et::metrics

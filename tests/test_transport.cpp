@@ -1,0 +1,191 @@
+#include "core/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_world.hpp"
+
+/// MTP tests (§5.4): remote method invocation between context labels,
+/// last-known-leader tables, directory fallback on first contact, and
+/// forwarding chains as leadership migrates.
+namespace et::test {
+namespace {
+
+/// World with two context types: "blob" (from TestWorld) and "station" —
+/// a second tracked phenomenon whose object exposes a `ping` port that
+/// counts invocations.
+struct MtpWorld {
+  explicit MtpWorld(std::size_t cols = 12) {
+    TestWorld::Options options;
+    options.rows = 5;
+    options.cols = cols;
+    options.enable_directory = true;
+    options.enable_transport = true;
+
+    core::ContextTypeSpec station;
+    station.name = "station";
+    station.activation = "station_sensor";
+    station.variables.push_back(core::AggregateVarSpec{
+        "level", "avg", "magnetic", Duration::seconds(2), 1});
+    core::ObjectSpec sink;
+    sink.name = "sink";
+    core::MethodSpec ping;
+    ping.name = "ping";
+    ping.invocation.kind = core::InvocationSpec::Kind::kCondition;
+    ping.invocation.condition = [](core::TrackingContext&) {
+      return false;  // never self-invoked; port-only
+    };
+    ping.body = [this](core::TrackingContext& ctx) {
+      ++pings;
+      last_args = ctx.incoming_args();
+    };
+    sink.methods.push_back(std::move(ping));
+    station.objects.push_back(std::move(sink));
+    options.extra_specs.push_back(std::move(station));
+    options.extra_senses.emplace_back("station_sensor",
+                                      core::sense_target("station"));
+    world.emplace(options);
+  }
+
+  TargetId add_station(Vec2 at) {
+    env::Target t;
+    t.type = "station";
+    t.trajectory = std::make_unique<env::StationaryTrajectory>(at);
+    t.radius = env::RadiusProfile::constant(1.2);
+    t.emissions["magnetic"] = 5.0;
+    return world->env().add_target(std::move(t));
+  }
+
+  /// Current leader of the station context.
+  std::optional<NodeId> station_leader() {
+    return world->sole_leader(1);
+  }
+
+  std::optional<TestWorld> world;
+  int pings = 0;
+  std::vector<double> last_args;
+};
+
+TEST(Transport, InvokeViaDirectoryFirstContact) {
+  MtpWorld mtp;
+  mtp.world->add_blob({2.0, 2.0});
+  mtp.add_station({9.0, 2.0});
+  mtp.world->run(8);  // groups form, directory entries registered
+
+  const auto blob_leader = mtp.world->sole_leader(0);
+  const auto station_leader = mtp.station_leader();
+  ASSERT_TRUE(blob_leader && station_leader);
+  const LabelId station_label =
+      mtp.world->groups(*station_leader).current_label(1);
+
+  // Invoke the station's ping port from the blob leader. Port 0 = "ping".
+  mtp.world->system()
+      .stack(*blob_leader)
+      .transport()
+      ->invoke(1, station_label, PortId{0}, {1.5, 2.5});
+  mtp.world->run(5);
+
+  ASSERT_EQ(mtp.pings, 1);
+  ASSERT_EQ(mtp.last_args.size(), 2u);
+  EXPECT_DOUBLE_EQ(mtp.last_args[0], 1.5);
+  EXPECT_DOUBLE_EQ(mtp.last_args[1], 2.5);
+  EXPECT_GE(mtp.world->system()
+                .stack(*blob_leader)
+                .transport()
+                ->stats()
+                .directory_lookups,
+            1u);
+}
+
+TEST(Transport, SecondInvokeUsesLeaderTableNotDirectory) {
+  MtpWorld mtp;
+  mtp.world->add_blob({2.0, 2.0});
+  mtp.add_station({9.0, 2.0});
+  mtp.world->run(8);
+  const auto blob_leader = mtp.world->sole_leader(0);
+  const auto station_leader = mtp.station_leader();
+  ASSERT_TRUE(blob_leader && station_leader);
+  const LabelId label = mtp.world->groups(*station_leader).current_label(1);
+  auto* transport = mtp.world->system().stack(*blob_leader).transport();
+
+  transport->invoke(1, label, PortId{0}, {});
+  mtp.world->run(5);
+  const auto lookups_after_first = transport->stats().directory_lookups;
+  transport->invoke(1, label, PortId{0}, {});
+  mtp.world->run(5);
+  EXPECT_EQ(mtp.pings, 2);
+  EXPECT_EQ(transport->stats().directory_lookups, lookups_after_first)
+      << "the last-known-leader table must satisfy repeat sends";
+}
+
+TEST(Transport, LocalShortcutWhenSenderLeadsDestination) {
+  MtpWorld mtp;
+  mtp.add_station({5.0, 2.0});
+  mtp.world->run(5);
+  const auto leader = mtp.station_leader();
+  ASSERT_TRUE(leader.has_value());
+  const LabelId label = mtp.world->groups(*leader).current_label(1);
+  auto* transport = mtp.world->system().stack(*leader).transport();
+  transport->invoke(1, label, PortId{0}, {7.0});
+  mtp.world->run(1);
+  EXPECT_EQ(mtp.pings, 1);
+  EXPECT_EQ(transport->stats().delivered, 1u);
+}
+
+TEST(Transport, UnknownLabelDropsGracefully) {
+  MtpWorld mtp;
+  mtp.world->run(3);
+  auto* transport = mtp.world->system().stack(NodeId{0}).transport();
+  transport->invoke(1, LabelId::make(NodeId{42}, 9), PortId{0}, {});
+  mtp.world->run(6);
+  EXPECT_EQ(mtp.pings, 0);
+  EXPECT_EQ(transport->stats().dropped_unknown, 1u);
+}
+
+TEST(Transport, HeartbeatSnoopingMaintainsLeaderInfo) {
+  MtpWorld mtp;
+  mtp.add_station({5.0, 2.0});
+  mtp.world->run(5);
+  const auto leader = mtp.station_leader();
+  ASSERT_TRUE(leader.has_value());
+  const LabelId label = mtp.world->groups(*leader).current_label(1);
+
+  // A nearby node (in heartbeat range) learned the leader passively.
+  auto* neighbor_transport =
+      mtp.world->system().stack(NodeId{0}).transport();
+  const auto* info = neighbor_transport->known_leader(label);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->node, *leader);
+}
+
+TEST(Transport, DeliveryFollowsLeadershipMigration) {
+  // Invoke a moving label repeatedly: as leadership migrates, the sender's
+  // stale table entries are corrected by forwarding + snooping.
+  MtpWorld mtp(16);
+  env::Target rover;
+  rover.type = "station";
+  rover.trajectory = std::make_unique<env::LinearTrajectory>(
+      Vec2{1.0, 2.0}, Vec2{14.0, 2.0}, 0.25);
+  rover.radius = env::RadiusProfile::constant(1.2);
+  rover.emissions["magnetic"] = 5.0;
+  mtp.world->env().add_target(std::move(rover));
+  mtp.world->run(6);
+
+  const auto first_leader = mtp.station_leader();
+  ASSERT_TRUE(first_leader.has_value());
+  const LabelId label = mtp.world->groups(*first_leader).current_label(1);
+
+  const NodeId sender{0};
+  auto* transport = mtp.world->system().stack(sender).transport();
+  int sent = 0;
+  for (int round = 0; round < 8; ++round) {
+    transport->invoke(1, label, PortId{0}, {});
+    ++sent;
+    mtp.world->run(5);  // the label moves between sends
+  }
+  // Most invocations arrive despite repeated leadership changes.
+  EXPECT_GE(mtp.pings, sent - 3)
+      << "forwarding chains should mask leadership migration";
+}
+
+}  // namespace
+}  // namespace et::test

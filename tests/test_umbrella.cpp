@@ -1,0 +1,39 @@
+#include "envirotrack/envirotrack.hpp"
+
+#include <gtest/gtest.h>
+
+/// The umbrella header must be self-sufficient: a complete (small)
+/// application written against it alone.
+namespace {
+
+TEST(Umbrella, EndToEndApplication) {
+  et::sim::Simulator sim(1);
+  et::env::Environment environment(sim.make_rng("env"));
+  const et::env::Field field = et::env::Field::grid(3, 8);
+
+  et::env::Target blob;
+  blob.type = "thing";
+  blob.trajectory =
+      std::make_unique<et::env::StationaryTrajectory>(et::Vec2{3.5, 1.0});
+  blob.radius = et::env::RadiusProfile::constant(1.2);
+  environment.add_target(std::move(blob));
+
+  et::core::EnviroTrackSystem system(sim, environment, field);
+  system.senses().add("thing_sensor", et::core::sense_target("thing"));
+  et::core::ContextTypeSpec spec;
+  spec.name = "thing";
+  spec.activation = "thing_sensor";
+  spec.variables.push_back(et::core::AggregateVarSpec{
+      "where", "avg", "position", et::Duration::seconds(1), 2});
+  system.add_context_type(std::move(spec));
+  system.start();
+
+  et::metrics::CoherenceMonitor monitor(system, et::Duration::millis(100));
+  sim.run_for(et::Duration::seconds(5));
+
+  EXPECT_TRUE(monitor.all_coherent());
+  EXPECT_GT(system.medium().stats().bits_sent, 0u);
+  EXPECT_GT(et::metrics::measure_energy(system).totals.total(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "util/expected.hpp"
+#include "util/ids.hpp"
+#include "util/log.hpp"
+
+namespace et {
+namespace {
+
+// --- Expected ---
+
+Expected<int> parse_positive(int v) {
+  if (v <= 0) return Expected<int>::failure("bad", "not positive");
+  return v;
+}
+
+TEST(Expected, SuccessPath) {
+  auto result = parse_positive(5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(static_cast<bool>(result));
+  EXPECT_EQ(result.value(), 5);
+  EXPECT_EQ(result.value_or(-1), 5);
+}
+
+TEST(Expected, FailurePath) {
+  auto result = parse_positive(-2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "bad");
+  EXPECT_EQ(result.error().message, "not positive");
+  EXPECT_EQ(result.error().to_string(), "bad: not positive");
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(Expected, MoveOutValue) {
+  Expected<std::string> result(std::string("payload"));
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+// --- Ids ---
+
+TEST(Ids, DefaultIsInvalid) {
+  EXPECT_FALSE(NodeId{}.is_valid());
+  EXPECT_FALSE(LabelId{}.is_valid());
+  EXPECT_TRUE(NodeId{0}.is_valid());
+}
+
+TEST(Ids, Comparison) {
+  EXPECT_EQ(NodeId{3}, NodeId{3});
+  EXPECT_NE(NodeId{3}, NodeId{4});
+  EXPECT_LT(NodeId{3}, NodeId{4});
+}
+
+TEST(Ids, LabelEncodesCreatorAndSequence) {
+  const LabelId label = LabelId::make(NodeId{17}, 42);
+  EXPECT_TRUE(label.is_valid());
+  EXPECT_EQ(label.creator(), NodeId{17});
+  EXPECT_EQ(label.sequence(), 42u);
+}
+
+TEST(Ids, LabelsFromDifferentCreatorsNeverCollide) {
+  EXPECT_NE(LabelId::make(NodeId{1}, 0), LabelId::make(NodeId{2}, 0));
+  EXPECT_NE(LabelId::make(NodeId{1}, 0), LabelId::make(NodeId{1}, 1));
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_map<LabelId, int> map;
+  map[LabelId::make(NodeId{1}, 2)] = 7;
+  EXPECT_EQ(map.at(LabelId::make(NodeId{1}, 2)), 7);
+}
+
+// --- Logger ---
+
+TEST(Logger, RespectsLevel) {
+  std::vector<std::string> lines;
+  auto& logger = Logger::instance();
+  const LogLevel saved = logger.level();
+  logger.set_sink([&](LogLevel, std::string_view line) {
+    lines.emplace_back(line);
+  });
+  logger.set_level(LogLevel::kWarn);
+
+  ET_DEBUG("test", "hidden %d", 1);
+  ET_WARN("test", "visible %d", 2);
+  ET_ERROR("test", "also %s", "visible");
+
+  EXPECT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("visible 2"), std::string::npos);
+  EXPECT_NE(lines[0].find("[test]"), std::string::npos);
+
+  logger.set_sink(nullptr);
+  logger.set_level(saved);
+}
+
+TEST(Logger, ClockStampsLines) {
+  std::vector<std::string> lines;
+  auto& logger = Logger::instance();
+  const LogLevel saved = logger.level();
+  logger.set_sink([&](LogLevel, std::string_view line) {
+    lines.emplace_back(line);
+  });
+  logger.set_level(LogLevel::kInfo);
+  logger.set_clock([] { return Time::seconds(2.5); });
+
+  ET_INFO("test", "stamped");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind("2.500s", 0), 0u) << lines[0];
+
+  logger.clear_clock();
+  logger.set_sink(nullptr);
+  logger.set_level(saved);
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_STREQ(log_level_name(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,169 @@
+/// etlc — checker and formatter for EnviroTrack-language files.
+///
+/// Usage:
+///   etlc <file.etl>             check: parse + semantic-validate
+///   etlc --format <file.etl>    print the canonically formatted program
+///   etlc --dump <file.etl>      print the compiled context inventory
+///
+/// Checking compiles against a permissive environment: any called sense
+/// function and any send destination is accepted (their bindings are
+/// application-supplied at runtime), while aggregations, attributes,
+/// variable references, and structure are fully validated.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "etl/compiler.hpp"
+#include "etl/format.hpp"
+#include "etl/parser.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: etlc [--format|--dump] <file.etl>\n");
+  return 2;
+}
+
+/// Collects every identifier used as a call in sensing conditions and
+/// every send destination, so the permissive check can pre-register them.
+void collect_bindings(const et::etl::Expr& expr,
+                      std::set<std::string>& sense_functions) {
+  if (expr.call) sense_functions.insert(expr.call->callee);
+  if (expr.unary) collect_bindings(*expr.unary->operand, sense_functions);
+  if (expr.binary) {
+    collect_bindings(*expr.binary->lhs, sense_functions);
+    collect_bindings(*expr.binary->rhs, sense_functions);
+  }
+}
+
+void collect_destinations(const std::vector<et::etl::StmtPtr>& stmts,
+                          std::set<std::string>& destinations) {
+  for (const auto& stmt : stmts) {
+    if (stmt->send) destinations.insert(stmt->send->destination);
+    if (stmt->if_stmt) {
+      collect_destinations(stmt->if_stmt->then_body, destinations);
+      collect_destinations(stmt->if_stmt->else_body, destinations);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool format = false;
+  bool dump = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--format") == 0) {
+      format = true;
+    } else if (std::strcmp(argv[i], "--dump") == 0) {
+      dump = true;
+    } else if (argv[i][0] == '-') {
+      return usage();
+    } else if (path) {
+      return usage();
+    } else {
+      path = argv[i];
+    }
+  }
+  if (!path) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "etlc: cannot open '%s'\n", path);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string source = buffer.str();
+
+  auto program = et::etl::parse(source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path,
+                 program.error().to_string().c_str());
+    return 1;
+  }
+
+  if (format) {
+    std::fputs(et::etl::format_program(program.value()).c_str(), stdout);
+    return 0;
+  }
+
+  // Permissive semantic check: accept any referenced sense function and
+  // destination, validate everything else.
+  std::set<std::string> sense_functions;
+  std::set<std::string> destinations;
+  for (const auto& context : program.value().contexts) {
+    collect_bindings(*context.activation, sense_functions);
+    if (context.deactivation) {
+      collect_bindings(*context.deactivation, sense_functions);
+    }
+    for (const auto& object : context.objects) {
+      for (const auto& method : object.methods) {
+        collect_destinations(method.body, destinations);
+      }
+    }
+  }
+
+  et::core::SenseRegistry senses;
+  for (const std::string& name : sense_functions) {
+    senses.add(name, [](const et::node::Mote&) { return false; });
+  }
+  et::etl::CompileOptions options;
+  for (const std::string& name : destinations) {
+    options.destinations[name] = et::NodeId{0};
+  }
+  const auto aggregations = et::core::AggregationRegistry::with_builtins();
+  auto specs = et::etl::compile(std::move(program).value(), senses,
+                                aggregations, options);
+  if (!specs.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path,
+                 specs.error().to_string().c_str());
+    return 1;
+  }
+
+  if (dump) {
+    for (const auto& spec : specs.value()) {
+      std::printf("context %s\n", spec.name.c_str());
+      for (const auto& var : spec.variables) {
+        std::printf("  var %-16s %s(%s)  N=%zu  L=%s\n", var.name.c_str(),
+                    var.aggregation.c_str(), var.sensor.c_str(),
+                    var.critical_mass, var.freshness.to_string().c_str());
+      }
+      std::size_t port = 0;
+      for (const auto& object : spec.objects) {
+        for (const auto& method : object.methods) {
+          const char* kind =
+              method.invocation.kind ==
+                      et::core::InvocationSpec::Kind::kTimer
+                  ? "timer"
+                  : (method.invocation.kind ==
+                             et::core::InvocationSpec::Kind::kCondition
+                         ? "condition"
+                         : "message");
+          std::printf("  port %zu: %s.%s (%s)\n", port++,
+                      object.name.c_str(), method.name.c_str(), kind);
+        }
+      }
+    }
+  }
+
+  std::printf("%s: OK (%zu context type%s", path, specs.value().size(),
+              specs.value().size() == 1 ? "" : "s");
+  if (!sense_functions.empty()) {
+    std::printf("; requires sense functions:");
+    for (const auto& name : sense_functions) {
+      std::printf(" %s", name.c_str());
+    }
+  }
+  if (!destinations.empty()) {
+    std::printf("; requires destinations:");
+    for (const auto& name : destinations) std::printf(" %s", name.c_str());
+  }
+  std::printf(")\n");
+  return 0;
+}
