@@ -10,7 +10,11 @@
 /// relinquish off (takeover-only); heartbeat transmit power cut to the
 /// sensing radius, without and with perimeter flooding (h = 2).
 
+#include <iterator>
+#include <vector>
+
 #include "bench/bench_util.hpp"
+#include "bench/sweep_runner.hpp"
 #include "metrics/energy.hpp"
 #include "scenario/tank.hpp"
 
@@ -79,7 +83,8 @@ int main() {
   bench::print_header("Ablation: group-management design choices",
                       "design-choice ablations called out in DESIGN.md");
   const int seeds = bench::seeds_per_point(3);
-  std::printf("(tank at 50 km/hr, 5%% loss, %d seeds per row)\n", seeds);
+  std::printf("(tank at 50 km/hr, 5%% loss, %d seeds per row, "
+              "%u sweep threads)\n", seeds, bench::sweep_threads());
   std::printf("\n  %-40s  %6s  %8s  %7s  %8s  %6s\n", "variant", "labels",
               "handover", "util", "mJ", "det(s)");
   std::printf("  %-40s  %6s  %8s  %7s  %8s  %6s\n",
@@ -87,31 +92,47 @@ int main() {
               "--------", "-------", "--------", "------");
 
   core::GroupConfig base;
-  print_row("full protocol (paper settings)", measure(base, seeds));
 
   core::GroupConfig no_suppress = base;
   no_suppress.weight_suppression_enabled = false;
-  print_row("no weight suppression", measure(no_suppress, seeds));
 
   core::GroupConfig bad_wait = base;
   bad_wait.wait_timer_factor = 0.5;  // violates wait > receive
-  print_row("wait timer < receive timer", measure(bad_wait, seeds));
 
   core::GroupConfig takeover_only = base;
   takeover_only.relinquish_enabled = false;
-  print_row("takeover only (no relinquish)", measure(takeover_only, seeds));
 
   core::GroupConfig short_range = base;
   short_range.heartbeat_range = 1.0;
   short_range.heartbeat_period = Duration::seconds(3);
-  print_row("HB power = sensing radius, h = 0", measure(short_range, seeds));
 
   core::GroupConfig flooded = short_range;
   flooded.perimeter_hops = 2;
-  print_row("HB power = sensing radius, h = 2", measure(flooded, seeds));
 
-  print_row("duty cycling, 30% awake (extension)",
-            measure(base, seeds, 0.3));
+  struct Variant {
+    const char* name;
+    core::GroupConfig group;
+    double duty_awake = 1.0;
+  };
+  const Variant variants[] = {
+      {"full protocol (paper settings)", base},
+      {"no weight suppression", no_suppress},
+      {"wait timer < receive timer", bad_wait},
+      {"takeover only (no relinquish)", takeover_only},
+      {"HB power = sensing radius, h = 0", short_range},
+      {"HB power = sensing radius, h = 2", flooded},
+      {"duty cycling, 30% awake (extension)", base, 0.3},
+  };
+
+  // Each variant's seeded runs are independent of every other's; measure
+  // them all in parallel and print rows in table order.
+  const std::vector<Row> rows = bench::run_sweep<Row>(
+      std::size(variants), [&](std::size_t job) {
+        return measure(variants[job].group, seeds, variants[job].duty_awake);
+      });
+  for (std::size_t i = 0; i < std::size(variants); ++i) {
+    print_row(variants[i].name, rows[i]);
+  }
 
   std::printf(
       "\n  expectations: the full protocol keeps labels at 1.0 and\n"

@@ -14,8 +14,11 @@
 /// cross traffic, ruling bandwidth out as the bottleneck).
 
 #include <cstdlib>
+#include <iterator>
+#include <vector>
 
 #include "bench/bench_util.hpp"
+#include "bench/sweep_runner.hpp"
 #include "metrics/trace.hpp"
 #include "scenario/speed_search.hpp"
 
@@ -65,26 +68,23 @@ SpeedSearchParams base_search(double sensing_radius, bool relinquish,
   return search;
 }
 
-std::vector<double> run_curve(const char* name, double sensing_radius,
-                              bool relinquish, bool cross_traffic,
-                              int seeds) {
-  std::printf("\n  %s\n", name);
+constexpr double kPeriods[] = {0.0625, 0.125, 0.25, 0.5, 1.0, 2.0};
+constexpr std::size_t kPeriodCount = std::size(kPeriods);
+
+struct CurveSpec {
+  const char* name;
+  double sensing_radius;
+  bool relinquish;
+  bool cross_traffic;
+};
+
+void print_curve(const CurveSpec& spec, const std::vector<double>& speeds) {
+  std::printf("\n  %s\n", spec.name);
   std::printf("  HB period (s):   ");
-  const double periods[] = {0.0625, 0.125, 0.25, 0.5, 1.0, 2.0};
-  for (double p : periods) std::printf("%7.3f", p);
+  for (double p : kPeriods) std::printf("%7.3f", p);
   std::printf("\n  max speed (h/s): ");
-  std::vector<double> speeds;
-  for (double period : periods) {
-    SpeedSearchParams search =
-        base_search(sensing_radius, relinquish, cross_traffic, seeds);
-    search.base.group.heartbeat_period = Duration::seconds(period);
-    const double speed = find_max_trackable_speed(search);
-    speeds.push_back(speed);
-    std::printf("%7.2f", speed);
-    std::fflush(stdout);
-  }
+  for (double speed : speeds) std::printf("%7.2f", speed);
   std::printf("\n");
-  return speeds;
 }
 
 }  // namespace
@@ -94,17 +94,41 @@ int main() {
                       "ICDCS'04 EnviroTrack, Fig. 5 (§6.2)");
   const int seeds = bench::seeds_per_point(3);
   std::printf("(receive timer = 2.1 x HB, wait timer = 4.2 x HB, CR = 6; "
-              "%d runs per probe)\n", seeds);
+              "%d runs per probe, %u sweep threads)\n",
+              seeds, bench::sweep_threads());
 
-  const auto sr1 = run_curve("worst-case takeover, sensing radius 1", 1.0,
-                             false, false, seeds);
-  const auto sr2 = run_curve("worst-case takeover, sensing radius 2", 2.0,
-                             false, false, seeds);
-  const auto relinquish = run_curve(
-      "relinquish optimisation, sensing radius 1", 1.0, true, false, seeds);
-  const auto noisy = run_curve(
-      "worst-case takeover, SR 1, heavy cross traffic", 1.0, false, true,
-      seeds);
+  const CurveSpec curves[] = {
+      {"worst-case takeover, sensing radius 1", 1.0, false, false},
+      {"worst-case takeover, sensing radius 2", 2.0, false, false},
+      {"relinquish optimisation, sensing radius 1", 1.0, true, false},
+      {"worst-case takeover, SR 1, heavy cross traffic", 1.0, false, true},
+  };
+  constexpr std::size_t kCurveCount = std::size(curves);
+
+  // Every (curve, heartbeat period) point is an independent bisection
+  // search; fan them all across the thread pool at once.
+  const std::vector<double> flat = bench::run_sweep<double>(
+      kCurveCount * kPeriodCount, [&](std::size_t job) {
+        const CurveSpec& spec = curves[job / kPeriodCount];
+        const double period = kPeriods[job % kPeriodCount];
+        SpeedSearchParams search = base_search(
+            spec.sensing_radius, spec.relinquish, spec.cross_traffic, seeds);
+        search.base.group.heartbeat_period = Duration::seconds(period);
+        return find_max_trackable_speed(search);
+      });
+
+  auto curve_of = [&](std::size_t c) {
+    return std::vector<double>(flat.begin() + c * kPeriodCount,
+                               flat.begin() + (c + 1) * kPeriodCount);
+  };
+  const auto sr1 = curve_of(0);
+  const auto sr2 = curve_of(1);
+  const auto relinquish = curve_of(2);
+  const auto noisy = curve_of(3);
+  print_curve(curves[0], sr1);
+  print_curve(curves[1], sr2);
+  print_curve(curves[2], relinquish);
+  print_curve(curves[3], noisy);
 
   if (const char* dir = std::getenv("ET_BENCH_CSV_DIR")) {
     const std::string path = std::string(dir) + "/fig5_timers.csv";

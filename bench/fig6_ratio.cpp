@@ -9,8 +9,11 @@
 /// concurrent groups.
 
 #include <cstdlib>
+#include <iterator>
+#include <vector>
 
 #include "bench/bench_util.hpp"
+#include "bench/sweep_runner.hpp"
 #include "metrics/trace.hpp"
 #include "scenario/speed_search.hpp"
 
@@ -52,21 +55,29 @@ int main() {
       "Figure 6: effect of sensory radius on max trackable speed",
       "ICDCS'04 EnviroTrack, Fig. 6 (§6.2)");
   const int seeds = bench::seeds_per_point(3);
-  std::printf("(relinquish optimisation on; %d runs per probe)\n", seeds);
+  std::printf("(relinquish optimisation on; %d runs per probe, "
+              "%u sweep threads)\n", seeds, bench::sweep_threads());
 
   const double ratios[] = {0.75, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0};
+  const double radii[] = {1.0, 2.0};
+  constexpr std::size_t kRatioCount = std::size(ratios);
+
+  // All (sensing radius, ratio) points are independent; sweep them in
+  // parallel, then print in the figure's order.
+  const std::vector<double> flat = bench::run_sweep<double>(
+      std::size(radii) * kRatioCount, [&](std::size_t job) {
+        return measure(radii[job / kRatioCount], ratios[job % kRatioCount],
+                       seeds);
+      });
 
   std::printf("\n  CR:SR ratio:       ");
   for (double r : ratios) std::printf("%7.2f", r);
   std::vector<std::vector<double>> curves;
-  for (double sr : {1.0, 2.0}) {
-    std::printf("\n  SR=%.0f max (h/s):  ", sr);
-    curves.emplace_back();
-    for (double ratio : ratios) {
-      curves.back().push_back(measure(sr, ratio, seeds));
-      std::printf("%7.2f", curves.back().back());
-      std::fflush(stdout);
-    }
+  for (std::size_t s = 0; s < std::size(radii); ++s) {
+    std::printf("\n  SR=%.0f max (h/s):  ", radii[s]);
+    curves.emplace_back(flat.begin() + s * kRatioCount,
+                        flat.begin() + (s + 1) * kRatioCount);
+    for (double speed : curves.back()) std::printf("%7.2f", speed);
   }
 
   if (const char* dir = std::getenv("ET_BENCH_CSV_DIR")) {

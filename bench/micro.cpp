@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <vector>
+
 #include "core/aggregate_state.hpp"
 #include "etl/compiler.hpp"
 #include "etl/parser.hpp"
@@ -27,6 +30,23 @@ void BM_EventQueueScheduleFire(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EventQueueScheduleFire);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // The cancellation-dominated regime: group-management timers are
+  // rescheduled (cancel + schedule) far more often than they fire.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(sim.schedule(Duration::micros(i + 1), [] {}));
+    }
+    for (int i = 0; i < 1000; i += 2) handles[i].cancel();
+    benchmark::DoNotOptimize(sim.run_all());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
 
 void BM_PeriodicEvents(benchmark::State& state) {
   for (auto _ : state) {
@@ -102,6 +122,41 @@ void BM_MediumBroadcast(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MediumBroadcast)->Arg(25)->Arg(100);
+
+/// Dense-field broadcast: N motes on a sqrt(N) x sqrt(N) unit grid with the
+/// paper's comm radius 6, one node broadcasting from the centre. With the
+/// spatial index the per-broadcast cost depends on the ~121 nodes in range,
+/// not on N; the brute-force variant (suffix /0) scans all N endpoints.
+void BM_DenseBroadcast(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const bool use_index = state.range(1) != 0;
+  sim::Simulator sim;
+  radio::RadioConfig config;
+  config.loss_probability = 0.0;
+  config.use_spatial_index = use_index;
+  radio::Medium medium(sim, config);
+  const std::size_t side = static_cast<std::size_t>(std::sqrt(n)) + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    medium.attach(NodeId{i}, {static_cast<double>(i % side),
+                              static_cast<double>(i / side)},
+                  [](const radio::Frame&) {});
+  }
+  class Junk final : public radio::Payload {
+   public:
+    std::size_t size_bytes() const override { return 16; }
+  };
+  auto payload = std::make_shared<Junk>();
+  const NodeId center{n / 2};
+  for (auto _ : state) {
+    medium.send(radio::Frame{center, std::nullopt, radio::MsgType::kUser,
+                             payload});
+    sim.run_for(Duration::millis(50));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DenseBroadcast)
+    ->ArgsProduct({{100, 1000, 5000}, {0, 1}})
+    ->ArgNames({"n", "index"});
 
 void BM_TankScenarioSecond(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+/// Thread-pool fan-out for parameter sweeps.
+///
+/// Every figure/ablation bench reduces to a list of independent
+/// (config, seed) simulation points. Each point is a deterministic,
+/// single-threaded Simulator run sharing no mutable state with any other
+/// (the logger's clock hook is thread-local), so the whole sweep
+/// parallelises trivially: job i's result depends only on i, never on
+/// scheduling, and the output is bit-identical to a serial run.
+namespace et::bench {
+
+/// Worker count: ET_BENCH_THREADS overrides (1 = serial, handy for
+/// debugging or timing a single run); defaults to the hardware threads.
+inline unsigned sweep_threads() {
+  if (const char* env = std::getenv("ET_BENCH_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+/// Runs `count` independent jobs across hardware threads and returns their
+/// results in job order. `job` is invoked as `Result(std::size_t index)`
+/// concurrently from multiple threads — it must build its own Simulator
+/// (and anything else with mutable state) per call.
+template <typename Result, typename Job>
+std::vector<Result> run_sweep(std::size_t count, Job job) {
+  std::vector<Result> results(count);
+  const std::size_t threads =
+      std::min<std::size_t>(sweep_threads(), count > 0 ? count : 1);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) results[i] = job(i);
+    return results;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < count;
+           i = next.fetch_add(1)) {
+        results[i] = job(i);
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  return results;
+}
+
+}  // namespace et::bench

@@ -55,9 +55,13 @@ void GeoRouting::on_delivery(radio::MsgType inner_type,
   slot = std::move(handler);
 }
 
-const std::vector<NodeId>& GeoRouting::neighbors() const {
+const std::vector<GeoRouting::Neighbor>& GeoRouting::neighbors() const {
   if (!neighbors_cached_) {
-    neighbor_cache_ = mote_.medium().neighbors(mote_.id());
+    radio::Medium& medium = mote_.medium();
+    neighbor_cache_.clear();
+    for (NodeId n : medium.neighbors(mote_.id())) {
+      neighbor_cache_.push_back(Neighbor{n, medium.position_of(n)});
+    }
     neighbors_cached_ = true;
   }
   return neighbor_cache_;
@@ -68,14 +72,14 @@ std::optional<NodeId> GeoRouting::best_next_hop(
   const double own = distance_sq(mote_.position(), dest);
   std::optional<NodeId> best;
   double best_d = own;
-  for (NodeId n : neighbors()) {
-    if (std::find(exclude.begin(), exclude.end(), n) != exclude.end()) {
+  for (const Neighbor& n : neighbors()) {
+    if (std::find(exclude.begin(), exclude.end(), n.id) != exclude.end()) {
       continue;
     }
-    const double d = distance_sq(mote_.medium().position_of(n), dest);
+    const double d = distance_sq(n.pos, dest);
     if (d < best_d) {
       best_d = d;
-      best = n;
+      best = n.id;
     }
   }
   return best;

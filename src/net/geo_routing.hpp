@@ -101,16 +101,24 @@ class GeoRouting {
   void transmit_hop(std::uint64_t envelope_id);
   void consume(const RouteEnvelope& envelope);
 
+  /// Cached neighbour entry: id plus position, so the per-hop greedy scan
+  /// never goes back to the medium (motes are stationary; positions are
+  /// fixed at deployment).
+  struct Neighbor {
+    NodeId id;
+    Vec2 pos;
+  };
+
   /// The neighbour strictly closer to `dest` than this node, skipping
   /// `exclude`, or nullopt.
   std::optional<NodeId> best_next_hop(
       Vec2 dest, const std::vector<NodeId>& exclude = {}) const;
-  const std::vector<NodeId>& neighbors() const;
+  const std::vector<Neighbor>& neighbors() const;
 
   node::Mote& mote_;
   RoutingConfig config_;
   std::array<DeliveryHandler, radio::kMsgTypeCount> delivery_{};
-  mutable std::vector<NodeId> neighbor_cache_;
+  mutable std::vector<Neighbor> neighbor_cache_;
   mutable bool neighbors_cached_ = false;
   std::uint32_t next_seq_ = 0;
   LruMap<std::uint64_t, bool> seen_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "util/log.hpp"
 
@@ -45,6 +46,38 @@ Medium::Medium(sim::Simulator& sim, RadioConfig config)
   assert(config_.bitrate_bps > 0.0);
 }
 
+std::int32_t Medium::cell_coord(double v) const {
+  return static_cast<std::int32_t>(std::floor(v / config_.comm_radius));
+}
+
+template <typename Fn>
+void Medium::for_each_nearby(Vec2 center, Fn&& fn) const {
+  const std::int32_t cx = cell_coord(center.x);
+  const std::int32_t cy = cell_coord(center.y);
+  for (std::int32_t dx = -1; dx <= 1; ++dx) {
+    for (std::int32_t dy = -1; dy <= 1; ++dy) {
+      const auto it = grid_.find(cell_key(cx + dx, cy + dy));
+      if (it == grid_.end()) continue;
+      for (std::uint32_t idx : it->second) fn(idx);
+    }
+  }
+}
+
+void Medium::gather_in_radius(Vec2 center, double radius,
+                              std::uint64_t exclude,
+                              std::vector<std::uint32_t>& out) const {
+  out.clear();
+  for_each_nearby(center, [&](std::uint32_t idx) {
+    if (idx == exclude) return;
+    if (within_radius(center, endpoints_[idx].pos, radius)) {
+      out.push_back(idx);
+    }
+  });
+  // Ascending id order keeps delivery — and therefore per-receiver RNG
+  // consumption — bit-identical with the brute-force scan.
+  std::sort(out.begin(), out.end());
+}
+
 void Medium::attach(NodeId id, Vec2 position, Receiver receiver) {
   assert(id.value() == endpoints_.size() &&
          "nodes must be attached densely in id order");
@@ -52,6 +85,8 @@ void Medium::attach(NodeId id, Vec2 position, Receiver receiver) {
   endpoint.pos = position;
   endpoint.recv = std::move(receiver);
   endpoints_.push_back(std::move(endpoint));
+  grid_[cell_key(cell_coord(position.x), cell_coord(position.y))].push_back(
+      static_cast<std::uint32_t>(id.value()));
 }
 
 Duration Medium::airtime_of(const Frame& frame) const {
@@ -64,23 +99,30 @@ Duration Medium::airtime_of(const Frame& frame) const {
 void Medium::send(Frame frame) {
   assert(frame.src.value() < endpoints_.size());
   assert(frame.payload != nullptr);
-  Endpoint& ep = endpoints_[frame.src.value()];
+  const NodeId src = frame.src;
+  Endpoint& ep = endpoints_[src.value()];
   stats_.of(frame.type).offered++;
   if (ep.queue.size() >= config_.tx_queue_capacity) {
     stats_.of(frame.type).mac_dropped++;
     ET_DEBUG(kComponent, "node %llu tx queue overflow, dropping %s",
-             static_cast<unsigned long long>(frame.src.value()),
+             static_cast<unsigned long long>(src.value()),
              msg_type_name(frame.type));
     return;
   }
   ep.queue.push_back(std::move(frame));
-  try_send(frame.src);
+  try_send(src);
 }
 
 bool Medium::channel_busy_at(NodeId id) const {
   const Vec2 pos = endpoints_[id.value()].pos;
   const Time now = sim_.now();
-  for (const Transmission& tx : history_) {
+  // The index path scans only frames still on the air; the reference path
+  // scans the full history. Both apply the same predicate, so a completed
+  // transmission whose end-event has not fired yet (end == now) is excluded
+  // either way and the verdicts agree exactly.
+  const std::vector<Transmission>& haystack =
+      config_.use_spatial_index ? active_ : history_;
+  for (const Transmission& tx : haystack) {
     if (tx.end > now && tx.start <= now &&
         (tx.src == id || audible_at(pos, tx.pos))) {
       return true;
@@ -92,6 +134,12 @@ bool Medium::channel_busy_at(NodeId id) const {
 std::vector<NodeId> Medium::neighbors(NodeId id) const {
   std::vector<NodeId> out;
   const Vec2 pos = endpoints_[id.value()].pos;
+  if (config_.use_spatial_index) {
+    gather_in_radius(pos, config_.comm_radius, id.value(), neighbor_scratch_);
+    out.reserve(neighbor_scratch_.size());
+    for (std::uint32_t idx : neighbor_scratch_) out.push_back(NodeId{idx});
+    return out;
+  }
   for (std::size_t i = 0; i < endpoints_.size(); ++i) {
     if (i == id.value()) continue;
     if (audible_at(endpoints_[i].pos, pos)) out.push_back(NodeId{i});
@@ -146,6 +194,8 @@ void Medium::begin_transmission(NodeId id) {
   const Time start = sim_.now();
   const Time end = start + airtime;
   const std::uint64_t tx_id = next_tx_id_++;
+  if (airtime > max_airtime_) max_airtime_ = airtime;
+  active_.push_back(Transmission{tx_id, id, ep.pos, start, end});
   history_.push_back(Transmission{tx_id, id, ep.pos, start, end});
 
   const std::size_t bytes =
@@ -156,20 +206,26 @@ void Medium::begin_transmission(NodeId id) {
   ep.stats.frames_sent++;
   ep.stats.bits_sent += bytes * 8;
 
-  sim_.schedule(airtime, [this, id, frame = std::move(frame), start, end,
-                          tx_id]() mutable {
-    complete_transmission(id, std::move(frame), start, end, tx_id);
+  ep.in_flight = std::move(frame);
+  sim_.schedule(airtime, [this, id, start, end, tx_id] {
+    complete_transmission(id, start, end, tx_id);
   });
 }
 
-void Medium::complete_transmission(NodeId id, Frame frame, Time start,
-                                   Time end, std::uint64_t tx_id) {
-  endpoints_[id.value()].transmitting = false;
+void Medium::complete_transmission(NodeId id, Time start, Time end,
+                                   std::uint64_t tx_id) {
+  Endpoint& ep = endpoints_[id.value()];
+  assert(ep.in_flight.has_value());
+  const Frame frame = std::move(*ep.in_flight);
+  ep.in_flight.reset();
+  ep.transmitting = false;
+  std::erase_if(active_,
+                [tx_id](const Transmission& tx) { return tx.tx_id == tx_id; });
   deliver(frame, start, end, tx_id);
   prune_history();
   // Move on to the next queued frame after a short turnaround gap so two
   // frames from the same node cannot overlap.
-  if (!endpoints_[id.value()].queue.empty()) {
+  if (!ep.queue.empty()) {
     sim_.schedule(Duration::micros(100), [this, id] { try_send(id); });
   }
 }
@@ -217,9 +273,24 @@ void Medium::deliver(const Frame& frame, Time start, Time end,
                         : config_.comm_radius;
   const Vec2 src_pos = endpoints_[frame.src.value()].pos;
   if (frame.is_broadcast()) {
-    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
-      if (i == frame.src.value()) continue;
-      if (within_radius(src_pos, endpoints_[i].pos, reach)) attempt(NodeId{i});
+    if (config_.use_spatial_index) {
+      // reach <= comm_radius, so the 3x3 cell block covers every receiver;
+      // gather_in_radius yields them in ascending id order, matching the
+      // brute-force scan below frame for frame. The buffer is swapped into
+      // a local (capacity recycled through deliver_scratch_) so receiver
+      // callbacks that re-enter the medium cannot clobber the iteration.
+      std::vector<std::uint32_t> candidates = std::move(deliver_scratch_);
+      gather_in_radius(src_pos, reach, frame.src.value(), candidates);
+      for (std::uint32_t idx : candidates) attempt(NodeId{idx});
+      candidates.clear();
+      deliver_scratch_ = std::move(candidates);
+    } else {
+      for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+        if (i == frame.src.value()) continue;
+        if (within_radius(src_pos, endpoints_[i].pos, reach)) {
+          attempt(NodeId{i});
+        }
+      }
     }
   } else {
     const NodeId dst = *frame.dst;
@@ -244,9 +315,13 @@ void Medium::set_receiver_enabled(NodeId id, bool enabled) {
 }
 
 void Medium::prune_history() {
-  // Transmissions can only collide with others overlapping their airtime;
-  // anything older than the longest plausible frame is irrelevant.
-  const Time cutoff = sim_.now() - Duration::seconds(1.0);
+  // Transmissions can only collide with others overlapping their airtime.
+  // A future delivery's window [start, end] satisfies start >= now -
+  // max_airtime_ (the longest frame ever transmitted — tracked, not a
+  // hard-coded constant, so slow-bitrate configs cannot miss collisions),
+  // and overlap requires tx.end > start; anything ending before the cutoff
+  // is therefore unreachable by any future query.
+  const Time cutoff = sim_.now() - max_airtime_;
   std::erase_if(history_,
                 [cutoff](const Transmission& tx) { return tx.end < cutoff; });
 }

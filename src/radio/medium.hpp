@@ -2,6 +2,8 @@
 
 #include <deque>
 #include <functional>
+#include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "radio/packet.hpp"
@@ -20,6 +22,16 @@
 ///  - losses from both collisions (overlapping audible transmissions,
 ///    hidden terminals included) and independent per-receiver noise,
 ///  - half-duplex endpoints (a transmitting node hears nothing).
+///
+/// Performance: endpoint positions are indexed in a uniform grid with cell
+/// size = comm_radius, so broadcast delivery, neighbour queries and carrier
+/// sense visit only the 3x3 cell neighbourhood around a point — O(nodes in
+/// range), independent of network size. Carrier sense additionally scans
+/// only the currently-airing transmissions, and the interference history is
+/// pruned by the longest observed frame airtime. Results are bit-identical
+/// to the brute-force path (`RadioConfig::use_spatial_index = false`):
+/// candidate receivers are visited in ascending node-id order either way,
+/// so the RNG stream is consumed identically.
 namespace et::radio {
 
 struct RadioConfig {
@@ -47,6 +59,10 @@ struct RadioConfig {
   std::size_t tx_queue_capacity = 16;
   /// Disable to study the pure random-loss channel.
   bool model_collisions = true;
+  /// Route geometric queries through the uniform grid index. The
+  /// brute-force O(N)-scan path is kept as the reference for equivalence
+  /// tests; both produce bit-identical runs.
+  bool use_spatial_index = true;
 };
 
 class Medium {
@@ -102,7 +118,8 @@ class Medium {
   /// Carrier sense at `id`: is any transmission currently audible?
   bool channel_busy_at(NodeId id) const;
 
-  /// Nodes within the communication radius of `id`, excluding `id`.
+  /// Nodes within the communication radius of `id`, excluding `id`, in
+  /// ascending id order.
   std::vector<NodeId> neighbors(NodeId id) const;
 
   bool in_range(NodeId a, NodeId b) const {
@@ -114,11 +131,20 @@ class Medium {
   const MediumStats& stats() const { return stats_; }
   void reset_stats() { stats_ = MediumStats{}; }
 
+  /// Transmissions currently on the air (diagnostics / tests).
+  std::size_t active_transmissions() const { return active_.size(); }
+  /// Completed-transmission records retained for interference checks
+  /// (diagnostics / tests; see prune_history()).
+  std::size_t history_size() const { return history_.size(); }
+
  private:
   struct Endpoint {
     Vec2 pos;
     Receiver recv;
     std::deque<Frame> queue;
+    /// The frame currently on the air, parked here so the completion event
+    /// closure stays small enough for the event queue's inline storage.
+    std::optional<Frame> in_flight;
     bool transmitting = false;
     bool backoff_pending = false;
     int backoff_attempts = 0;
@@ -140,7 +166,7 @@ class Medium {
   Duration airtime_of(const Frame& frame) const;
   void try_send(NodeId id);
   void begin_transmission(NodeId id);
-  void complete_transmission(NodeId id, Frame frame, Time start, Time end,
+  void complete_transmission(NodeId id, Time start, Time end,
                              std::uint64_t tx_id);
   void deliver(const Frame& frame, Time start, Time end, std::uint64_t tx_id);
   bool audible_at(Vec2 receiver_pos, Vec2 tx_pos) const {
@@ -152,11 +178,38 @@ class Medium {
                     std::uint64_t tx_id) const;
   void prune_history();
 
+  // --- Spatial index (uniform grid, cell size = comm_radius) ---
+
+  static std::uint64_t cell_key(std::int32_t cx, std::int32_t cy) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint32_t>(cy);
+  }
+  std::int32_t cell_coord(double v) const;
+  /// Invokes `fn(endpoint index)` for every node in the 3x3 cell block
+  /// around `center` — a superset of every disc of radius <= comm_radius.
+  template <typename Fn>
+  void for_each_nearby(Vec2 center, Fn&& fn) const;
+  /// Collects ids within `radius` of `center` (excluding `exclude`) into
+  /// `out`, ascending. `out` is cleared first.
+  void gather_in_radius(Vec2 center, double radius, std::uint64_t exclude,
+                        std::vector<std::uint32_t>& out) const;
+
   sim::Simulator& sim_;
   RadioConfig config_;
   Rng rng_;
   std::vector<Endpoint> endpoints_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> grid_;
+  /// Capacity-recycled candidate buffers. `neighbor_scratch_` serves
+  /// neighbors()/queries; deliver() swaps `deliver_scratch_` into a local
+  /// so re-entrant queries from receiver callbacks cannot clobber the list
+  /// it is iterating.
+  mutable std::vector<std::uint32_t> neighbor_scratch_;
+  std::vector<std::uint32_t> deliver_scratch_;
+  std::vector<Transmission> active_;   // currently airing
   std::vector<Transmission> history_;  // recent + active transmissions
+  /// Longest airtime ever put on the air; bounds how far back a future
+  /// delivery's interference window can reach (prune cutoff).
+  Duration max_airtime_ = Duration::zero();
   std::uint64_t next_tx_id_ = 0;
   MediumStats stats_;
 };

@@ -1,21 +1,50 @@
 #include "sim/event_queue.hpp"
 
 #include <cassert>
+#include <utility>
 
 namespace et::sim {
 
 EventHandle EventQueue::schedule(Time at, Callback fn) {
-  auto cancelled = std::make_shared<bool>(false);
-  auto fired = std::make_shared<bool>(false);
-  heap_.push(Entry{at, next_seq_++, std::move(fn), cancelled, fired});
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.live = true;
+  heap_.push(Entry{at, next_seq_++, index, slot.generation});
   ++live_count_;
-  return EventHandle{std::move(cancelled), std::move(fired)};
+  return EventHandle{alive_, this, index, slot.generation};
+}
+
+void EventQueue::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  assert(slot.live);
+  slot.fn = nullptr;
+  slot.live = false;
+  ++slot.generation;
+  free_slots_.push_back(index);
+  --live_count_;
+}
+
+void EventQueue::handle_cancel(std::uint32_t slot, std::uint32_t generation) {
+  if (!handle_pending(slot, generation)) return;
+  // The heap entry stays behind; its generation no longer matches and
+  // skip_cancelled() drops it when it surfaces.
+  release_slot(slot);
 }
 
 void EventQueue::skip_cancelled() const {
-  while (!heap_.empty() && *heap_.top().cancelled) {
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    const Slot& slot = slots_[top.slot];
+    if (slot.live && slot.generation == top.generation) return;
     heap_.pop();
-    --live_count_;
   }
 }
 
@@ -33,19 +62,19 @@ Time EventQueue::next_time() const {
 EventQueue::Fired EventQueue::pop() {
   skip_cancelled();
   assert(!heap_.empty());
-  // priority_queue::top() is const; the entry is moved out via const_cast,
-  // which is safe because the element is popped immediately after.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Fired fired{top.time, std::move(top.fn)};
-  *top.fired = true;
+  const Entry top = heap_.top();
   heap_.pop();
-  --live_count_;
+  Fired fired{top.time, std::move(slots_[top.slot].fn)};
+  release_slot(top.slot);
   return fired;
 }
 
 void EventQueue::clear() {
   while (!heap_.empty()) heap_.pop();
-  live_count_ = 0;
+  for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].live) release_slot(i);
+  }
+  assert(live_count_ == 0);
 }
 
 }  // namespace et::sim

@@ -1,49 +1,75 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
 #include <vector>
 
+#include "util/inline_function.hpp"
 #include "util/time.hpp"
 
 /// The pending-event set of the discrete-event simulator.
 ///
 /// Events are totally ordered by (time, insertion sequence) so that
 /// simultaneous events fire in a deterministic FIFO order — essential for
-/// reproducible distributed-protocol runs. Cancellation is O(1) via a shared
-/// tombstone flag; cancelled events are skipped at pop time.
+/// reproducible distributed-protocol runs.
+///
+/// Storage is allocation-light: callbacks live in a slab of pooled slots
+/// (small closures inline, see util::InlineFunction) addressed by
+/// {index, generation} handles; the heap orders plain POD entries.
+/// Cancellation is O(1) — it releases the slot and bumps its generation, so
+/// the stale heap entry and any stale handles are recognised and skipped.
 namespace et::sim {
 
+class EventQueue;
+
+namespace detail {
+/// Control block shared between a periodic chain and its handle (the chain
+/// is a Simulator concept, but the handle type lives here).
+struct ChainControl {
+  bool stopped = false;
+};
+}  // namespace detail
+
 /// Handle used to cancel a scheduled event. Default-constructed handles are
-/// inert; cancelling an already-fired event is a harmless no-op.
+/// inert; cancelling an already-fired event is a harmless no-op, as is any
+/// use after the owning queue was destroyed.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Prevents the event from firing. Safe to call repeatedly.
-  void cancel() {
-    if (cancelled_) *cancelled_ = true;
-  }
+  inline void cancel();
 
   /// True when the handle refers to an event that has neither fired nor
   /// been cancelled.
-  bool pending() const { return cancelled_ && !*cancelled_ && !*fired_; }
+  inline bool pending() const;
 
  private:
   friend class EventQueue;
   friend class Simulator;
-  EventHandle(std::shared_ptr<bool> cancelled, std::shared_ptr<bool> fired)
-      : cancelled_(std::move(cancelled)), fired_(std::move(fired)) {}
 
-  std::shared_ptr<bool> cancelled_;
-  std::shared_ptr<bool> fired_;
+  EventHandle(std::weak_ptr<const void> alive, EventQueue* queue,
+              std::uint32_t slot, std::uint32_t generation)
+      : alive_(std::move(alive)),
+        queue_(queue),
+        slot_(slot),
+        generation_(generation) {}
+  explicit EventHandle(std::shared_ptr<detail::ChainControl> chain)
+      : chain_(std::move(chain)) {}
+
+  /// Liveness token of the owning queue; expires when the queue dies.
+  std::weak_ptr<const void> alive_;
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
+  /// Set only for periodic-chain handles (see Simulator::schedule_periodic).
+  std::shared_ptr<detail::ChainControl> chain_;
 };
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = util::InlineFunction<64>;
 
   /// Schedules `fn` at absolute time `at`. Scheduling in the past is the
   /// caller's bug; the queue itself only orders what it is given.
@@ -62,16 +88,20 @@ class EventQueue {
   };
   Fired pop();
 
-  /// Drops every pending event.
+  /// Drops every pending event (and invalidates their handles).
   void clear();
 
+  /// Slots currently allocated in the slab (capacity watermark, for tests).
+  std::size_t slot_capacity() const { return slots_.size(); }
+
  private:
+  friend class EventHandle;
+
   struct Entry {
     Time time;
     std::uint64_t seq;
-    Callback fn;
-    std::shared_ptr<bool> cancelled;
-    std::shared_ptr<bool> fired;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -79,13 +109,47 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  struct Slot {
+    Callback fn;
+    std::uint32_t generation = 0;
+    bool live = false;
+  };
+
+  bool handle_pending(std::uint32_t slot, std::uint32_t generation) const {
+    return slot < slots_.size() && slots_[slot].live &&
+           slots_[slot].generation == generation;
+  }
+  void handle_cancel(std::uint32_t slot, std::uint32_t generation);
+
+  /// Frees a live slot: destroys the callback now (releasing captured
+  /// state), bumps the generation so stale heap entries and handles miss,
+  /// and recycles the index.
+  void release_slot(std::uint32_t index);
 
   /// Discards cancelled entries at the head.
   void skip_cancelled() const;
 
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
-  mutable std::size_t live_count_ = 0;
+  std::size_t live_count_ = 0;
+  /// Expires with the queue; handles check it before dereferencing queue_.
+  std::shared_ptr<const void> alive_ = std::make_shared<int>(0);
 };
+
+inline void EventHandle::cancel() {
+  if (chain_) {
+    chain_->stopped = true;
+  } else if (queue_ && !alive_.expired()) {
+    queue_->handle_cancel(slot_, generation_);
+  }
+}
+
+inline bool EventHandle::pending() const {
+  if (chain_) return !chain_->stopped;
+  return queue_ && !alive_.expired() &&
+         queue_->handle_pending(slot_, generation_);
+}
 
 }  // namespace et::sim

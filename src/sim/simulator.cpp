@@ -8,41 +8,54 @@
 
 namespace et::sim {
 
+namespace {
+
+/// One periodic chain: a single control block holds the user callback and
+/// the stop flag; each firing re-arms by scheduling a lambda that captures
+/// only the shared_ptr (16 bytes — always inline in the event slot).
+struct PeriodicChain : detail::ChainControl {
+  Simulator* sim = nullptr;
+  Duration period;
+  Simulator::Callback fn;
+
+  void fire(const std::shared_ptr<PeriodicChain>& self) {
+    if (stopped) return;
+    fn();
+    if (stopped) return;
+    sim->schedule(period, [self] { self->fire(self); });
+  }
+};
+
+}  // namespace
+
 Simulator::Simulator(std::uint64_t seed) : seed_(seed), root_rng_(seed) {
   Logger::instance().set_clock([this] { return now_; });
 }
 
 Simulator::~Simulator() { Logger::instance().clear_clock(); }
 
-EventHandle Simulator::schedule(Duration delay, std::function<void()> fn) {
+EventHandle Simulator::schedule(Duration delay, Callback fn) {
   assert(!delay.is_negative());
   return queue_.schedule(now_ + delay, std::move(fn));
 }
 
-EventHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
+EventHandle Simulator::schedule_at(Time at, Callback fn) {
   assert(at >= now_);
   return queue_.schedule(at, std::move(fn));
 }
 
 EventHandle Simulator::schedule_periodic(Duration first_delay, Duration period,
-                                         std::function<void()> fn) {
+                                         Callback fn) {
   assert(period.is_positive());
-  // The chain's tombstone: the returned handle flips it, every subsequent
-  // firing checks it. `fired` stays false for the chain's lifetime so
-  // pending() reports true until cancellation.
-  auto stopped = std::make_shared<bool>(false);
-  auto fired = std::make_shared<bool>(false);
-
-  auto loop = std::make_shared<std::function<void()>>();
-  auto shared_fn = std::make_shared<std::function<void()>>(std::move(fn));
-  *loop = [this, stopped, loop, shared_fn, period]() {
-    if (*stopped) return;
-    (*shared_fn)();
-    if (*stopped) return;
-    schedule(period, *loop);
-  };
-  schedule(first_delay, *loop);
-  return EventHandle{std::move(stopped), std::move(fired)};
+  auto chain = std::make_shared<PeriodicChain>();
+  chain->sim = this;
+  chain->period = period;
+  chain->fn = std::move(fn);
+  schedule(first_delay, [chain] { chain->fire(chain); });
+  // The chain handle flips the stop flag; the next firing observes it and
+  // does not re-arm. pending() reports true until cancellation.
+  return EventHandle{
+      std::static_pointer_cast<detail::ChainControl>(std::move(chain))};
 }
 
 std::size_t Simulator::run_until(Time deadline) {

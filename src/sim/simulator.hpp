@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string_view>
 
 #include "sim/event_queue.hpp"
@@ -13,10 +12,17 @@
 /// Single-threaded by design: a sensor-network run is a deterministic
 /// function of (scenario parameters, seed). Components schedule callbacks;
 /// the simulator advances virtual time to the next event and fires it.
+/// Independent runs may execute on different threads concurrently (see
+/// bench/sweep_runner.hpp) — a Simulator instance shares no mutable state
+/// with any other.
 namespace et::sim {
 
 class Simulator {
  public:
+  /// Move-only small-buffer callback (see EventQueue::Callback); any
+  /// lambda or `std::function` converts implicitly.
+  using Callback = EventQueue::Callback;
+
   explicit Simulator(std::uint64_t seed = 1);
 
   Simulator(const Simulator&) = delete;
@@ -35,15 +41,15 @@ class Simulator {
   }
 
   /// Schedules `fn` to run after `delay` (>= 0) of virtual time.
-  EventHandle schedule(Duration delay, std::function<void()> fn);
+  EventHandle schedule(Duration delay, Callback fn);
 
   /// Schedules `fn` at an absolute virtual time (>= now()).
-  EventHandle schedule_at(Time at, std::function<void()> fn);
+  EventHandle schedule_at(Time at, Callback fn);
 
   /// Schedules `fn` every `period`, starting after `first_delay`. The
   /// returned handle cancels the *entire* periodic chain.
   EventHandle schedule_periodic(Duration first_delay, Duration period,
-                                std::function<void()> fn);
+                                Callback fn);
 
   /// Runs events until the queue drains or `deadline` is passed. Events at
   /// exactly `deadline` still fire; time never advances beyond it. Returns

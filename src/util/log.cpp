@@ -23,10 +23,20 @@ const char* log_level_name(LogLevel level) {
   return "?";
 }
 
+namespace {
+/// Per-thread virtual-clock hook; each worker thread's Simulator installs
+/// its own, so parallel sweep runs never race on the logger.
+thread_local Logger::ClockFn tls_clock;
+}  // namespace
+
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
 }
+
+void Logger::set_clock(ClockFn clock) { tls_clock = std::move(clock); }
+
+void Logger::clear_clock() { tls_clock = nullptr; }
 
 Logger::Logger() {
   sink_ = [](LogLevel level, std::string_view line) {
@@ -64,8 +74,8 @@ void Logger::logf(LogLevel level, std::string_view component, const char* fmt,
   va_end(args);
 
   std::string line;
-  if (clock_) {
-    line += clock_().to_string();
+  if (tls_clock) {
+    line += tls_clock().to_string();
     line += " ";
   }
   line += "[";

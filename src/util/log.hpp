@@ -9,18 +9,20 @@
 
 /// Lightweight leveled logging.
 ///
-/// The sink is process-global (the simulator is single-threaded by design)
-/// and can be redirected in tests. The simulator installs a clock hook so
-/// every line carries the simulated timestamp, which is what one wants when
-/// debugging a distributed protocol trace.
+/// The sink is process-global (each simulator run is single-threaded by
+/// design) and can be redirected in tests. The simulator installs a clock
+/// hook so every line carries the simulated timestamp, which is what one
+/// wants when debugging a distributed protocol trace. The clock hook is
+/// *thread-local*: parallel sweeps run one Simulator per worker thread, and
+/// each worker's log lines are stamped with its own run's virtual time.
 namespace et {
 
 enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 
 const char* log_level_name(LogLevel level);
 
-/// Global logging configuration. Not thread-safe; the simulator is
-/// single-threaded and tests adjust it at fixture setup.
+/// Global logging configuration. Level and sink are adjusted only at test
+/// fixture setup / program start; the clock hook is per-thread.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, std::string_view line)>;
@@ -34,9 +36,10 @@ class Logger {
   /// Replaces the output sink (default: stderr). Pass nullptr to restore.
   void set_sink(Sink sink);
 
-  /// Installs a simulated-clock source used to timestamp lines.
-  void set_clock(ClockFn clock) { clock_ = std::move(clock); }
-  void clear_clock() { clock_ = nullptr; }
+  /// Installs a simulated-clock source used to timestamp lines emitted by
+  /// the *calling thread* (one Simulator per thread during sweeps).
+  void set_clock(ClockFn clock);
+  void clear_clock();
 
   bool enabled(LogLevel level) const { return level >= level_; }
 
@@ -49,7 +52,6 @@ class Logger {
   Logger();
   LogLevel level_ = LogLevel::kWarn;
   Sink sink_;
-  ClockFn clock_;
 };
 
 #define ET_LOG(level, component, ...)                              \

@@ -1,0 +1,211 @@
+/// Stress tests for the slab-backed EventQueue: cancellation-heavy churn,
+/// slot reuse behind stale handles (generation checks), handle lifetime
+/// beyond the queue, and eager release of cancelled callbacks' captures.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace et {
+namespace {
+
+TEST(EventQueueStress, CancellationChurnReusesSlots) {
+  sim::EventQueue queue;
+  // Many rounds of schedule-everything / cancel-everything: the slab must
+  // recycle slots instead of growing with total scheduled count.
+  for (int round = 0; round < 50; ++round) {
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(100);
+    for (int i = 0; i < 100; ++i) {
+      handles.push_back(queue.schedule(Time::seconds(i + 1), [] {}));
+    }
+    EXPECT_EQ(queue.size(), 100u);
+    for (auto& h : handles) h.cancel();
+    EXPECT_EQ(queue.size(), 0u);
+    for (const auto& h : handles) EXPECT_FALSE(h.pending());
+  }
+  // 5000 events were scheduled in total; at most 100 were ever live.
+  EXPECT_LE(queue.slot_capacity(), 100u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueueStress, StaleHandleCannotCancelSlotSuccessor) {
+  sim::EventQueue queue;
+  sim::EventHandle first = queue.schedule(Time::seconds(1), [] {});
+  first.cancel();
+  ASSERT_FALSE(first.pending());
+
+  // The freed slot is recycled; the old handle must miss the new occupant.
+  int fired = 0;
+  sim::EventHandle second =
+      queue.schedule(Time::seconds(2), [&] { ++fired; });
+  EXPECT_LE(queue.slot_capacity(), 1u);
+
+  first.cancel();   // stale generation: must be a no-op
+  EXPECT_FALSE(first.pending());
+  EXPECT_TRUE(second.pending());
+
+  ASSERT_FALSE(queue.empty());
+  auto fired_event = queue.pop();
+  fired_event.fn();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(fired_event.time, Time::seconds(2));
+}
+
+TEST(EventQueueStress, CancelAfterFireIsNoOp) {
+  sim::EventQueue queue;
+  sim::EventHandle h = queue.schedule(Time::seconds(1), [] {});
+  queue.pop().fn();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // slot already recycled by pop
+
+  // A successor in the reused slot is unaffected by the dead handle.
+  sim::EventHandle next = queue.schedule(Time::seconds(2), [] {});
+  h.cancel();
+  EXPECT_TRUE(next.pending());
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueueStress, ClearInvalidatesAllHandles) {
+  sim::EventQueue queue;
+  std::vector<sim::EventHandle> handles;
+  for (int i = 0; i < 32; ++i) {
+    handles.push_back(queue.schedule(Time::seconds(i + 1), [] {}));
+  }
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  for (auto& h : handles) {
+    EXPECT_FALSE(h.pending());
+    h.cancel();  // must not throw or resurrect anything
+  }
+  // Slots freed by clear() are reusable.
+  queue.schedule(Time::seconds(1), [] {});
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_LE(queue.slot_capacity(), 32u);
+}
+
+TEST(EventQueueStress, HandleOutlivesQueue) {
+  std::optional<sim::EventQueue> queue;
+  queue.emplace();
+  sim::EventHandle h = queue->schedule(Time::seconds(1), [] {});
+  EXPECT_TRUE(h.pending());
+  queue.reset();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not touch freed memory (liveness token expired)
+}
+
+TEST(EventQueueStress, CancelReleasesCapturedStateEagerly) {
+  // Cancellation destroys the callback immediately, not lazily when the
+  // stale heap entry surfaces — captured resources must not linger.
+  sim::EventQueue queue;
+  auto token = std::make_shared<int>(42);
+  sim::EventHandle h =
+      queue.schedule(Time::seconds(1), [token] { (void)*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  h.cancel();
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueueStress, OversizedCallbacksFallBackToHeap) {
+  // Callables larger than the inline buffer take the heap path; behavior
+  // (fire, cancel, destruction) must be identical.
+  sim::EventQueue queue;
+  struct Big {
+    std::uint64_t pad[12] = {};  // 96 bytes > 64-byte inline buffer
+    std::shared_ptr<int> token;
+    int* fired;
+    void operator()() const { ++*fired; }
+  };
+  static_assert(sizeof(Big) > 64);
+
+  auto token = std::make_shared<int>(0);
+  int fired = 0;
+  queue.schedule(Time::seconds(1), Big{{}, token, &fired});
+  sim::EventHandle cancelled =
+      queue.schedule(Time::seconds(2), Big{{}, token, &fired});
+  EXPECT_EQ(token.use_count(), 3);
+  cancelled.cancel();
+  EXPECT_EQ(token.use_count(), 2);
+  queue.pop().fn();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(EventQueueStress, RandomizedChurnMatchesModel) {
+  // Deterministic pseudo-random interleaving of schedule / cancel / fire,
+  // checked against a simple reference model of which events must run.
+  sim::EventQueue queue;
+  std::uint64_t lcg = 99;
+  auto rnd = [&lcg](std::uint64_t mod) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return (lcg >> 33) % mod;
+  };
+
+  std::vector<sim::EventHandle> handles;
+  std::vector<bool> cancelled;
+  std::vector<bool> fired;
+  std::size_t max_live = 0;
+  int next_id = 0;
+
+  for (int step = 0; step < 20'000; ++step) {
+    const std::uint64_t op = rnd(10);
+    if (op < 5) {  // schedule
+      const int id = next_id++;
+      fired.push_back(false);
+      cancelled.push_back(false);
+      handles.push_back(queue.schedule(Time::seconds(step + 1),
+                                       [&fired, id] { fired[id] = true; }));
+    } else if (op < 8 && !handles.empty()) {  // cancel a random handle
+      const std::size_t pick = rnd(handles.size());
+      if (handles[pick].pending()) cancelled[pick] = true;
+      handles[pick].cancel();
+      EXPECT_FALSE(handles[pick].pending());
+    } else if (!queue.empty()) {  // fire the earliest
+      queue.pop().fn();
+    }
+    max_live = std::max(max_live, queue.size());
+  }
+  while (!queue.empty()) queue.pop().fn();
+
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    EXPECT_FALSE(handles[i].pending());
+    EXPECT_NE(fired[i], cancelled[i])
+        << "event " << i << " must fire exactly when not cancelled";
+  }
+  // The slab never needs more slots than the live-event watermark.
+  EXPECT_LE(queue.slot_capacity(), max_live);
+}
+
+TEST(EventQueueStress, SimulatorCancellationHeavyTimerChurn) {
+  // The pattern group management produces: timers constantly re-armed
+  // (cancel + schedule) and only occasionally allowed to fire.
+  sim::Simulator sim;
+  int fired = 0;
+  sim::EventHandle timer;
+  std::uint64_t rearms = 0;
+
+  // Every 10 ms, re-arm a 25 ms timeout; it only fires if left alone.
+  std::function<void()> rearm = [&] {
+    timer.cancel();
+    timer = sim.schedule(Duration::millis(25), [&] { ++fired; });
+    ++rearms;
+  };
+  sim.schedule_periodic(Duration::zero(), Duration::millis(10),
+                        [&] { if (rearms < 1000) rearm(); });
+  sim.run_until(Time::seconds(30));
+
+  EXPECT_EQ(rearms, 1000u);
+  // Exactly one timeout survives: the last re-arm.
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace et
