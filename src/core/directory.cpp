@@ -118,6 +118,16 @@ void Directory::on_leader_stop(TypeIndex type, LabelId label) {
   update_timers_[type].cancel();
 }
 
+void Directory::reboot() {
+  for (std::size_t t = 0; t < store_.size(); ++t) {
+    update_timers_[t].cancel();
+    current_label_[t] = LabelId{};
+    store_[t].clear();
+  }
+  for (auto& [id, pending] : pending_) pending.timeout.cancel();
+  pending_.clear();
+}
+
 void Directory::send_update(TypeIndex type) {
   // Guard: leadership may have lapsed between the timer post and execution.
   const DirectoryEntry entry{current_label_[type], mote_.id(),

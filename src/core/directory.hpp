@@ -77,6 +77,11 @@ class Directory {
   void on_leader_start(TypeIndex type, LabelId label);
   void on_leader_stop(TypeIndex type, LabelId label);
 
+  /// Node-reboot hook: cancels refresh timers and in-flight queries
+  /// (callbacks are dropped, not invoked) and wipes the local entry store —
+  /// replicas repopulate it from peers' periodic updates.
+  void reboot();
+
   /// Asks the directory object of `type` for all active labels. The
   /// callback fires exactly once: with the reply, or with ok=false on
   /// timeout.

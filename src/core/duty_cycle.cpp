@@ -22,6 +22,10 @@ DutyCycleController::~DutyCycleController() {
 }
 
 void DutyCycleController::begin_cycle() {
+  // A crashed mote owns no radio state: the crash/reboot path decides when
+  // the receiver powers up again. Without this guard the cycle boundary
+  // would re-enable a dead node's receiver every period.
+  if (mote_.is_down()) return;
   stats_.cycles++;
   // Always start the cycle awake so engaged checks observe fresh traffic.
   mote_.medium().set_receiver_enabled(mote_.id(), true);

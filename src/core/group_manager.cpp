@@ -111,16 +111,23 @@ GroupManager::GroupManager(node::Mote& mote,
 void GroupManager::start() {
   assert(!started_);
   started_ = true;
+  arm_poll_timer();
+}
+
+void GroupManager::arm_poll_timer() {
+  poll_timer_.cancel();
   // Stagger poll phases across motes so the deployment's sensing (and the
   // traffic it triggers) does not synchronize.
   const Duration phase =
       config_.sense_poll_period * mote_.rng().next_double();
-  mote_.every(config_.sense_poll_period + phase, config_.sense_poll_period,
-              [this] { poll_senses(); });
+  poll_timer_ = mote_.every(config_.sense_poll_period + phase,
+                            config_.sense_poll_period,
+                            [this] { poll_senses(); });
 }
 
 void GroupManager::crash() {
   alive_ = false;
+  poll_timer_.cancel();
   for (std::size_t i = 0; i < state_.size(); ++i) {
     TypeState& ts = state_[i];
     if (ts.role == Role::kLeader && leader_stop_) {
@@ -137,6 +144,38 @@ void GroupManager::crash() {
     ts.waiting = false;
     ts.agg.reset();
   }
+}
+
+void GroupManager::reboot() {
+  assert(started_ && "reboot() requires a started service");
+  assert(!alive_ && "reboot() is only valid after crash()");
+  for (TypeState& ts : state_) {
+    // crash() already cancelled every timer and dropped the role; wipe the
+    // remaining volatile protocol memory so the node rejoins like a
+    // factory-new mote. The resolved predicates and report period are the
+    // program image and survive.
+    ts.label = LabelId{};
+    ts.weight = 0;
+    ts.hb_seq = 0;
+    ts.state.clear();
+    ts.leader = NodeId{};
+    ts.leader_pos = Vec2{};
+    ts.leader_weight_seen = 0;
+    ts.last_hb_heard = Time{};
+    ts.last_state_seen.clear();
+    ts.wait_label = LabelId{};
+    ts.wait_leader = NodeId{};
+    ts.wait_leader_pos = Vec2{};
+    ts.wait_weight = 0;
+    ts.wait_state.clear();
+    ts.relinquish_heard = Time{};
+    ts.cand_weight = 0;
+    ts.cand_state.clear();
+  }
+  hb_seen_.clear();
+  report_seen_.clear();
+  alive_ = true;
+  arm_poll_timer();
 }
 
 NodeId GroupManager::known_leader(TypeIndex type) const {
@@ -192,7 +231,7 @@ void GroupManager::poll_senses() {
             ts.creation_pending = false;
             ts.creation_timer.cancel();
             become_member(type, ts.wait_label, ts.wait_leader,
-                          ts.wait_leader_pos, ts.wait_weight);
+                          ts.wait_leader_pos, ts.wait_weight, ts.wait_state);
           } else if (!ts.creation_pending) {
             // No group known: defer creation briefly; if a heartbeat
             // arrives meanwhile we join instead of forking a new label.
@@ -207,7 +246,8 @@ void GroupManager::poll_senses() {
               if (!is_sensing(st)) return;
               if (st.waiting) {
                 become_member(type, st.wait_label, st.wait_leader,
-                              st.wait_leader_pos, st.wait_weight);
+                              st.wait_leader_pos, st.wait_weight,
+                              st.wait_state);
               } else {
                 create_label(type);
               }
@@ -305,8 +345,8 @@ void GroupManager::stop_leading(TypeIndex type, GroupEvent::Kind cause,
 }
 
 void GroupManager::become_member(TypeIndex type, LabelId label, NodeId leader,
-                                 Vec2 leader_pos,
-                                 std::uint64_t leader_weight) {
+                                 Vec2 leader_pos, std::uint64_t leader_weight,
+                                 PersistentState state_seen) {
   TypeState& ts = state_[type];
   ts.wait_timer.cancel();
   ts.creation_timer.cancel();
@@ -318,7 +358,10 @@ void GroupManager::become_member(TypeIndex type, LabelId label, NodeId leader,
   ts.leader_pos = leader_pos;
   ts.leader_weight_seen = leader_weight;
   ts.last_hb_heard = mote_.now();
-  ts.last_state_seen.clear();
+  // Seed with the state that came alongside the join trigger (heartbeat or
+  // wait-path memory): a member that must take over before hearing another
+  // heartbeat restores this, not an empty table (§5.2 state handoff).
+  ts.last_state_seen = std::move(state_seen);
   stats_.joins++;
   emit(GroupEvent::Kind::kJoined, type, label, leader, leader_weight);
   arm_receive_timer(type);
@@ -493,7 +536,7 @@ void GroupManager::handle_heartbeat(const radio::Frame& frame) {
           stats_.yields++;
           stop_leading(type, GroupEvent::Kind::kYield, hp->leader);
           become_member(type, hp->label, hp->leader, hp->leader_pos,
-                        hp->weight);
+                        hp->weight, hp->state);
         }
       } else if (config_.weight_suppression_enabled &&
                  hp->weight > ts.weight &&
@@ -507,7 +550,7 @@ void GroupManager::handle_heartbeat(const radio::Frame& frame) {
         stats_.suppressions++;
         stop_leading(type, GroupEvent::Kind::kLabelSuppressed, hp->leader);
         become_member(type, hp->label, hp->leader, hp->leader_pos,
-                      hp->weight);
+                      hp->weight, hp->state);
       }
       break;
     }

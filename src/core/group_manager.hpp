@@ -138,6 +138,12 @@ class GroupManager {
   /// notifying anybody. Models node failure for fault-injection tests.
   void crash();
 
+  /// Restarts a crashed service: wipes all volatile protocol state (roles,
+  /// labels, wait memory, dedup caches) and resumes sense polling with a
+  /// fresh random phase. The rebooted node rejoins groups like a factory-new
+  /// mote — any state handoff must come from peers' heartbeats.
+  void reboot();
+
   bool alive() const { return alive_; }
 
   void add_observer(GroupObserver* observer) {
@@ -241,6 +247,8 @@ class GroupManager {
   };
 
   void poll_senses();
+  /// (Re)starts the periodic sense poll with a fresh random phase.
+  void arm_poll_timer();
   bool is_sensing(const TypeState& ts) const;
 
   // Role transitions.
@@ -248,8 +256,14 @@ class GroupManager {
   void become_leader(TypeIndex type, LabelId label, std::uint64_t weight,
                      PersistentState inherited, GroupEvent::Kind cause);
   void stop_leading(TypeIndex type, GroupEvent::Kind cause, NodeId peer);
+  /// `state_seen` is the joined label's last known persistent state (from
+  /// the heartbeat or wait-path memory that triggered the join); it seeds
+  /// `last_state_seen` so a member that takes over before hearing another
+  /// heartbeat still restores the §5.2 handoff state. Taken by value: call
+  /// sites pass fields of the TypeState this method mutates.
   void become_member(TypeIndex type, LabelId label, NodeId leader,
-                     Vec2 leader_pos, std::uint64_t leader_weight);
+                     Vec2 leader_pos, std::uint64_t leader_weight,
+                     PersistentState state_seen);
   void leave_group(TypeIndex type);
 
   // Protocol actions.
@@ -279,6 +293,7 @@ class GroupManager {
   LeaderObservedFn leader_observed_;
   LruMap<std::uint64_t, bool> hb_seen_;  // heartbeat (label, seq) dedup
   LruMap<std::uint64_t, bool> report_seen_;  // relayed-report dedup
+  sim::EventHandle poll_timer_;
   std::uint32_t next_label_seq_ = 0;
   bool alive_ = true;
   bool started_ = false;

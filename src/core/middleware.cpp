@@ -9,6 +9,7 @@ MiddlewareStack::MiddlewareStack(node::Mote& mote,
                                  Rect field_bounds,
                                  const MiddlewareConfig& config)
     : mote_(mote),
+      config_(config),
       routing_(mote, config.routing),
       groups_(mote, specs, senses, aggregations, config.group),
       runtime_(mote, specs, groups_) {
@@ -36,6 +37,7 @@ MiddlewareStack::MiddlewareStack(node::Mote& mote,
   groups_.set_leader_stop([this](TypeIndex type, LabelId label) {
     runtime_.on_leader_stop(type, label);
     if (directory_) directory_->on_leader_stop(type, label);
+    if (transport_) transport_->on_leader_stop(type, label);
   });
   if (transport_) {
     groups_.set_leader_observed(
@@ -46,9 +48,28 @@ MiddlewareStack::MiddlewareStack(node::Mote& mote,
 }
 
 void MiddlewareStack::crash() {
+  if (mote_.is_down()) return;
   groups_.crash();
   duty_cycle_.reset();  // stop toggling the (now dead) radio
   mote_.set_down(true);
+  // A crashed node draws no receive power and hears nothing; reboot() is
+  // the only path that turns the receiver back on. (The controller's
+  // destructor above re-enabled it, so order matters.)
+  mote_.medium().set_receiver_enabled(mote_.id(), false);
+}
+
+void MiddlewareStack::reboot() {
+  if (!mote_.is_down()) return;
+  mote_.reboot();
+  mote_.medium().set_receiver_enabled(mote_.id(), true);
+  routing_.reboot();
+  if (directory_) directory_->reboot();
+  if (transport_) transport_->reboot();
+  groups_.reboot();
+  if (config_.enable_duty_cycle) {
+    duty_cycle_ = std::make_unique<DutyCycleController>(mote_, groups_,
+                                                        config_.duty_cycle);
+  }
 }
 
 void MiddlewareStack::ensure_user_consumer() {

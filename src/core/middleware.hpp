@@ -55,8 +55,16 @@ class MiddlewareStack {
   /// Starts sense polling (and with it the whole protocol machinery).
   void start() { groups_.start(); }
 
-  /// Failure injection: silences this node entirely.
+  /// Failure injection: silences this node entirely. The receiver is
+  /// powered down until reboot(); repeated calls are no-ops.
   void crash();
+
+  /// Brings a crashed node back up: the mote revives, the receiver powers
+  /// on, every service wipes its volatile state (roles, caches, pending
+  /// queries) and the group manager resumes sense polling. Persistent
+  /// tracking state is NOT restored locally — the §5.2 handoff must come
+  /// from surviving peers. No-op unless the node is down.
+  void reboot();
 
   /// Registers the application consumer of kUser envelopes at this node.
   void on_user_message(UserHandler handler);
@@ -78,6 +86,9 @@ class MiddlewareStack {
   void ensure_user_consumer();
 
   node::Mote& mote_;
+  /// Kept for reboot(): the duty-cycle controller is destroyed on crash and
+  /// rebuilt from this config when the node comes back.
+  MiddlewareConfig config_;
   net::GeoRouting routing_;
   GroupManager groups_;
   ContextRuntime runtime_;

@@ -66,6 +66,9 @@ class EnviroTrackSystem {
   /// Failure injection: crash-stops one node.
   void crash_node(NodeId id) { stacks_[id.value()]->crash(); }
 
+  /// Brings a crashed node back up with factory-fresh middleware state.
+  void reboot_node(NodeId id) { stacks_[id.value()]->reboot(); }
+
  private:
   sim::Simulator& sim_;
   env::Environment& env_;

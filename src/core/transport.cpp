@@ -31,6 +31,12 @@ void Transport::on_leader_observed(TypeIndex type, LabelId label,
   leaders_.put(label, LeaderInfo{leader, leader_pos, mote_.now()});
 }
 
+void Transport::on_leader_stop(TypeIndex type, LabelId label) {
+  (void)type;
+  const LeaderInfo* info = leaders_.peek(label);
+  if (info && info->node == mote_.id()) leaders_.erase(label);
+}
+
 void Transport::invoke(TypeIndex dst_type, LabelId dst_label, PortId port,
                        std::vector<double> args, LabelId src_label) {
   stats_.invocations_sent++;
@@ -64,13 +70,17 @@ void Transport::resolve_and_send(std::shared_ptr<MtpPayload> payload) {
         [this, payload](bool ok, const std::vector<DirectoryEntry>& entries) {
           if (ok) {
             for (const DirectoryEntry& entry : entries) {
-              if (entry.label == payload->dst_label) {
-                const LeaderInfo info{entry.leader, entry.location,
-                                      mote_.now()};
-                leaders_.put(payload->dst_label, info);
-                send_to(info, payload);
-                return;
-              }
+              if (entry.label != payload->dst_label) continue;
+              // A directory record naming *us* as the leader is stale by
+              // construction here (the local-leader shortcut already
+              // missed); sending to ourselves would just loop the message
+              // back into handle_delivery.
+              if (entry.leader == mote_.id()) continue;
+              const LeaderInfo info{entry.leader, entry.location,
+                                    mote_.now()};
+              leaders_.put(payload->dst_label, info);
+              send_to(info, payload);
+              return;
             }
           }
           stats_.dropped_unknown++;
@@ -126,6 +136,16 @@ void Transport::handle_delivery(const net::RouteEnvelope& envelope) {
       send_to(*info, std::move(copy));
       return;
     }
+    // Stale self-entry: the table says we lead this label but the group
+    // moved on (yield/relinquish/takeover raced the on_leader_stop hook, or
+    // the entry was learned from old traffic). Drop the poisoned record and
+    // re-resolve — the directory or a fresher table entry finds the current
+    // leader instead of the message dying here.
+    leaders_.erase(incoming->dst_label);
+    auto copy = std::make_shared<MtpPayload>(*incoming);
+    copy->forwards = static_cast<std::uint8_t>(incoming->forwards + 1);
+    resolve_and_send(std::move(copy));
+    return;
   }
   stats_.dropped_unknown++;
 }

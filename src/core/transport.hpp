@@ -90,6 +90,16 @@ class Transport {
   void on_leader_observed(TypeIndex type, LabelId label, NodeId leader,
                           Vec2 leader_pos);
 
+  /// Leadership-change hook (wired from the GroupManager's leader-stop
+  /// edge): drops a cached self-entry for `label` so messages that arrive
+  /// after yield/relinquish/takeover re-resolve via the directory instead
+  /// of dying as dropped_unknown against a stale "I am the leader" record.
+  void on_leader_stop(TypeIndex type, LabelId label);
+
+  /// Clears volatile routing state (the last-known-leader table) after a
+  /// node reboot; the program image (handlers, wiring) survives.
+  void reboot() { leaders_.clear(); }
+
   /// Last-known leader of a label, if cached.
   struct LeaderInfo {
     NodeId node;

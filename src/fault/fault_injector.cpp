@@ -1,0 +1,147 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace et::fault {
+
+namespace {
+constexpr const char* kComponent = "fault";
+}
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kReboot:
+      return "reboot";
+    case FaultKind::kRadioBlackoutStart:
+      return "blackout-start";
+    case FaultKind::kRadioBlackoutEnd:
+      return "blackout-end";
+    case FaultKind::kSensorDropStart:
+      return "sensor-drop-start";
+    case FaultKind::kSensorDropEnd:
+      return "sensor-drop-end";
+  }
+  return "?";
+}
+
+void FaultInjector::schedule(const FaultPlan& plan) {
+  std::vector<FaultEvent> events = plan.events();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  const Time now = system_.sim().now();
+  for (const FaultEvent& event : events) {
+    const Duration delay =
+        event.at > now ? event.at - now : Duration::zero();
+    system_.sim().schedule(delay, [this, event] {
+      apply(event.node, event.kind);
+    });
+  }
+}
+
+void FaultInjector::harass_leaders(core::TypeIndex type, Duration period,
+                                   Duration downtime) {
+  harass_timers_.push_back(system_.sim().schedule_periodic(
+      period, period, [this, type, downtime] {
+        const NodeId victim = find_leader(type);
+        if (!victim.is_valid()) return;
+        apply(victim, FaultKind::kCrash);
+        system_.sim().schedule(downtime, [this, victim] {
+          apply(victim, FaultKind::kReboot);
+        });
+      }));
+}
+
+NodeId FaultInjector::find_leader(core::TypeIndex type) const {
+  NodeId best;
+  std::uint64_t best_weight = 0;
+  for (std::size_t i = 0; i < system_.node_count(); ++i) {
+    const NodeId id{i};
+    core::GroupManager& groups = system_.stack(id).groups();
+    if (type >= groups.type_count()) continue;
+    if (groups.role(type) != core::Role::kLeader) continue;
+    const std::uint64_t weight = groups.leader_weight(type);
+    // Heaviest leader first; ascending scan order makes ties go to the
+    // lowest id, keeping the pick deterministic.
+    if (!best.is_valid() || weight > best_weight) {
+      best = id;
+      best_weight = weight;
+    }
+  }
+  return best;
+}
+
+void FaultInjector::crash(NodeId node) { apply(node, FaultKind::kCrash); }
+void FaultInjector::reboot(NodeId node) { apply(node, FaultKind::kReboot); }
+
+void FaultInjector::set_radio_blackout(NodeId node, bool blackout) {
+  apply(node, blackout ? FaultKind::kRadioBlackoutStart
+                       : FaultKind::kRadioBlackoutEnd);
+}
+
+void FaultInjector::set_sensor_dropout(NodeId node, bool dropout) {
+  apply(node, dropout ? FaultKind::kSensorDropStart
+                      : FaultKind::kSensorDropEnd);
+}
+
+void FaultInjector::apply(NodeId node, FaultKind kind) {
+  core::MiddlewareStack& stack = system_.stack(node);
+
+  // Snapshot the victim's role *before* the fault lands, so listeners can
+  // correlate "leader of label L crashed at t" with the takeover that
+  // follows.
+  FaultRecord record;
+  record.at = system_.sim().now();
+  record.node = node;
+  record.kind = kind;
+  core::GroupManager& groups = stack.groups();
+  for (std::size_t t = 0; t < groups.type_count(); ++t) {
+    const auto type = static_cast<core::TypeIndex>(t);
+    if (groups.role(type) != core::Role::kLeader) continue;
+    record.was_leader = true;
+    record.type_index = type;
+    record.label = groups.current_label(type);
+    break;
+  }
+
+  switch (kind) {
+    case FaultKind::kCrash:
+      if (stack.mote().is_down()) return;  // already dead: not a new fault
+      stats_.crashes++;
+      if (record.was_leader) stats_.leader_crashes++;
+      stack.crash();
+      break;
+    case FaultKind::kReboot:
+      if (!stack.mote().is_down()) return;
+      stats_.reboots++;
+      stack.reboot();
+      break;
+    case FaultKind::kRadioBlackoutStart:
+      stats_.blackouts++;
+      system_.medium().set_node_blackout(node, true);
+      break;
+    case FaultKind::kRadioBlackoutEnd:
+      system_.medium().set_node_blackout(node, false);
+      break;
+    case FaultKind::kSensorDropStart:
+      stats_.sensor_dropouts++;
+      stack.mote().set_sensor_down(true);
+      break;
+    case FaultKind::kSensorDropEnd:
+      stack.mote().set_sensor_down(false);
+      break;
+  }
+
+  ET_DEBUG(kComponent, "node %llu %s (leader=%d)",
+           static_cast<unsigned long long>(node.value()),
+           fault_kind_name(kind), record.was_leader ? 1 : 0);
+  records_.push_back(record);
+  for (const Listener& listener : listeners_) listener(record);
+}
+
+}  // namespace et::fault

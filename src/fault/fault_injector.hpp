@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/system.hpp"
+#include "fault/fault_plan.hpp"
+
+/// Drives fault events through a running EnviroTrack deployment.
+///
+/// The injector is the paper's missing chaos harness: §2 claims that
+/// "applications must not depend on the correctness or availability of any
+/// particular node", and the injector is what turns that claim into a
+/// measurable experiment — crash/reboot cycles, transient RF blackouts,
+/// sensor dropouts, all scheduled deterministically inside the simulator so
+/// a seeded run replays exactly. Recovery metrics (time-to-takeover, label
+/// continuity) subscribe as listeners and correlate each fault with the
+/// protocol's response.
+namespace et::fault {
+
+/// One applied fault, annotated with the victim's pre-fault protocol role
+/// so listeners can tell "crashed a leader" from "crashed a bystander".
+struct FaultRecord {
+  Time at;
+  NodeId node;
+  FaultKind kind;
+  /// Did the victim lead any context label when the fault hit?
+  bool was_leader = false;
+  /// Type/label it led (first leading type wins; invalid when !was_leader).
+  core::TypeIndex type_index = 0;
+  LabelId label;
+};
+
+struct FaultStats {
+  std::uint64_t crashes = 0;
+  std::uint64_t reboots = 0;
+  std::uint64_t blackouts = 0;
+  std::uint64_t sensor_dropouts = 0;
+  /// Crashes that hit a current group leader.
+  std::uint64_t leader_crashes = 0;
+};
+
+class FaultInjector {
+ public:
+  using Listener = std::function<void(const FaultRecord&)>;
+
+  explicit FaultInjector(core::EnviroTrackSystem& system) : system_(system) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Registers a fault observer; invoked synchronously, after the fault has
+  /// been applied, with the victim's *pre-fault* role in the record.
+  void add_listener(Listener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  /// Schedules every event of `plan` on the simulator. Events in the past
+  /// (at <= now) fire on the next simulator step.
+  void schedule(const FaultPlan& plan);
+
+  /// Periodic leader harassment: every `period`, crash the current leader
+  /// of `type` (heaviest weight, ties to the lowest node id) and reboot it
+  /// `downtime` later. This is the chaos-sweep workhorse — it guarantees
+  /// the faults track the group as the target moves, instead of hitting
+  /// whichever node happened to lead at plan-construction time.
+  void harass_leaders(core::TypeIndex type, Duration period,
+                      Duration downtime);
+
+  // --- Immediate faults (also used by the scheduled paths) ---
+  void crash(NodeId node);
+  void reboot(NodeId node);
+  void set_radio_blackout(NodeId node, bool blackout);
+  void set_sensor_dropout(NodeId node, bool dropout);
+
+  const FaultStats& stats() const { return stats_; }
+  /// Every applied fault, in application order.
+  const std::vector<FaultRecord>& records() const { return records_; }
+
+ private:
+  void apply(NodeId node, FaultKind kind);
+  /// Current leader of `type` across the deployment, heaviest weight first,
+  /// ties to the lowest id. Invalid NodeId when the type has no leader.
+  NodeId find_leader(core::TypeIndex type) const;
+
+  core::EnviroTrackSystem& system_;
+  std::vector<Listener> listeners_;
+  std::vector<FaultRecord> records_;
+  std::vector<sim::EventHandle> harass_timers_;
+  FaultStats stats_;
+};
+
+}  // namespace et::fault

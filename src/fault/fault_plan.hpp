@@ -1,0 +1,78 @@
+#pragma once
+
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+/// Fault schedules for chaos experiments.
+///
+/// A `FaultPlan` is a declarative list of timed fault events — who breaks,
+/// how, and when — that a `FaultInjector` replays through the simulator.
+/// Plans are plain data: they can be built up-front (deterministic chaos
+/// runs) or generated programmatically, and the same plan replayed against
+/// the same seed reproduces the run bit for bit.
+namespace et::fault {
+
+enum class FaultKind {
+  /// Crash-stop: the node goes silent, timers die, the receiver powers off.
+  kCrash,
+  /// Revives a crashed node with factory-fresh volatile state.
+  kReboot,
+  /// RF outage begins: the radio neither transmits nor receives, but CPU,
+  /// timers, and sensors keep running.
+  kRadioBlackoutStart,
+  kRadioBlackoutEnd,
+  /// Sensor dropout begins: sense predicates read false / sensors read 0,
+  /// while the node keeps computing and communicating.
+  kSensorDropStart,
+  kSensorDropEnd,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  Time at;
+  NodeId node;
+  FaultKind kind;
+};
+
+/// Builder for fault schedules. Events may be added in any order; the
+/// injector sorts by time before scheduling.
+class FaultPlan {
+ public:
+  FaultPlan& add(Time at, NodeId node, FaultKind kind) {
+    events_.push_back(FaultEvent{at, node, kind});
+    return *this;
+  }
+
+  FaultPlan& crash(Time at, NodeId node) {
+    return add(at, node, FaultKind::kCrash);
+  }
+  FaultPlan& reboot(Time at, NodeId node) {
+    return add(at, node, FaultKind::kReboot);
+  }
+  /// Crash at `at`, reboot after `downtime`.
+  FaultPlan& crash_for(Time at, NodeId node, Duration downtime) {
+    crash(at, node);
+    return reboot(at + downtime, node);
+  }
+  /// RF outage over [at, at + length).
+  FaultPlan& radio_blackout(Time at, NodeId node, Duration length) {
+    add(at, node, FaultKind::kRadioBlackoutStart);
+    return add(at + length, node, FaultKind::kRadioBlackoutEnd);
+  }
+  /// Sensor dropout over [at, at + length).
+  FaultPlan& sensor_dropout(Time at, NodeId node, Duration length) {
+    add(at, node, FaultKind::kSensorDropStart);
+    return add(at + length, node, FaultKind::kSensorDropEnd);
+  }
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace et::fault

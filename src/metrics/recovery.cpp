@@ -1,0 +1,84 @@
+#include "metrics/recovery.hpp"
+
+#include <algorithm>
+
+namespace et::metrics {
+
+RecoveryMonitor::RecoveryMonitor(core::EnviroTrackSystem& system,
+                                 fault::FaultInjector& injector,
+                                 Duration sample_period)
+    : system_(system), sample_period_(sample_period) {
+  system_.add_group_observer(this);
+  injector.add_listener(
+      [this](const fault::FaultRecord& record) { on_fault(record); });
+  tick_ = system_.sim().schedule_periodic(sample_period, sample_period,
+                                          [this] { sample(); });
+}
+
+void RecoveryMonitor::on_fault(const fault::FaultRecord& record) {
+  if (record.kind != fault::FaultKind::kCrash || !record.was_leader) return;
+  stats_.leader_faults++;
+  open_.push_back(OpenGap{record.at, record.type_index, record.label});
+}
+
+void RecoveryMonitor::on_group_event(const core::GroupEvent& event) {
+  if (event.kind != core::GroupEvent::Kind::kBecameLeader) return;
+  // Close the oldest open gap of this context type: whoever leads the type
+  // again has re-assumed the crashed leader's tracking responsibility.
+  auto it = std::find_if(open_.begin(), open_.end(),
+                         [&](const OpenGap& gap) {
+                           return gap.type == event.type_index;
+                         });
+  if (it == open_.end()) return;
+  const Duration takeover = event.time - it->opened;
+  stats_.recoveries++;
+  stats_.total_takeover += takeover;
+  stats_.max_takeover = std::max(stats_.max_takeover, takeover);
+  if (event.label == it->label) {
+    stats_.label_preserved++;
+  } else {
+    stats_.label_replaced++;
+  }
+  open_.erase(it);
+}
+
+void RecoveryMonitor::sample() {
+  const Time now = system_.sim().now();
+  const auto& specs = system_.specs();
+
+  // A target counts as tracked when some alive leader of its context type
+  // is close enough to sense it — the coherence monitor's association rule
+  // minus the weight gate (a fresh takeover with zero absorbed reports
+  // still counts as coverage).
+  bool any_exposed = false;
+  bool all_covered = true;
+  for (std::size_t t = 0; t < specs.size(); ++t) {
+    const auto type = static_cast<core::TypeIndex>(t);
+    for (TargetId tid :
+         system_.environment().active_targets_of(specs[t].name, now)) {
+      any_exposed = true;
+      const env::Target& target = system_.environment().target(tid);
+      const Vec2 target_pos = target.position_at(now);
+      const double radius = target.radius_at(now);
+      bool covered = false;
+      for (std::size_t n = 0; n < system_.node_count(); ++n) {
+        const NodeId node{n};
+        auto& groups = system_.stack(node).groups();
+        if (!groups.alive() || groups.role(type) != core::Role::kLeader) {
+          continue;
+        }
+        const Vec2 pos = system_.network().mote(node).position();
+        if (distance(pos, target_pos) <= radius) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) all_covered = false;
+    }
+  }
+  if (!any_exposed) return;
+  stats_.exposed_samples++;
+  if (all_covered) stats_.tracked_samples++;
+}
+
+}  // namespace et::metrics

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/events.hpp"
+#include "core/system.hpp"
+#include "fault/fault_injector.hpp"
+
+/// Recovery metrics: how fast and how cleanly the protocol heals from
+/// injected faults.
+///
+/// Subscribes to both the fault injector (when did a leader die?) and the
+/// group-event stream (when did somebody lead again?), and samples ground
+/// truth periodically to integrate the *tracking gap* — seconds during
+/// which an exposed target had no live leader at all. Three quantities the
+/// paper's robustness claim needs numbers for:
+///  - time-to-takeover: leader crash -> next kBecameLeader of that type,
+///  - label continuity: did the takeover keep the dead leader's label
+///    (identity preserved across the fault) or mint/adopt a new one,
+///  - tracking-gap seconds: integral of "some target is untracked".
+namespace et::metrics {
+
+class RecoveryMonitor final : public core::GroupObserver {
+ public:
+  struct Stats {
+    /// Crash faults that hit a current group leader.
+    std::uint64_t leader_faults = 0;
+    /// Leader faults answered by a subsequent leadership assumption of the
+    /// same context type.
+    std::uint64_t recoveries = 0;
+    /// Recoveries that kept the crashed leader's label vs replaced it.
+    std::uint64_t label_preserved = 0;
+    std::uint64_t label_replaced = 0;
+    Duration total_takeover = Duration::zero();
+    Duration max_takeover = Duration::zero();
+    /// Ground-truth samples with at least one active target, and those
+    /// where every active target had an alive leader sensing it.
+    std::uint64_t exposed_samples = 0;
+    std::uint64_t tracked_samples = 0;
+  };
+
+  /// Registers with both the system's group-event stream (the system must
+  /// be started) and the injector's fault stream. Both must outlive the
+  /// monitor.
+  RecoveryMonitor(core::EnviroTrackSystem& system,
+                  fault::FaultInjector& injector,
+                  Duration sample_period = Duration::millis(100));
+  ~RecoveryMonitor() override { tick_.cancel(); }
+
+  RecoveryMonitor(const RecoveryMonitor&) = delete;
+  RecoveryMonitor& operator=(const RecoveryMonitor&) = delete;
+
+  void on_group_event(const core::GroupEvent& event) override;
+
+  const Stats& stats() const { return stats_; }
+  double mean_takeover_seconds() const {
+    return stats_.recoveries == 0
+               ? 0.0
+               : stats_.total_takeover.to_seconds() /
+                     static_cast<double>(stats_.recoveries);
+  }
+  double label_preserved_fraction() const {
+    const std::uint64_t n = stats_.label_preserved + stats_.label_replaced;
+    return n == 0 ? 1.0
+                  : static_cast<double>(stats_.label_preserved) /
+                        static_cast<double>(n);
+  }
+  /// Integrated untracked-while-exposed time.
+  double tracking_gap_seconds() const {
+    return static_cast<double>(stats_.exposed_samples -
+                               stats_.tracked_samples) *
+           sample_period_.to_seconds();
+  }
+
+ private:
+  struct OpenGap {
+    Time opened;
+    core::TypeIndex type = 0;
+    LabelId label;
+  };
+
+  void on_fault(const fault::FaultRecord& record);
+  void sample();
+
+  core::EnviroTrackSystem& system_;
+  Duration sample_period_;
+  std::vector<OpenGap> open_;
+  sim::EventHandle tick_;
+  Stats stats_;
+};
+
+}  // namespace et::metrics

@@ -125,6 +125,12 @@ void GeoRouting::handle_ack(const radio::Frame& frame) {
   pending_.erase(it);
 }
 
+void GeoRouting::reboot() {
+  for (auto& [id, hop] : pending_) hop.timeout.cancel();
+  pending_.clear();
+  seen_.clear();
+}
+
 void GeoRouting::accept(RouteEnvelope envelope) {
   seen_.put(envelope.envelope_id, true);
 

@@ -79,6 +79,11 @@ class GeoRouting {
             std::shared_ptr<const radio::Payload> inner,
             std::optional<NodeId> final_dst = std::nullopt);
 
+  /// Node-reboot hook: abandons in-flight hops (ARQ timers cancelled,
+  /// envelopes dropped) and forgets the duplicate-suppression window. The
+  /// neighbour cache survives — motes are stationary.
+  void reboot();
+
   const RoutingStats& stats() const { return stats_; }
 
  private:

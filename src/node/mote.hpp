@@ -47,13 +47,19 @@ class Mote {
   /// The sense_e() predicate evaluated against local hardware: does this
   /// mote currently sense a target of `type`?
   bool senses(std::string_view type) const {
-    return env_.senses(type, position_, sim_.now());
+    return !sensor_down_ && env_.senses(type, position_, sim_.now());
   }
 
   /// Scalar sensor reading ("magnetic", "temperature", ...).
   double read_sensor(std::string_view channel) const {
-    return env_.reading(channel, position_, sim_.now());
+    return sensor_down_ ? 0.0 : env_.reading(channel, position_, sim_.now());
   }
+
+  /// Fault injection: a dropped-out sensor reads zero and senses nothing,
+  /// while the CPU and radio keep running — the mote behaves like one that
+  /// simply stopped seeing its targets.
+  void set_sensor_down(bool down) { sensor_down_ = down; }
+  bool sensor_down() const { return sensor_down_; }
 
   // --- Radio ---
 
@@ -89,6 +95,11 @@ class Mote {
   void set_down(bool down) { down_ = down; }
   bool is_down() const { return down_; }
 
+  /// Brings a crashed mote back up. Frame handlers survive (they are the
+  /// node's program image, not volatile state); it is the middleware's
+  /// reboot path that resets service state and re-arms timers.
+  void reboot() { down_ = false; }
+
  private:
   sim::Simulator& sim_;
   radio::Medium& medium_;
@@ -98,6 +109,7 @@ class Mote {
   Cpu cpu_;
   Rng rng_;
   bool down_ = false;
+  bool sensor_down_ = false;
   std::array<FrameHandler, radio::kMsgTypeCount> handlers_{};
 };
 

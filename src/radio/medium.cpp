@@ -102,6 +102,12 @@ void Medium::send(Frame frame) {
   const NodeId src = frame.src;
   Endpoint& ep = endpoints_[src.value()];
   stats_.of(frame.type).offered++;
+  if (ep.blackout) {
+    // The RF front-end is out; the MAC accepts the frame and it goes
+    // nowhere, exactly like a backoff-exhausted drop.
+    stats_.of(frame.type).mac_dropped++;
+    return;
+  }
   if (ep.queue.size() >= config_.tx_queue_capacity) {
     stats_.of(frame.type).mac_dropped++;
     ET_DEBUG(kComponent, "node %llu tx queue overflow, dropping %s",
@@ -243,19 +249,54 @@ bool Medium::corrupted_at(NodeId receiver, Time start, Time end,
   return false;
 }
 
+bool Medium::sample_burst_state(NodeId receiver) {
+  Endpoint& ep = endpoints_[receiver.value()];
+  // Exact transition of the two-state CTMC over the (arbitrarily long)
+  // interval since the chain was last sampled: with G->B rate a = 1/mean_good
+  // and B->G rate b = 1/mean_bad,
+  //   P(bad at t+dt | bad at t)  = pi_bad + (1 - pi_bad) * e^{-(a+b) dt}
+  //   P(bad at t+dt | good at t) = pi_bad * (1 - e^{-(a+b) dt})
+  // where pi_bad = a / (a + b) is the stationary burst fraction. Sampling
+  // only at delivery attempts is exact because the chain is memoryless.
+  const double a = 1.0 / config_.burst_loss.mean_good.to_seconds();
+  const double b = 1.0 / config_.burst_loss.mean_bad.to_seconds();
+  const double rate = a + b;
+  const double pi_bad = a / rate;
+  const double dt = (sim_.now() - ep.burst_sampled_at).to_seconds();
+  const double decay = std::exp(-rate * dt);
+  const double p_bad =
+      ep.burst_bad ? pi_bad + (1.0 - pi_bad) * decay : pi_bad * (1.0 - decay);
+  ep.burst_bad = rng_.chance(p_bad);
+  ep.burst_sampled_at = sim_.now();
+  return ep.burst_bad;
+}
+
 void Medium::deliver(const Frame& frame, Time start, Time end,
                      std::uint64_t tx_id) {
   TypeStats& ts = stats_.of(frame.type);
   std::size_t delivered = 0;
 
   auto attempt = [&](NodeId receiver) {
-    if (!endpoints_[receiver.value()].receiver_enabled) return;
+    const Endpoint& rx = endpoints_[receiver.value()];
+    if (!rx.receiver_enabled || rx.blackout) return;
     ts.pair_attempts++;
     if (config_.model_collisions && corrupted_at(receiver, start, end, tx_id)) {
       ts.pair_lost_collision++;
       return;
     }
-    if (rng_.chance(config_.loss_probability)) {
+    if (config_.burst_loss.enabled) {
+      const bool bad = sample_burst_state(receiver);
+      const double p =
+          bad ? config_.burst_loss.loss_bad : config_.burst_loss.loss_good;
+      if (rng_.chance(p)) {
+        if (bad) {
+          ts.pair_lost_burst++;
+        } else {
+          ts.pair_lost_random++;
+        }
+        return;
+      }
+    } else if (rng_.chance(config_.loss_probability)) {
       ts.pair_lost_random++;
       return;
     }

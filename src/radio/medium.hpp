@@ -34,14 +34,39 @@
 /// so the RNG stream is consumed identically.
 namespace et::radio {
 
+/// Gilbert–Elliott burst-loss channel model: every receiver carries a
+/// two-state (Good/Bad) continuous-time Markov chain, sampled at each
+/// delivery attempt, and the random-loss probability depends on the
+/// state. Real MICA-class links lose frames in bursts (interference,
+/// fading, a neighbour walking past), which stresses heartbeat timeouts
+/// far harder than the same average loss spread i.i.d. — a burst longer
+/// than the receive timeout looks exactly like a dead leader. When
+/// disabled the i.i.d. `loss_probability` path is used and no extra RNG
+/// draws are consumed, so existing runs are bit-identical.
+struct BurstLossConfig {
+  bool enabled = false;
+  /// Mean sojourn time in the Good (quiet) state.
+  Duration mean_good = Duration::seconds(4);
+  /// Mean sojourn time in the Bad (burst) state. Bursts approaching the
+  /// receive timeout (2.1 x heartbeat period) are what break takeover.
+  Duration mean_bad = Duration::millis(400);
+  /// Per-frame loss probability while the receiver's chain is Good.
+  double loss_good = 0.01;
+  /// Per-frame loss probability while the chain is Bad.
+  double loss_bad = 0.6;
+};
+
 struct RadioConfig {
   /// Communication radius in grid units (paper stress tests fix it at 6).
   double comm_radius = 6.0;
   /// Channel capacity; 50 kb/s for MICA motes.
   double bitrate_bps = 50'000.0;
   /// Independent per-(receiver, frame) loss probability, modelling ambient
-  /// noise / fading the collision model does not capture.
+  /// noise / fading the collision model does not capture. Ignored when the
+  /// burst-loss model is enabled (it owns the random-loss draw then).
   double loss_probability = 0.05;
+  /// Optional bursty replacement for the i.i.d. random loss above.
+  BurstLossConfig burst_loss;
   /// Link-layer header added to every payload (TinyOS AM-style).
   std::size_t header_bytes = 7;
   /// CSMA backoff slot; actual backoff is uniform over an exponentially
@@ -103,6 +128,17 @@ class Medium {
     return endpoints_[id.value()].receiver_enabled;
   }
 
+  /// Fault injection: a blacked-out radio neither transmits (frames handed
+  /// to the MAC are dropped) nor receives, while the node's CPU, timers and
+  /// sensors keep running — a transient RF outage rather than a node crash.
+  /// A frame already on the air when the blackout starts still completes.
+  void set_node_blackout(NodeId id, bool blackout) {
+    endpoints_[id.value()].blackout = blackout;
+  }
+  bool node_blackout(NodeId id) const {
+    return endpoints_[id.value()].blackout;
+  }
+
   /// Total receiver-off time including a currently-open sleep interval.
   Duration radio_off_total(NodeId id) const {
     const Endpoint& ep = endpoints_[id.value()];
@@ -150,6 +186,11 @@ class Medium {
     int backoff_attempts = 0;
     bool receiver_enabled = true;
     Time receiver_off_since;
+    bool blackout = false;
+    /// Gilbert–Elliott burst-loss chain (per receiver): current state and
+    /// when it was last sampled.
+    bool burst_bad = false;
+    Time burst_sampled_at;
     EndpointStats stats;
   };
 
@@ -176,6 +217,10 @@ class Medium {
   /// at `pos` (collision), or the receiver itself transmitted then.
   bool corrupted_at(NodeId receiver, Time start, Time end,
                     std::uint64_t tx_id) const;
+  /// Advances `receiver`'s Gilbert–Elliott chain to now() (exact two-state
+  /// CTMC transition over the elapsed interval, one RNG draw) and returns
+  /// whether the chain is in the Bad state. Burst loss must be enabled.
+  bool sample_burst_state(NodeId receiver);
   void prune_history();
 
   // --- Spatial index (uniform grid, cell size = comm_radius) ---

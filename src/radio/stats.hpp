@@ -27,6 +27,9 @@ struct TypeStats {
   std::uint64_t pair_delivered = 0;
   std::uint64_t pair_lost_collision = 0;
   std::uint64_t pair_lost_random = 0;
+  /// Losses drawn while the receiver's Gilbert–Elliott chain was in the Bad
+  /// (burst) state; Good-state losses count as pair_lost_random.
+  std::uint64_t pair_lost_burst = 0;
 
   /// Fraction of sent frames that were lost (never received where it
   /// mattered). Returns 0 when nothing was sent.
@@ -70,6 +73,7 @@ struct MediumStats {
       t.pair_delivered += s.pair_delivered;
       t.pair_lost_collision += s.pair_lost_collision;
       t.pair_lost_random += s.pair_lost_random;
+      t.pair_lost_burst += s.pair_lost_burst;
     }
     return t;
   }

@@ -129,6 +129,60 @@ TEST(DutyCycle, StatsCountSleptCycles) {
   EXPECT_GE(controller->stats().slept_cycles, 8u);
 }
 
+TEST(DutyCycle, CycleBoundaryLeavesCrashedReceiverOff) {
+  // Regression: begin_cycle() used to re-enable the receiver
+  // unconditionally, so a mote that died mid-cycle came back on the air at
+  // the next cycle boundary. Drive the raw mote-down state with the
+  // controller still alive — the cycle timer must now leave the radio
+  // alone.
+  CycledWorld world(0.25);
+  world.sim->run_for(Duration::seconds(2.5));  // mid-cycle
+  const NodeId victim{0};
+  world.system->network().mote(victim).set_down(true);
+  world.system->medium().set_receiver_enabled(victim, false);
+  const Duration off_before = world.system->medium().radio_off_total(victim);
+
+  world.sim->run_for(Duration::seconds(5));  // several cycle boundaries
+  EXPECT_FALSE(world.system->medium().receiver_enabled(victim))
+      << "a cycle boundary must not wake a dead node's radio";
+  const double slept =
+      (world.system->medium().radio_off_total(victim) - off_before)
+          .to_seconds();
+  EXPECT_GT(slept, 4.99) << "no re-enable blips while down";
+}
+
+TEST(DutyCycle, CrashOwnsReceiverUntilReboot) {
+  CycledWorld world(0.25);
+  const NodeId victim{5};
+  world.sim->run_for(Duration::seconds(3));
+
+  world.system->crash_node(victim);
+  EXPECT_FALSE(world.system->medium().receiver_enabled(victim));
+  EXPECT_EQ(world.system->stack(victim).duty_cycle(), nullptr)
+      << "crash must stop the cycle controller";
+  const Duration off_at_crash =
+      world.system->medium().radio_off_total(victim);
+  world.sim->run_for(Duration::seconds(5));
+  EXPECT_FALSE(world.system->medium().receiver_enabled(victim));
+  EXPECT_GT((world.system->medium().radio_off_total(victim) - off_at_crash)
+                .to_seconds(),
+            4.99)
+      << "receiver must stay dark across cycle boundaries while crashed";
+
+  world.system->reboot_node(victim);
+  EXPECT_TRUE(world.system->medium().receiver_enabled(victim));
+  ASSERT_NE(world.system->stack(victim).duty_cycle(), nullptr)
+      << "reboot must restart duty cycling";
+  const Duration off_at_reboot =
+      world.system->medium().radio_off_total(victim);
+  world.sim->run_for(Duration::seconds(8));
+  const double slept_after =
+      (world.system->medium().radio_off_total(victim) - off_at_reboot)
+          .to_seconds();
+  EXPECT_GT(slept_after, 2.0) << "idle rebooted node resumes sleeping";
+  EXPECT_LT(slept_after, 7.5) << "but wakes for its duty-cycle slots";
+}
+
 TEST(DutyCycle, DisabledByDefault) {
   TestWorld world(cycled_options(1.0));
   EXPECT_EQ(world.system().stack(NodeId{0}).duty_cycle(), nullptr);

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <tuple>
+
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "metrics/recovery.hpp"
+#include "scenario/tank.hpp"
 #include "test_world.hpp"
 
 /// Fault-injection tests: node crashes at every protocol role, repeated
@@ -175,6 +181,213 @@ TEST_P(RandomCullSweep, SurvivesRandomNodeDeaths) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomCullSweep, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// Crash *and reboot*: the fault injector's full round-trip semantics.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, CrashThenRebootAtEveryRole) {
+  TestWorld world;
+  world.add_blob({3.5, 1.0}, 1.8);
+  world.run(4);
+  fault::FaultInjector injector(world.system());
+
+  const auto first_leader = world.sole_leader();
+  ASSERT_TRUE(first_leader.has_value());
+  const LabelId label = world.groups(*first_leader).current_label(0);
+
+  // Round 1: the leader. Takeover keeps the label; the rebooted ex-leader
+  // still senses the blob, so it must rejoin from a blank slate.
+  injector.crash(*first_leader);
+  world.run(1.5);
+  injector.reboot(*first_leader);
+  world.run(4);
+  {
+    const auto cur = world.sole_leader();
+    ASSERT_TRUE(cur.has_value());
+    EXPECT_EQ(world.groups(*cur).current_label(0), label);
+    EXPECT_TRUE(world.groups(*first_leader).alive());
+    EXPECT_NE(world.groups(*first_leader).role(0), core::Role::kIdle)
+        << "a rebooted sensing node must rejoin the group";
+  }
+
+  // Round 2: a member.
+  const auto members = world.members();
+  ASSERT_FALSE(members.empty());
+  const NodeId member = members.front();
+  injector.crash(member);
+  world.run(1.5);
+  injector.reboot(member);
+  world.run(4);
+  {
+    const auto cur = world.sole_leader();
+    ASSERT_TRUE(cur.has_value());
+    EXPECT_EQ(world.groups(*cur).current_label(0), label);
+    EXPECT_NE(world.groups(member).role(0), core::Role::kIdle);
+  }
+
+  // Round 3: an idle bystander — a non-event for the group.
+  std::optional<NodeId> idle;
+  for (std::size_t i = 0; i < world.system().node_count(); ++i) {
+    if (world.groups(NodeId{i}).role(0) == core::Role::kIdle) {
+      idle = NodeId{i};
+      break;
+    }
+  }
+  ASSERT_TRUE(idle.has_value());
+  injector.crash(*idle);
+  world.run(1.5);
+  injector.reboot(*idle);
+  world.run(2);
+  {
+    const auto cur = world.sole_leader();
+    ASSERT_TRUE(cur.has_value());
+    EXPECT_EQ(world.groups(*cur).current_label(0), label);
+    EXPECT_EQ(world.groups(*idle).role(0), core::Role::kIdle);
+    EXPECT_TRUE(world.groups(*idle).alive());
+  }
+
+  EXPECT_EQ(injector.stats().crashes, 3u);
+  EXPECT_EQ(injector.stats().reboots, 3u);
+}
+
+TEST(FailureInjection, RebootDuringRelinquishElection) {
+  TestWorld world;
+  world.add_blob({3.5, 1.0}, 1.8);
+  world.run(4);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  const LabelId label = world.groups(*leader).current_label(0);
+  fault::FaultInjector injector(world.system());
+
+  // The leader loses its sensor → deactivation → relinquish broadcast;
+  // candidates campaign. A candidate crashes mid-election and comes back.
+  injector.set_sensor_dropout(*leader, true);
+  world.run(0.4);
+  const auto members = world.members();
+  ASSERT_FALSE(members.empty());
+  const NodeId candidate = members.front();
+  injector.crash(candidate);
+  world.run(0.5);
+  injector.reboot(candidate);
+  world.run(4);
+
+  const auto successor = world.sole_leader();
+  ASSERT_TRUE(successor.has_value());
+  EXPECT_NE(*successor, *leader) << "no sensing, no leading";
+  EXPECT_EQ(world.groups(*successor).current_label(0), label)
+      << "the label must survive a reboot landing inside the election";
+}
+
+TEST(FailureInjection, BlackoutOutlastingReceiveTimerHealsOnReturn) {
+  TestWorld world;
+  world.add_blob({3.5, 1.0}, 1.8);
+  world.run(4);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  const LabelId label = world.groups(*leader).current_label(0);
+  fault::FaultInjector injector(world.system());
+
+  // Mute the leader's radio both ways for longer than the members'
+  // receive timeout (2.1 x 0.5 s): they must take over. When the radio
+  // returns, the duelling leaders must resolve back to one.
+  fault::FaultPlan plan;
+  plan.radio_blackout(world.sim().now() + Duration::millis(10), *leader,
+                      Duration::seconds(3));
+  injector.schedule(plan);
+  world.run(2);
+  EXPECT_GE(world.events().count(GroupEvent::Kind::kTakeover), 1u);
+
+  world.run(6);  // blackout long over; yield-by-weight settles the duel
+  const auto survivor = world.sole_leader();
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_EQ(world.groups(*survivor).current_label(0), label);
+  EXPECT_EQ(injector.stats().blackouts, 1u);
+}
+
+TEST(FailureInjection, SensorDropoutRelinquishesAndRecovers) {
+  TestWorld world;
+  world.add_blob({3.5, 1.0}, 1.8);
+  world.run(4);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  const LabelId label = world.groups(*leader).current_label(0);
+  fault::FaultInjector injector(world.system());
+
+  fault::FaultPlan plan;
+  plan.sensor_dropout(world.sim().now(), *leader, Duration::seconds(3));
+  injector.schedule(plan);
+  world.run(2);
+  EXPECT_NE(world.groups(*leader).role(0), core::Role::kLeader)
+      << "a leader that stopped sensing must relinquish";
+  EXPECT_GE(world.events().count(GroupEvent::Kind::kRelinquish), 1u);
+
+  world.run(4);  // sensor back after 3 s; the node re-engages
+  const auto successor = world.sole_leader();
+  ASSERT_TRUE(successor.has_value());
+  EXPECT_EQ(world.groups(*successor).current_label(0), label);
+  EXPECT_NE(world.groups(*leader).role(0), core::Role::kIdle)
+      << "once the sensor recovers the node must rejoin the group";
+  EXPECT_EQ(injector.stats().sensor_dropouts, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Chaos soaks on the tank scenario: burst loss + periodic leader murder.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, ChaosTankRunIsDeterministic) {
+  auto run_once = [] {
+    scenario::TankScenarioParams params;
+    params.rows = 3;
+    params.cols = 10;
+    params.speed_hops_per_s = 1.5;
+    params.radio.burst_loss.enabled = true;
+    params.seed = 21;
+    scenario::TankScenario scenario(params);
+    fault::FaultInjector injector(scenario.system());
+    metrics::RecoveryMonitor recovery(scenario.system(), injector,
+                                      Duration::millis(100));
+    injector.harass_leaders(scenario.tracker_type(), Duration::seconds(3),
+                            Duration::seconds(1));
+    const scenario::TankRunResult result = scenario.run();
+    return std::tuple(
+        scenario.sim().events_fired(), result.tracking.distinct_labels,
+        result.track_labels, injector.stats().crashes,
+        injector.stats().reboots, recovery.stats().leader_faults,
+        recovery.stats().recoveries, recovery.tracking_gap_seconds(),
+        recovery.mean_takeover_seconds());
+  };
+  EXPECT_EQ(run_once(), run_once())
+      << "identical seeds must give bit-identical chaos runs";
+}
+
+TEST(FailureInjection, HarassedTankUnderBurstLossKeepsTracking) {
+  // The acceptance soak: tank traverse with Gilbert–Elliott loss and the
+  // tracker leader crashed (then rebooted) every 6 seconds. The original
+  // label must survive every handover and the track must stay useful.
+  scenario::TankScenarioParams params;
+  params.rows = 3;
+  params.cols = 12;
+  params.speed_hops_per_s = 1.0;
+  params.group.heartbeat_period = Duration::seconds(0.25);
+  params.radio.burst_loss.enabled = true;
+  params.seed = 11;
+  scenario::TankScenario scenario(params);
+  fault::FaultInjector injector(scenario.system());
+  metrics::RecoveryMonitor recovery(scenario.system(), injector,
+                                    Duration::millis(100));
+  injector.harass_leaders(scenario.tracker_type(), Duration::seconds(6),
+                          Duration::seconds(1));
+  const scenario::TankRunResult result = scenario.run();
+
+  EXPECT_GE(recovery.stats().leader_faults, 1u);
+  EXPECT_GE(recovery.stats().recoveries, 1u);
+  EXPECT_EQ(result.tracking.distinct_labels, 1u)
+      << "the original label must survive crash+reboot chaos";
+  EXPECT_GT(result.tracking.tracked_fraction(), 0.5);
+  EXPECT_LT(recovery.mean_takeover_seconds(), 2.0)
+      << "takeover latency is bounded by the 2.1 x HB receive timer";
+}
 
 }  // namespace
 }  // namespace et::test

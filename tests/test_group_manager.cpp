@@ -307,5 +307,47 @@ TEST(GroupManager, DeactivationConditionOverridesActivation) {
   EXPECT_EQ(world.events().count(GroupEvent::Kind::kRelinquish), 0u);
 }
 
+TEST(GroupManager, WaitPathJoinerCarriesHeartbeatState) {
+  // Regression: a node that joined through the wait path (heard
+  // heartbeats while idle, then started sensing) used to wipe its
+  // remembered leader state on join. If the leader then died before the
+  // joiner heard another heartbeat, takeover restored an *empty*
+  // persistent state. The wait-state snapshot must survive the join.
+  TestWorld::Options options;
+  options.rows = 1;
+  options.cols = 4;
+  options.group.heartbeat_period = Duration::seconds(1);
+  TestWorld world(options);
+  // Blob creeps from node 0 toward node 1; radius 0.9 means node 1 only
+  // starts sensing around t = 2.8 s, well after state is committed.
+  world.add_moving_blob({-0.6, 0.0}, {3.0, 0.0}, 0.25, 0.9);
+
+  world.run(2);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  ASSERT_EQ(*leader, NodeId{0});
+  const LabelId label = world.groups(*leader).current_label(0);
+  world.groups(*leader).persistent_state(0)["k"] = 7.0;
+
+  // Step finely; the instant node 1 joins (necessarily via the wait path —
+  // it has been hearing heartbeats for two seconds), kill the leader
+  // before its next heartbeat can deliver the state a second time.
+  bool joined = false;
+  for (int i = 0; i < 200 && !joined; ++i) {
+    world.run(0.01);
+    joined = world.groups(NodeId{1}).role(0) == Role::kMember;
+  }
+  ASSERT_TRUE(joined) << "node 1 should join once it senses the blob";
+  world.system().crash_node(*leader);
+
+  world.run(3);  // receive timeout (2.1 s) forces the takeover
+  ASSERT_EQ(world.groups(NodeId{1}).role(0), Role::kLeader);
+  EXPECT_EQ(world.groups(NodeId{1}).current_label(0), label);
+  auto& state = world.groups(NodeId{1}).persistent_state(0);
+  ASSERT_TRUE(state.count("k"))
+      << "state snapshotted while waiting must survive the wait-path join";
+  EXPECT_DOUBLE_EQ(state.at("k"), 7.0);
+}
+
 }  // namespace
 }  // namespace et::test

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/simulator.hpp"
 
 namespace et::radio {
@@ -262,6 +265,91 @@ TEST_F(MediumTest, BackoffExhaustionDropsFrame) {
                std::make_shared<TestPayload>()});
   sim.run_for(Duration::seconds(5));
   EXPECT_EQ(m.stats().of(MsgType::kUser).mac_dropped, 1u);
+}
+
+TEST_F(MediumTest, BurstLossAccountedSeparatelyAndClustered) {
+  // Gilbert–Elliott channel with a perfect good state and a hopeless bad
+  // state: every loss is a burst loss, and drops arrive in runs whose
+  // length reflects the bad-state sojourn time (~0.5 s here), not as
+  // isolated i.i.d. events.
+  RadioConfig config = lossless();
+  config.burst_loss.enabled = true;
+  config.burst_loss.mean_good = Duration::seconds(1);
+  config.burst_loss.mean_bad = Duration::seconds(0.5);
+  config.burst_loss.loss_good = 0.0;
+  config.burst_loss.loss_bad = 1.0;
+  Medium& m = make(config);
+  attach_line(m, 2);
+
+  std::vector<bool> delivered;
+  int before = 0;
+  for (int i = 0; i < 600; ++i) {
+    m.send(Frame{NodeId{0}, NodeId{1}, MsgType::kUser,
+                 std::make_shared<TestPayload>()});
+    sim.run_for(Duration::millis(10));
+    delivered.push_back(received[1] > before);
+    before = received[1];
+  }
+
+  const TypeStats& user = m.stats().of(MsgType::kUser);
+  EXPECT_GT(user.pair_lost_burst, 0u);
+  EXPECT_EQ(user.pair_lost_random, 0u)
+      << "with loss_good = 0 every drop must be charged to the burst state";
+  EXPECT_GT(user.pair_delivered, 0u);
+
+  // Longest runs of each kind: at 10 ms spacing a 0.5 s mean bad sojourn
+  // yields tens of consecutive losses, and vice versa for the good state.
+  std::size_t longest_loss = 0, longest_ok = 0, run = 0;
+  bool last = delivered.front();
+  for (bool ok : delivered) {
+    run = (ok == last) ? run + 1 : 1;
+    last = ok;
+    (ok ? longest_ok : longest_loss) = std::max(ok ? longest_ok : longest_loss, run);
+  }
+  EXPECT_GE(longest_loss, 10u) << "burst losses must cluster";
+  EXPECT_GE(longest_ok, 10u) << "good-state deliveries must cluster";
+}
+
+TEST_F(MediumTest, BurstLossDisabledChargesNothingToBurstCounter) {
+  RadioConfig config = lossless();
+  config.loss_probability = 0.5;
+  Medium& m = make(config);
+  attach_line(m, 2);
+  for (int i = 0; i < 50; ++i) {
+    m.send(Frame{NodeId{0}, NodeId{1}, MsgType::kUser,
+                 std::make_shared<TestPayload>()});
+    sim.run_for(Duration::millis(10));
+  }
+  EXPECT_GT(m.stats().of(MsgType::kUser).pair_lost_random, 0u);
+  EXPECT_EQ(m.stats().of(MsgType::kUser).pair_lost_burst, 0u);
+}
+
+TEST_F(MediumTest, BlackoutSilencesNodeBothWays) {
+  Medium& m = make();
+  attach_line(m, 3);
+  m.set_node_blackout(NodeId{1}, true);
+  EXPECT_TRUE(m.node_blackout(NodeId{1}));
+
+  // Inbound: node 1 hears nothing while blacked out.
+  m.send(Frame{NodeId{0}, std::nullopt, MsgType::kUser,
+               std::make_shared<TestPayload>()});
+  sim.run_for(Duration::millis(100));
+  EXPECT_EQ(received[1], 0);
+  EXPECT_EQ(received[2], 1);
+
+  // Outbound: node 1's own transmissions die in the antenna.
+  m.send(Frame{NodeId{1}, std::nullopt, MsgType::kUser,
+               std::make_shared<TestPayload>()});
+  sim.run_for(Duration::millis(100));
+  EXPECT_EQ(received[0], 0) << "node 1's broadcast must not leave the node";
+  EXPECT_EQ(m.stats().of(MsgType::kUser).mac_dropped, 1u);
+
+  // Lifting the blackout restores both directions.
+  m.set_node_blackout(NodeId{1}, false);
+  m.send(Frame{NodeId{0}, std::nullopt, MsgType::kUser,
+               std::make_shared<TestPayload>()});
+  sim.run_for(Duration::millis(100));
+  EXPECT_EQ(received[1], 1);
 }
 
 }  // namespace

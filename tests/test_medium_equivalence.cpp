@@ -24,6 +24,7 @@ void expect_type_stats_eq(const radio::TypeStats& a, const radio::TypeStats& b,
   EXPECT_EQ(a.pair_delivered, b.pair_delivered) << "type " << type;
   EXPECT_EQ(a.pair_lost_collision, b.pair_lost_collision) << "type " << type;
   EXPECT_EQ(a.pair_lost_random, b.pair_lost_random) << "type " << type;
+  EXPECT_EQ(a.pair_lost_burst, b.pair_lost_burst) << "type " << type;
 }
 
 void expect_medium_stats_eq(const radio::MediumStats& a,
@@ -66,6 +67,36 @@ TEST(MediumEquivalence, TankScenarioRunsBitIdentical) {
             indexed_result.tracking.failed_handovers);
   EXPECT_EQ(brute_result.track.size(), indexed_result.track.size());
   EXPECT_EQ(brute_result.track_labels, indexed_result.track_labels);
+}
+
+TEST(MediumEquivalence, TankScenarioWithBurstLossBitIdentical) {
+  // The Gilbert–Elliott channel samples per-receiver burst state lazily on
+  // each delivery attempt; both radio paths must visit receivers in the
+  // same order or the RNG stream (and thus every stat) diverges.
+  scenario::TankScenarioParams params;
+  params.rows = 3;
+  params.cols = 12;
+  params.speed_hops_per_s = 1.0;
+  params.radio.burst_loss.enabled = true;
+  params.seed = 13;
+
+  scenario::TankScenarioParams brute = params;
+  brute.radio.use_spatial_index = false;
+  scenario::TankScenarioParams indexed = params;
+  indexed.radio.use_spatial_index = true;
+
+  scenario::TankScenario brute_run(brute);
+  const scenario::TankRunResult brute_result = brute_run.run();
+  scenario::TankScenario indexed_run(indexed);
+  const scenario::TankRunResult indexed_result = indexed_run.run();
+
+  EXPECT_EQ(brute_run.sim().events_fired(), indexed_run.sim().events_fired());
+  expect_medium_stats_eq(brute_result.medium, indexed_result.medium);
+  EXPECT_EQ(brute_result.tracking.distinct_labels,
+            indexed_result.tracking.distinct_labels);
+  EXPECT_EQ(brute_result.track_labels, indexed_result.track_labels);
+  // The burst channel must actually have fired in this configuration.
+  EXPECT_GT(brute_result.medium.totals().pair_lost_burst, 0u);
 }
 
 TEST(MediumEquivalence, TankScenarioWithCollisionsAndCrossTraffic) {

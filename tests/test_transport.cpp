@@ -187,5 +187,78 @@ TEST(Transport, DeliveryFollowsLeadershipMigration) {
       << "forwarding chains should mask leadership migration";
 }
 
+TEST(Transport, StaleSelfEntryReresolvesViaDirectory) {
+  // Regression: a node whose cached LeaderInfo claimed *itself* as the
+  // leader of a label it no longer leads used to count arriving messages
+  // as dropped_unknown. It must instead drop the stale record and
+  // re-resolve through the directory.
+  MtpWorld mtp;
+  mtp.add_station({9.0, 2.0});
+  mtp.world->run(8);
+  const auto leader = mtp.station_leader();
+  ASSERT_TRUE(leader.has_value());
+  const LabelId label = mtp.world->groups(*leader).current_label(1);
+
+  // Plant the poisoned state: a bystander far from the station believes
+  // it leads the label (as a node that yielded long ago would), and the
+  // sender's table points at that bystander.
+  const NodeId bystander{1};
+  const NodeId sender{0};
+  ASSERT_NE(bystander, *leader);
+  ASSERT_NE(sender, *leader);
+  const Vec2 bystander_pos =
+      mtp.world->system().network().mote(bystander).position();
+  auto* bystander_transport =
+      mtp.world->system().stack(bystander).transport();
+  auto* sender_transport = mtp.world->system().stack(sender).transport();
+  bystander_transport->on_leader_observed(1, label, bystander,
+                                          bystander_pos);
+  sender_transport->on_leader_observed(1, label, bystander, bystander_pos);
+
+  sender_transport->invoke(1, label, PortId{0}, {3.0});
+  mtp.world->run(5);
+
+  EXPECT_EQ(mtp.pings, 1)
+      << "the message must survive the stale self-record detour";
+  EXPECT_EQ(bystander_transport->stats().dropped_unknown, 0u);
+  EXPECT_GE(bystander_transport->stats().directory_lookups, 1u)
+      << "the bystander must re-resolve the label it does not lead";
+  const auto* fixed = bystander_transport->known_leader(label);
+  EXPECT_TRUE(fixed == nullptr || fixed->node != bystander)
+      << "the self-record must have been invalidated";
+}
+
+TEST(Transport, LeadershipLossInvalidatesSelfEntry) {
+  // The leader-stop edge (yield/relinquish/takeover-elsewhere) must clear
+  // a cached "I am the leader" record so the ex-leader routes instead of
+  // swallowing traffic.
+  MtpWorld mtp;
+  mtp.add_station({5.0, 2.0});
+  mtp.world->run(5);
+  const auto leader = mtp.station_leader();
+  ASSERT_TRUE(leader.has_value());
+  const LabelId label = mtp.world->groups(*leader).current_label(1);
+
+  auto* transport = mtp.world->system().stack(*leader).transport();
+  const Vec2 leader_pos =
+      mtp.world->system().network().mote(*leader).position();
+  transport->on_leader_observed(1, label, *leader, leader_pos);
+  ASSERT_NE(transport->known_leader(label), nullptr);
+
+  // Kill the leader's sensor: it relinquishes and stops leading. Check
+  // the table at the step-down instant, before the successor's first
+  // heartbeat could snoop-repair the entry and mask a missing hook.
+  mtp.world->system().network().mote(*leader).set_sensor_down(true);
+  bool stopped = false;
+  for (int i = 0; i < 600 && !stopped; ++i) {
+    mtp.world->run(0.01);
+    stopped = mtp.world->groups(*leader).role(1) != core::Role::kLeader;
+  }
+  ASSERT_TRUE(stopped) << "a leader that cannot sense must step down";
+  const auto* info = transport->known_leader(label);
+  EXPECT_TRUE(info == nullptr || info->node != *leader)
+      << "stopping leadership must drop the self-entry";
+}
+
 }  // namespace
 }  // namespace et::test
