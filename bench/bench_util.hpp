@@ -3,9 +3,44 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 /// Shared helpers for the figure/table reproduction binaries.
 namespace et::bench {
+
+/// Accumulates machine-readable {config, seed, metric, value} rows and
+/// renders them as a JSON array — the persisted BENCH_*.json format that
+/// lets the perf/robustness trajectory survive repo re-anchors. Rows are
+/// appended in deterministic (job) order so serial and parallel sweeps
+/// produce byte-identical files.
+class JsonRows {
+ public:
+  void add(const std::string& config, std::uint64_t seed,
+           const std::string& metric, double value) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"config\": \"%s\", \"seed\": %llu, "
+                  "\"metric\": \"%s\", \"value\": %.6g}",
+                  config.c_str(), static_cast<unsigned long long>(seed),
+                  metric.c_str(), value);
+    rows_.emplace_back(buf);
+  }
+
+  std::string render() const {
+    std::string out = "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += rows_[i];
+      out += i + 1 < rows_.size() ? ",\n" : "\n";
+    }
+    out += "]\n";
+    return out;
+  }
+
+  bool empty() const { return rows_.empty(); }
+
+ private:
+  std::vector<std::string> rows_;
+};
 
 /// Seeds per measured point; override with ET_BENCH_SEEDS=n (smaller is
 /// faster, noisier).

@@ -7,9 +7,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "bench/bench_util.hpp"
 #include "core/aggregate_state.hpp"
+#include "metrics/trace.hpp"
 #include "etl/compiler.hpp"
 #include "etl/parser.hpp"
 #include "scenario/tank.hpp"
@@ -171,6 +175,47 @@ void BM_TankScenarioSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_TankScenarioSecond);
 
+/// Console output plus machine-readable {config, seed, metric, value} rows
+/// (the shared BENCH_*.json format; seed is 0 — micro-benchmarks are not
+/// seeded experiments). Enabled by ET_BENCH_JSON_DIR, same as the sweeps.
+class RowReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      rows_.add(run.benchmark_name(), 0, "cpu_time_ns",
+                run.GetAdjustedCPUTime());
+      rows_.add(run.benchmark_name(), 0, "real_time_ns",
+                run.GetAdjustedRealTime());
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        rows_.add(run.benchmark_name(), 0, "items_per_second",
+                  static_cast<double>(items->second));
+      }
+    }
+  }
+
+  const et::bench::JsonRows& rows() const { return rows_; }
+
+ private:
+  et::bench::JsonRows rows_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RowReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (const char* dir = std::getenv("ET_BENCH_JSON_DIR")) {
+    const std::string path = std::string(dir) + "/BENCH_micro.json";
+    if (!reporter.rows().empty() &&
+        et::metrics::write_file(path, reporter.rows().render())) {
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+  return 0;
+}

@@ -23,13 +23,17 @@ class UserMessagePayload final : public radio::Payload {
         data(std::move(data)) {}
 
   std::size_t size_bytes() const override {
-    return tag.size() + 10 + data.size() * 4;
+    return tag.size() + 14 + data.size() * 4;
   }
 
   std::string tag;
   LabelId src_label;
   NodeId src_node;
   std::vector<double> data;
+  /// Leadership epoch of the sending leader (0 when the sender is not a
+  /// group leader, e.g. static objects). Base-station consumers fence
+  /// reports from epochs older than the highest seen per label.
+  std::uint64_t epoch = 0;
 };
 
 }  // namespace et::core

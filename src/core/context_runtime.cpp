@@ -114,11 +114,11 @@ void ContextRuntime::dispatch_port(TypeIndex type, LabelId label, PortId port,
 void ContextRuntime::context_send_to_node(TypeIndex type, LabelId label,
                                           NodeId dst, std::string tag,
                                           std::vector<double> data) {
-  (void)type;
   if (!routing_) return;
   stats_.reports_to_nodes++;
   auto payload = std::make_shared<UserMessagePayload>(
       std::move(tag), label, mote_.id(), std::move(data));
+  payload->epoch = groups_.current_epoch(type);
   routing_->send(mote_.medium().position_of(dst), radio::MsgType::kUser,
                  std::move(payload), dst);
 }

@@ -12,12 +12,33 @@ constexpr const char* kComponent = "directory";
 
 class DirUpdatePayload final : public radio::Payload {
  public:
-  DirUpdatePayload(TypeIndex type, DirectoryEntry entry)
-      : type(type), entry(entry) {}
-  std::size_t size_bytes() const override { return 24; }
+  DirUpdatePayload(TypeIndex type, DirectoryEntry entry, bool retire = false)
+      : type(type), entry(entry), retire(retire) {}
+  std::size_t size_bytes() const override { return 29; }
 
   TypeIndex type;
   DirectoryEntry entry;
+  /// Withdrawal: erase the entry (label died) instead of refreshing it.
+  bool retire;
+};
+
+class DirFencePayload final : public radio::Payload {
+ public:
+  DirFencePayload(TypeIndex type, LabelId label, std::uint64_t epoch,
+                  NodeId incumbent, Vec2 incumbent_pos)
+      : type(type), label(label), epoch(epoch), incumbent(incumbent),
+        incumbent_pos(incumbent_pos) {}
+  std::size_t size_bytes() const override { return 29; }
+
+  TypeIndex type;
+  LabelId label;
+  /// High-water epoch registered for the label.
+  std::uint64_t epoch;
+  /// The leader registered under that epoch, and where it registered
+  /// from — the fenced leader uses the position to tell a genuinely
+  /// unreachable incumbent from a nearby duel rival.
+  NodeId incumbent;
+  Vec2 incumbent_pos;
 };
 
 class DirQueryPayload final : public radio::Payload {
@@ -72,7 +93,8 @@ Directory::Directory(node::Mote& mote, net::GeoRouting& routing,
       config_(config),
       store_(specs.size()),
       update_timers_(specs.size()),
-      current_label_(specs.size()) {
+      current_label_(specs.size()),
+      current_epoch_(specs.size(), 0) {
   hash_points_.reserve(specs.size());
   for (const ContextTypeSpec& spec : specs) {
     hash_points_.push_back(directory_hash_point(spec.name, field_bounds));
@@ -89,6 +111,10 @@ Directory::Directory(node::Mote& mote, net::GeoRouting& routing,
                        [this](const net::RouteEnvelope& e) {
                          handle_reply(e);
                        });
+  routing_.on_delivery(radio::MsgType::kDirFence,
+                       [this](const net::RouteEnvelope& e) {
+                         handle_fence(e);
+                       });
   // Replica path: primaries rebroadcast stored updates one hop.
   mote_.set_handler(radio::MsgType::kDirUpdate,
                     [this](const radio::Frame& frame) {
@@ -97,14 +123,20 @@ Directory::Directory(node::Mote& mote, net::GeoRouting& routing,
                       if (distance(mote_.position(),
                                    hash_points_[payload->type]) <=
                           config_.replica_radius) {
-                        stats_.replicas_stored++;
-                        store(payload->type, payload->entry, true);
+                        if (payload->retire) {
+                          remove(payload->type, payload->entry);
+                        } else {
+                          stats_.replicas_stored++;
+                          store(payload->type, payload->entry, true);
+                        }
                       }
                     });
 }
 
-void Directory::on_leader_start(TypeIndex type, LabelId label) {
+void Directory::on_leader_start(TypeIndex type, LabelId label,
+                                std::uint64_t epoch) {
   current_label_[type] = label;
+  current_epoch_[type] = epoch;
   send_update(type);
   update_timers_[type].cancel();
   update_timers_[type] =
@@ -115,6 +147,7 @@ void Directory::on_leader_start(TypeIndex type, LabelId label) {
 void Directory::on_leader_stop(TypeIndex type, LabelId label) {
   (void)label;
   current_label_[type] = LabelId{};
+  current_epoch_[type] = 0;
   update_timers_[type].cancel();
 }
 
@@ -122,6 +155,7 @@ void Directory::reboot() {
   for (std::size_t t = 0; t < store_.size(); ++t) {
     update_timers_[t].cancel();
     current_label_[t] = LabelId{};
+    current_epoch_[t] = 0;
     store_[t].clear();
   }
   for (auto& [id, pending] : pending_) pending.timeout.cancel();
@@ -131,7 +165,8 @@ void Directory::reboot() {
 void Directory::send_update(TypeIndex type) {
   // Guard: leadership may have lapsed between the timer post and execution.
   const DirectoryEntry entry{current_label_[type], mote_.id(),
-                             mote_.position(), mote_.now()};
+                             mote_.position(), mote_.now(),
+                             current_epoch_[type]};
   if (!entry.label.is_valid()) return;
   stats_.updates_sent++;
   routing_.send(hash_points_[type], radio::MsgType::kDirUpdate,
@@ -141,21 +176,98 @@ void Directory::send_update(TypeIndex type) {
 void Directory::handle_update(const net::RouteEnvelope& envelope) {
   const auto* payload =
       static_cast<const DirUpdatePayload*>(envelope.inner.get());
-  stats_.updates_stored++;
-  store(payload->type, payload->entry, false);
+  if (payload->retire) {
+    remove(payload->type, payload->entry);
+  } else {
+    stats_.updates_stored++;
+    if (!store(payload->type, payload->entry, false)) {
+      // The refresh came from a stale incarnation of the label (a leader
+      // that missed its own succession, typically across a partition).
+      // Unlike heartbeats and member reports, the directory rendezvous is
+      // reachable from anywhere the routing layer can reach, so a fence
+      // notice routed back retires stale leaders that no radio-local
+      // evidence would ever catch. Rivals within radio range of the
+      // incumbent are NOT fenced: the heartbeat duel resolves those in one
+      // beat with group continuity, and takeover races would otherwise
+      // flood the field with parasitic fence traffic.
+      const DirectoryEntry& incumbent =
+          store_[payload->type].at(payload->entry.label);
+      const double duel_range = config_.fence_min_separation > 0.0
+                                    ? config_.fence_min_separation
+                                    : mote_.medium().config().comm_radius;
+      if (distance(payload->entry.location, incumbent.location) >
+          duel_range) {
+        stats_.fences_sent++;
+        routing_.send(payload->entry.location, radio::MsgType::kDirFence,
+                      std::make_shared<DirFencePayload>(
+                          payload->type, payload->entry.label,
+                          incumbent.epoch, incumbent.leader,
+                          incumbent.location),
+                      payload->entry.leader);
+      }
+    }
+  }
   if (config_.replicate) {
     mote_.broadcast(radio::MsgType::kDirUpdate, envelope.inner);
   }
 }
 
-void Directory::store(TypeIndex type, const DirectoryEntry& entry,
+void Directory::handle_fence(const net::RouteEnvelope& envelope) {
+  const auto* payload =
+      static_cast<const DirFencePayload*>(envelope.inner.get());
+  stats_.fences_received++;
+  if (fenced_cb_) {
+    fenced_cb_(payload->type, payload->label, payload->epoch,
+               payload->incumbent, payload->incumbent_pos);
+  }
+}
+
+void Directory::retire_label(TypeIndex type, LabelId label,
+                             std::uint64_t epoch) {
+  const DirectoryEntry entry{label, mote_.id(), mote_.position(), mote_.now(),
+                             epoch};
+  stats_.retires_sent++;
+  routing_.send(hash_points_[type], radio::MsgType::kDirUpdate,
+                std::make_shared<DirUpdatePayload>(type, entry, true));
+}
+
+void Directory::remove(TypeIndex type, const DirectoryEntry& entry) {
+  auto& entries = store_[type];
+  auto it = entries.find(entry.label);
+  // A stale incarnation cannot withdraw its successor's registration.
+  if (it == entries.end() || it->second.epoch > entry.epoch) return;
+  entries.erase(it);
+  stats_.entries_retired++;
+}
+
+bool Directory::store(TypeIndex type, const DirectoryEntry& entry,
                       bool replica) {
   (void)replica;
   auto& entries = store_[type];
   auto it = entries.find(entry.label);
-  if (it == entries.end() || it->second.updated <= entry.updated) {
+  if (it == entries.end()) {
     entries[entry.label] = entry;
+    return true;
   }
+  // Epoch fencing: a stale incarnation's refresh must never displace the
+  // successor's entry, no matter how fresh its timestamp is. Within one
+  // epoch the newest timestamp wins as before — unless it comes from a
+  // *different* leader: two incarnations at the same epoch (e.g. a label
+  // fissioned by a migrating stimulus) are resolved with the heartbeat
+  // duel's tie-break, lower node id wins, so the directory converges on
+  // the same incumbent the duel would pick.
+  if (entry.epoch < it->second.epoch ||
+      (entry.epoch == it->second.epoch && entry.leader != it->second.leader &&
+       entry.leader.value() > it->second.leader.value())) {
+    stats_.updates_fenced++;
+    return false;
+  }
+  if (entry.epoch > it->second.epoch ||
+      entry.leader.value() < it->second.leader.value() ||
+      it->second.updated <= entry.updated) {
+    it->second = entry;
+  }
+  return true;
 }
 
 void Directory::prune(TypeIndex type) const {

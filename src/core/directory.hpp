@@ -27,6 +27,10 @@ struct DirectoryEntry {
   NodeId leader;
   Vec2 location;
   Time updated;
+  /// Leadership epoch of the reporting leader; the store keeps the highest
+  /// epoch seen per label so a stale (pre-partition) leader's refreshes
+  /// cannot overwrite its successor's entry.
+  std::uint64_t epoch = 0;
 };
 
 struct DirectoryConfig {
@@ -42,6 +46,11 @@ struct DirectoryConfig {
   double replica_radius = 6.0;
   /// Disable replication (ablation / traffic comparison).
   bool replicate = true;
+  /// A stale refresh only triggers a fence notice when its registered
+  /// location is farther than this from the incumbent's — closer rivals
+  /// are resolved by the heartbeat duel, not the directory. 0 (default)
+  /// means "use the radio's comm radius".
+  double fence_min_separation = 0.0;
 };
 
 struct DirectoryStats {
@@ -52,6 +61,16 @@ struct DirectoryStats {
   std::uint64_t queries_answered = 0;
   std::uint64_t replies_received = 0;
   std::uint64_t query_timeouts = 0;
+  /// Updates rejected because a higher-epoch entry for the label exists.
+  std::uint64_t updates_fenced = 0;
+  /// Fence notices routed back to the stale updater (primary view).
+  std::uint64_t fences_sent = 0;
+  /// Fence notices this node received about a label it claimed to lead.
+  std::uint64_t fences_received = 0;
+  /// Withdrawal updates sent for labels that died by suppression.
+  std::uint64_t retires_sent = 0;
+  /// Entries erased by a withdrawal (primary or replica view).
+  std::uint64_t entries_retired = 0;
 };
 
 /// Hashes a context type name to a coordinate inside `bounds`. Pure
@@ -64,6 +83,11 @@ class Directory {
  public:
   using QueryCallback =
       std::function<void(bool ok, const std::vector<DirectoryEntry>&)>;
+  /// (type, label, high-water epoch, incumbent leader, incumbent position):
+  /// the directory rejected this node's refresh because a newer incarnation
+  /// of the label is registered.
+  using FencedCallback =
+      std::function<void(TypeIndex, LabelId, std::uint64_t, NodeId, Vec2)>;
 
   Directory(node::Mote& mote, net::GeoRouting& routing,
             const std::vector<ContextTypeSpec>& specs, Rect field_bounds,
@@ -73,14 +97,35 @@ class Directory {
   Directory& operator=(const Directory&) = delete;
 
   /// Leadership edges, wired by the middleware stack: while this node
-  /// leads `label` it refreshes the directory entry periodically.
-  void on_leader_start(TypeIndex type, LabelId label);
+  /// leads `label` it refreshes the directory entry periodically, stamping
+  /// each update with the leadership `epoch` it leads under.
+  void on_leader_start(TypeIndex type, LabelId label, std::uint64_t epoch);
   void on_leader_stop(TypeIndex type, LabelId label);
+  /// The sitting leader absorbed a higher epoch mid-leadership; later
+  /// refreshes must carry it or they would be fenced as stale.
+  void on_epoch_change(TypeIndex type, std::uint64_t epoch) {
+    if (current_label_[type].is_valid()) current_epoch_[type] = epoch;
+  }
+
+  /// Withdraws `label`'s registration (it died by suppression): a retire
+  /// update routes to the directory object and erases the entry unless a
+  /// newer incarnation (higher epoch) has registered since.
+  void retire_label(TypeIndex type, LabelId label, std::uint64_t epoch);
 
   /// Node-reboot hook: cancels refresh timers and in-flight queries
   /// (callbacks are dropped, not invoked) and wipes the local entry store —
   /// replicas repopulate it from peers' periodic updates.
   void reboot();
+
+  /// Wired by the middleware into the group layer: fires when a kDirFence
+  /// notice arrives, i.e. the directory holds a higher-epoch registration
+  /// for a label this node refreshes as leader. The group manager uses it
+  /// to step a stale (post-partition) leader down even when the successor
+  /// is out of heartbeat range — the directory is the one rendezvous both
+  /// incarnations still share.
+  void set_leader_fenced(FencedCallback callback) {
+    fenced_cb_ = std::move(callback);
+  }
 
   /// Asks the directory object of `type` for all active labels. The
   /// callback fires exactly once: with the reply, or with ok=false on
@@ -105,7 +150,10 @@ class Directory {
   void handle_update(const net::RouteEnvelope& envelope);
   void handle_query(const net::RouteEnvelope& envelope);
   void handle_reply(const net::RouteEnvelope& envelope);
-  void store(TypeIndex type, const DirectoryEntry& entry, bool replica);
+  void handle_fence(const net::RouteEnvelope& envelope);
+  /// Returns false when the update was fenced by a higher-epoch entry.
+  bool store(TypeIndex type, const DirectoryEntry& entry, bool replica);
+  void remove(TypeIndex type, const DirectoryEntry& entry);
   void prune(TypeIndex type) const;
 
   node::Mote& mote_;
@@ -119,8 +167,10 @@ class Directory {
   /// Labels this node currently leads, with their refresh timers.
   std::vector<sim::EventHandle> update_timers_;  // per type
   std::vector<LabelId> current_label_;           // per type; invalid if none
+  std::vector<std::uint64_t> current_epoch_;     // per type; 0 if not leading
   std::unordered_map<std::uint32_t, PendingQuery> pending_;
   std::uint32_t next_query_id_ = 1;
+  FencedCallback fenced_cb_;
   DirectoryStats stats_;
 };
 

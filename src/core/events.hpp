@@ -25,6 +25,7 @@ struct GroupEvent {
     kLabelSuppressed,     // spurious label deleted on higher-weight evidence
     kJoined,              // node joined a group as member
     kLeft,                // member stopped sensing and left
+    kFenced,              // stale leader stepped down on higher-epoch evidence
   };
 
   Kind kind;
@@ -34,6 +35,8 @@ struct GroupEvent {
   LabelId label;      // the label involved
   NodeId peer;        // other party (new leader, suppressor), when relevant
   std::uint64_t weight = 0;
+  /// Leadership epoch in effect for the event (0 when not applicable).
+  std::uint64_t epoch = 0;
 
   std::string to_string() const;
 };

@@ -58,6 +58,8 @@ const char* group_event_kind_name(GroupEvent::Kind kind) {
       return "joined";
     case GroupEvent::Kind::kLeft:
       return "left";
+    case GroupEvent::Kind::kFenced:
+      return "fenced";
   }
   return "?";
 }
@@ -157,19 +159,23 @@ void GroupManager::reboot() {
     ts.label = LabelId{};
     ts.weight = 0;
     ts.hb_seq = 0;
+    ts.epoch = 0;
     ts.state.clear();
     ts.leader = NodeId{};
     ts.leader_pos = Vec2{};
     ts.leader_weight_seen = 0;
+    ts.leader_epoch_seen = 0;
     ts.last_hb_heard = Time{};
     ts.last_state_seen.clear();
     ts.wait_label = LabelId{};
     ts.wait_leader = NodeId{};
     ts.wait_leader_pos = Vec2{};
     ts.wait_weight = 0;
+    ts.wait_epoch = 0;
     ts.wait_state.clear();
     ts.relinquish_heard = Time{};
     ts.cand_weight = 0;
+    ts.cand_epoch = 0;
     ts.cand_state.clear();
   }
   hb_seen_.clear();
@@ -197,10 +203,11 @@ AggregateStateTable* GroupManager::aggregates(TypeIndex type) {
 }
 
 void GroupManager::emit(GroupEvent::Kind kind, TypeIndex type, LabelId label,
-                        NodeId peer, std::uint64_t weight) {
+                        NodeId peer, std::uint64_t weight,
+                        std::uint64_t epoch) {
   if (observers_.empty()) return;
   GroupEvent event{kind,  mote_.now(), mote_.id(), type,
-                   label, peer,        weight};
+                   label, peer,        weight,     epoch};
   for (GroupObserver* obs : observers_) obs->on_group_event(event);
 }
 
@@ -231,7 +238,8 @@ void GroupManager::poll_senses() {
             ts.creation_pending = false;
             ts.creation_timer.cancel();
             become_member(type, ts.wait_label, ts.wait_leader,
-                          ts.wait_leader_pos, ts.wait_weight, ts.wait_state);
+                          ts.wait_leader_pos, ts.wait_weight, ts.wait_epoch,
+                          ts.wait_state);
           } else if (!ts.creation_pending) {
             // No group known: defer creation briefly; if a heartbeat
             // arrives meanwhile we join instead of forking a new label.
@@ -247,7 +255,7 @@ void GroupManager::poll_senses() {
               if (st.waiting) {
                 become_member(type, st.wait_label, st.wait_leader,
                               st.wait_leader_pos, st.wait_weight,
-                              st.wait_state);
+                              st.wait_epoch, st.wait_state);
               } else {
                 create_label(type);
               }
@@ -279,15 +287,15 @@ void GroupManager::poll_senses() {
 void GroupManager::create_label(TypeIndex type) {
   const LabelId label = LabelId::make(mote_.id(), next_label_seq_++);
   stats_.labels_created++;
-  emit(GroupEvent::Kind::kLabelCreated, type, label, mote_.id(), 0);
+  emit(GroupEvent::Kind::kLabelCreated, type, label, mote_.id(), 0, 1);
   ET_DEBUG(kComponent, "node %llu creates label %llu (type %u)",
            static_cast<unsigned long long>(mote_.id().value()),
            static_cast<unsigned long long>(label.value()), type);
-  become_leader(type, label, 0, {}, GroupEvent::Kind::kBecameLeader);
+  become_leader(type, label, 0, 1, {}, GroupEvent::Kind::kBecameLeader);
 }
 
 void GroupManager::become_leader(TypeIndex type, LabelId label,
-                                 std::uint64_t weight,
+                                 std::uint64_t weight, std::uint64_t epoch,
                                  PersistentState inherited,
                                  GroupEvent::Kind cause) {
   TypeState& ts = state_[type];
@@ -302,6 +310,7 @@ void GroupManager::become_leader(TypeIndex type, LabelId label,
   ts.role = Role::kLeader;
   ts.label = label;
   ts.weight = weight;
+  ts.epoch = epoch;
   ts.state = std::move(inherited);
   // Random sequence start so a successor's heartbeats are never confused
   // with the predecessor's in peers' dedup caches.
@@ -310,9 +319,10 @@ void GroupManager::become_leader(TypeIndex type, LabelId label,
                                                  *aggregations_);
 
   if (cause != GroupEvent::Kind::kBecameLeader) {
-    emit(cause, type, label, mote_.id(), weight);
+    emit(cause, type, label, mote_.id(), weight, epoch);
   }
-  emit(GroupEvent::Kind::kBecameLeader, type, label, mote_.id(), weight);
+  emit(GroupEvent::Kind::kBecameLeader, type, label, mote_.id(), weight,
+       epoch);
 
   send_heartbeat(type);
   ts.heartbeat_timer =
@@ -326,6 +336,32 @@ void GroupManager::become_leader(TypeIndex type, LabelId label,
   if (leader_start_) leader_start_(type, label, state_[type].state);
 }
 
+void GroupManager::on_directory_fence(TypeIndex type, LabelId label,
+                                      std::uint64_t epoch, NodeId incumbent,
+                                      Vec2 incumbent_pos) {
+  if (!alive_ || type >= state_.size()) return;
+  if (!config_.epoch_fencing_enabled) return;
+  TypeState& ts = state_[type];
+  // The notice races against local progress: leadership may have lapsed,
+  // moved to another label, or absorbed an epoch at least as new.
+  if (ts.role != Role::kLeader || ts.label != label) return;
+  if (epoch < ts.epoch || incumbent == mote_.id()) return;
+  // Equal epochs carry the heartbeat duel's tie-break: the lower-id
+  // incarnation is the incumbent, so only a lower-id rival can fence us.
+  if (epoch == ts.epoch && incumbent.value() > mote_.id().value()) return;
+  // An incumbent within duel range is the heartbeat duel's problem: the
+  // next heartbeat exchange yields or absorbs far faster (and with group
+  // continuity) than a fence, which dissolves the whole local group.
+  // Fences exist for the incarnation the duel can never reach.
+  const double duel_range =
+      std::min(config_.heartbeat_range.value_or(
+                   mote_.medium().config().comm_radius),
+               mote_.medium().config().comm_radius);
+  if (distance(mote_.position(), incumbent_pos) <= duel_range) return;
+  stats_.fenced++;
+  stop_leading(type, GroupEvent::Kind::kFenced, incumbent);
+}
+
 void GroupManager::stop_leading(TypeIndex type, GroupEvent::Kind cause,
                                 NodeId peer) {
   TypeState& ts = state_[type];
@@ -334,10 +370,31 @@ void GroupManager::stop_leading(TypeIndex type, GroupEvent::Kind cause,
   ts.report_timer.cancel();
   const LabelId label = ts.label;
   if (leader_stop_) leader_stop_(type, label);
-  if (cause != GroupEvent::Kind::kLostLeadership) {
-    emit(cause, type, label, peer, ts.weight);
+  if (cause == GroupEvent::Kind::kLabelSuppressed && label_retired_) {
+    // Suppression kills the label for good (the group merges into the
+    // heavier one) — withdraw its directory entry instead of letting it
+    // linger until the TTL.
+    label_retired_(type, label, ts.epoch);
   }
-  emit(GroupEvent::Kind::kLostLeadership, type, label, peer, ts.weight);
+  if (cause == GroupEvent::Kind::kFenced) {
+    // The label belongs to a remote incarnation we cannot hear. Dissolve
+    // the local group: if members instead took over, the label would be
+    // resurrected here at epoch + 1, out-epoch the incumbent at the
+    // directory, and the two clusters would fence each other forever.
+    // Dissolved members re-sense and mint a fresh label for the local
+    // entity.
+    auto payload = std::make_shared<RelinquishPayload>(
+        type, label, mote_.id(), ts.weight, ts.hb_seq, PersistentState{});
+    payload->epoch = ts.epoch;
+    payload->dissolve = true;
+    mote_.broadcast(radio::MsgType::kRelinquish, std::move(payload),
+                    config_.heartbeat_range);
+  }
+  if (cause != GroupEvent::Kind::kLostLeadership) {
+    emit(cause, type, label, peer, ts.weight, ts.epoch);
+  }
+  emit(GroupEvent::Kind::kLostLeadership, type, label, peer, ts.weight,
+       ts.epoch);
   ts.role = Role::kIdle;
   ts.agg.reset();
   ts.weight = 0;
@@ -346,6 +403,7 @@ void GroupManager::stop_leading(TypeIndex type, GroupEvent::Kind cause,
 
 void GroupManager::become_member(TypeIndex type, LabelId label, NodeId leader,
                                  Vec2 leader_pos, std::uint64_t leader_weight,
+                                 std::uint64_t leader_epoch,
                                  PersistentState state_seen) {
   TypeState& ts = state_[type];
   ts.wait_timer.cancel();
@@ -357,13 +415,15 @@ void GroupManager::become_member(TypeIndex type, LabelId label, NodeId leader,
   ts.leader = leader;
   ts.leader_pos = leader_pos;
   ts.leader_weight_seen = leader_weight;
+  ts.leader_epoch_seen = leader_epoch;
   ts.last_hb_heard = mote_.now();
   // Seed with the state that came alongside the join trigger (heartbeat or
   // wait-path memory): a member that must take over before hearing another
   // heartbeat restores this, not an empty table (§5.2 state handoff).
   ts.last_state_seen = std::move(state_seen);
   stats_.joins++;
-  emit(GroupEvent::Kind::kJoined, type, label, leader, leader_weight);
+  emit(GroupEvent::Kind::kJoined, type, label, leader, leader_weight,
+       leader_epoch);
   arm_receive_timer(type);
   start_report_timer(type);
 }
@@ -374,7 +434,8 @@ void GroupManager::leave_group(TypeIndex type) {
   ts.receive_timer.cancel();
   ts.report_timer.cancel();
   ts.candidacy_timer.cancel();
-  emit(GroupEvent::Kind::kLeft, type, ts.label, ts.leader, 0);
+  emit(GroupEvent::Kind::kLeft, type, ts.label, ts.leader, 0,
+       ts.leader_epoch_seen);
   ts.role = Role::kIdle;
 }
 
@@ -384,6 +445,7 @@ void GroupManager::relinquish(TypeIndex type) {
   stats_.relinquishes++;
   auto payload = std::make_shared<RelinquishPayload>(
       type, ts.label, mote_.id(), ts.weight, ts.hb_seq, ts.state);
+  payload->epoch = ts.epoch;
   mote_.broadcast(radio::MsgType::kRelinquish, std::move(payload),
                   config_.heartbeat_range);
   stop_leading(type, GroupEvent::Kind::kRelinquish, mote_.id());
@@ -416,7 +478,8 @@ void GroupManager::on_receive_timeout(TypeIndex type) {
     ET_DEBUG(kComponent, "node %llu takes over label %llu",
              static_cast<unsigned long long>(mote_.id().value()),
              static_cast<unsigned long long>(ts.label.value()));
-    become_leader(type, ts.label, ts.leader_weight_seen, ts.last_state_seen,
+    become_leader(type, ts.label, ts.leader_weight_seen,
+                  ts.leader_epoch_seen + 1, ts.last_state_seen,
                   GroupEvent::Kind::kTakeover);
   } else {
     leave_group(type);
@@ -459,6 +522,7 @@ void GroupManager::send_heartbeat(TypeIndex type) {
   auto payload = std::make_shared<HeartbeatPayload>(
       type, ts.label, mote_.id(), mote_.position(), entity_estimate(type),
       ts.weight, ++ts.hb_seq, config_.perimeter_hops, ts.state);
+  payload->epoch = ts.epoch;
   // Our own heartbeats must not be re-processed when relayed back.
   hb_seen_.put(hb_key(ts.label, ts.hb_seq), true);
   mote_.broadcast(radio::MsgType::kHeartbeat, std::move(payload),
@@ -489,6 +553,7 @@ void GroupManager::send_report(TypeIndex type) {
   auto payload = std::make_shared<ReportPayload>(
       type, ts.label, mote_.id(), mote_.position(), mote_.now(),
       std::move(scalars));
+  payload->epoch = ts.leader_epoch_seen;
   // Leaders beyond direct radio range are reached by flooding the report
   // through fellow group members (§3.2.1's multi-hop connectivity).
   const double leader_distance = distance(mote_.position(), ts.leader_pos);
@@ -529,14 +594,28 @@ void GroupManager::handle_heartbeat(const radio::Frame& frame) {
         // immediately yields to this leader"). The winner must be a
         // *stable* function of the pair: deciding by weight livelocks,
         // because duplicate leaders each keep absorbing reports from
-        // disjoint member subsets and leapfrog each other indefinitely.
-        // Lower node id wins, always.
+        // disjoint member subsets and leapfrog each other indefinitely —
+        // and deciding by epoch is destabilizing too: under plain radio
+        // loss, takeovers fire on unlucky heartbeat gaps, and
+        // higher-epoch-wins would keep handing the group to whichever
+        // node just lost packets. Lower node id wins, always; epochs are
+        // reconciled by absorption below, and a genuinely stale leader
+        // that never hears its successor is fenced via member reports in
+        // handle_report.
         const bool other_wins = hp->leader.value() < mote_.id().value();
         if (other_wins) {
           stats_.yields++;
           stop_leading(type, GroupEvent::Kind::kYield, hp->leader);
           become_member(type, hp->label, hp->leader, hp->leader_pos,
-                        hp->weight, hp->state);
+                        hp->weight, hp->epoch, hp->state);
+        } else if (config_.epoch_fencing_enabled && hp->epoch > ts.epoch) {
+          // We win the duel but the rival incarnation is newer: adopt its
+          // epoch (Raft-style term absorption) so our heartbeats, reports
+          // and directory refreshes are not fenced as stale downstream,
+          // and so the rival sees an equal epoch and settles on id.
+          stats_.epochs_absorbed++;
+          ts.epoch = hp->epoch;
+          if (epoch_changed_) epoch_changed_(type, ts.epoch);
         }
       } else if (config_.weight_suppression_enabled &&
                  hp->weight > ts.weight &&
@@ -550,16 +629,25 @@ void GroupManager::handle_heartbeat(const radio::Frame& frame) {
         stats_.suppressions++;
         stop_leading(type, GroupEvent::Kind::kLabelSuppressed, hp->leader);
         become_member(type, hp->label, hp->leader, hp->leader_pos,
-                      hp->weight, hp->state);
+                      hp->weight, hp->epoch, hp->state);
       }
       break;
     }
     case Role::kMember: {
       if (hp->label == ts.label) {
+        if (config_.epoch_fencing_enabled &&
+            hp->epoch < ts.leader_epoch_seen) {
+          // A stale incarnation (pre-partition leader) is still
+          // heartbeating; refusing to follow it keeps the member bound to
+          // the newest leader until fencing silences the old one.
+          stats_.stale_heartbeats_ignored++;
+          break;
+        }
         ts.last_hb_heard = mote_.now();
         ts.leader = hp->leader;
         ts.leader_pos = hp->leader_pos;
         ts.leader_weight_seen = hp->weight;
+        ts.leader_epoch_seen = hp->epoch;
         ts.last_state_seen = hp->state;
         arm_receive_timer(type);
         if (config_.member_relay_heartbeats && !already_seen) {
@@ -584,6 +672,7 @@ void GroupManager::handle_heartbeat(const radio::Frame& frame) {
           ts.wait_leader = hp->leader;
           ts.wait_leader_pos = hp->leader_pos;
           ts.wait_weight = hp->weight;
+          ts.wait_epoch = hp->epoch;
           ts.wait_state = hp->state;
         }
         ts.waiting = true;
@@ -620,6 +709,17 @@ void GroupManager::handle_report(const radio::Frame& frame) {
   if (already_seen) return;
 
   if (ts.role == Role::kLeader) {
+    if (config_.epoch_fencing_enabled && rp->epoch > ts.epoch) {
+      // A member is reporting to a newer incarnation of this label: a
+      // successor was elected while we were unreachable (partition). We
+      // are the stale leader; step down instead of absorbing the foreign
+      // group's data. This path fences leaders that never hear the
+      // successor's heartbeats directly (out of radio range) but do
+      // overhear its members' relayed reports.
+      stats_.fenced++;
+      stop_leading(rp->type_index, GroupEvent::Kind::kFenced, rp->reporter);
+      return;
+    }
     stats_.reports_received++;
     // "This counter increases as sensors report their measurements" — the
     // leader weight used for spurious-label suppression.
@@ -651,6 +751,16 @@ void GroupManager::handle_relinquish(const radio::Frame& frame) {
   if (rp->type_index >= state_.size()) return;
   const TypeIndex type = rp->type_index;
   TypeState& ts = state_[type];
+  if (rp->dissolve) {
+    // A fenced leader is tearing the local group down (see stop_leading):
+    // drop membership and any wait-memory of the label so re-detection
+    // mints a fresh one instead of resurrecting the fenced label.
+    if (ts.waiting && ts.wait_label == rp->label) ts.waiting = false;
+    if (ts.role == Role::kMember && ts.label == rp->label) {
+      leave_group(type);
+    }
+    return;
+  }
   if (ts.role != Role::kMember || ts.label != rp->label) return;
   if (!is_sensing(ts)) return;  // we are about to leave anyway
 
@@ -658,6 +768,7 @@ void GroupManager::handle_relinquish(const radio::Frame& frame) {
   // heartbeats wins, later candidates hear it and stand down.
   ts.relinquish_heard = mote_.now();
   ts.cand_weight = rp->weight;
+  ts.cand_epoch = rp->epoch + 1;
   ts.cand_state = rp->state;
   ts.candidacy_timer.cancel();
   const Duration delay =
@@ -667,8 +778,8 @@ void GroupManager::handle_relinquish(const radio::Frame& frame) {
     if (!alive_ || st.role != Role::kMember) return;
     if (st.last_hb_heard >= st.relinquish_heard) return;  // successor exists
     if (!is_sensing(st)) return;
-    become_leader(type, st.label, st.cand_weight, st.cand_state,
-                  GroupEvent::Kind::kBecameLeader);
+    become_leader(type, st.label, st.cand_weight, st.cand_epoch,
+                  st.cand_state, GroupEvent::Kind::kBecameLeader);
   });
 }
 

@@ -81,6 +81,18 @@ struct GroupConfig {
   std::uint8_t report_relay_hops = 3;
   /// Disable leader-weight based suppression of spurious labels (ablation).
   bool weight_suppression_enabled = true;
+  /// Leadership-epoch fencing: every takeover/succession bumps a per-label
+  /// epoch carried in heartbeats and reports. Members ignore heartbeats
+  /// from stale (lower-epoch) incarnations; a leader never yields to one
+  /// and absorbs a newer rival's epoch when it wins a duel; a leader that
+  /// receives member reports carrying a higher epoch steps down (the only
+  /// way to fence a stale leader that is out of heartbeat range of its
+  /// successor). Without all this, a partitioned ex-leader and the
+  /// successor elected on the other side can both report under one label
+  /// after the partition heals (the id tiebreak only resolves pairs that
+  /// hear each other's heartbeats). Disable only to demonstrate that
+  /// failure mode (the invariant-oracle regression tests do).
+  bool epoch_fencing_enabled = true;
   /// A lighter label yields to a heavier same-type label only when their
   /// tracked-entity position estimates are within this distance — i.e.
   /// they plausibly track the same stimulus. Physically separated entities
@@ -105,6 +117,15 @@ struct GroupStats {
   std::uint64_t yields = 0;
   std::uint64_t suppressions = 0;
   std::uint64_t joins = 0;
+  /// Leaders that stepped down on higher-epoch evidence (stale incarnation
+  /// fenced after a partition heal).
+  std::uint64_t fenced = 0;
+  /// Heartbeats from a stale (lower-epoch) leader incarnation that a member
+  /// refused to follow, or that a same-label leader refused to yield to.
+  std::uint64_t stale_heartbeats_ignored = 0;
+  /// Same-label duels won against a newer incarnation (the rival's higher
+  /// epoch was adopted so downstream fencing keeps accepting this leader).
+  std::uint64_t epochs_absorbed = 0;
 };
 
 /// Per-mote group-management service. Owns the kHeartbeat, kReport, and
@@ -121,6 +142,14 @@ class GroupManager {
   /// the transport layer uses this to maintain forwarding pointers.
   using LeaderObservedFn =
       std::function<void(TypeIndex, LabelId, NodeId leader, Vec2 leader_pos)>;
+  /// Invoked when a sitting leader's epoch changes without a leadership
+  /// edge (it absorbed a higher rival epoch in a same-label duel); the
+  /// directory re-stamps its refresh entries from this.
+  using EpochChangedFn = std::function<void(TypeIndex, std::uint64_t epoch)>;
+  /// Invoked when this node's label dies permanently (suppressed into a
+  /// heavier label); the directory withdraws the entry.
+  using LabelRetiredFn =
+      std::function<void(TypeIndex, LabelId, std::uint64_t epoch)>;
 
   /// `specs`, `senses`, and `aggregations` are deployment-wide and must
   /// outlive the manager.
@@ -154,6 +183,22 @@ class GroupManager {
   void set_leader_observed(LeaderObservedFn fn) {
     leader_observed_ = std::move(fn);
   }
+  void set_epoch_changed(EpochChangedFn fn) {
+    epoch_changed_ = std::move(fn);
+  }
+  void set_label_retired(LabelRetiredFn fn) {
+    label_retired_ = std::move(fn);
+  }
+
+  /// Directory fence notice (see Directory::set_leader_fenced): the
+  /// directory rendezvous holds a registration for `label` at `epoch`,
+  /// above the epoch this node leads it under. Steps down iff this node
+  /// still leads that label at a lower epoch and fencing is enabled —
+  /// the long-range complement to the member-report fence, for stale
+  /// leaders whose successor is beyond every heartbeat path.
+  void on_directory_fence(TypeIndex type, LabelId label,
+                          std::uint64_t epoch, NodeId incumbent,
+                          Vec2 incumbent_pos);
 
   // --- Introspection ---
   Role role(TypeIndex type) const { return state_[type].role; }
@@ -163,6 +208,22 @@ class GroupManager {
   NodeId known_leader(TypeIndex type) const;
   std::uint64_t leader_weight(TypeIndex type) const {
     return state_[type].weight;
+  }
+  /// Leadership epoch this node currently operates under: its own epoch
+  /// when leading, the last one seen from its leader when a member, 0 when
+  /// idle. Stamped onto directory updates and outbound user messages so
+  /// downstream consumers can fence stale incarnations.
+  std::uint64_t current_epoch(TypeIndex type) const {
+    const TypeState& ts = state_[type];
+    switch (ts.role) {
+      case Role::kLeader:
+        return ts.epoch;
+      case Role::kMember:
+        return ts.leader_epoch_seen;
+      case Role::kIdle:
+        return 0;
+    }
+    return 0;
   }
   /// Leader-side aggregate state; nullptr unless this node leads `type`.
   AggregateStateTable* aggregates(TypeIndex type);
@@ -206,6 +267,9 @@ class GroupManager {
     // Leader side.
     std::uint64_t weight = 0;
     std::uint32_t hb_seq = 0;
+    /// Monotonically increasing leadership epoch of this label (1 at
+    /// creation, +1 on every takeover/succession).
+    std::uint64_t epoch = 0;
     PersistentState state;
     std::unique_ptr<AggregateStateTable> agg;
     sim::EventHandle heartbeat_timer;
@@ -214,6 +278,7 @@ class GroupManager {
     NodeId leader;
     Vec2 leader_pos;
     std::uint64_t leader_weight_seen = 0;
+    std::uint64_t leader_epoch_seen = 0;
     Time last_hb_heard;
     PersistentState last_state_seen;
     sim::EventHandle receive_timer;
@@ -227,6 +292,7 @@ class GroupManager {
     NodeId wait_leader;
     Vec2 wait_leader_pos;
     std::uint64_t wait_weight = 0;
+    std::uint64_t wait_epoch = 0;
     PersistentState wait_state;
     sim::EventHandle wait_timer;
 
@@ -238,6 +304,7 @@ class GroupManager {
     sim::EventHandle candidacy_timer;
     Time relinquish_heard;
     std::uint64_t cand_weight = 0;
+    std::uint64_t cand_epoch = 0;
     PersistentState cand_state;
 
     // Resolved predicates.
@@ -254,7 +321,8 @@ class GroupManager {
   // Role transitions.
   void create_label(TypeIndex type);
   void become_leader(TypeIndex type, LabelId label, std::uint64_t weight,
-                     PersistentState inherited, GroupEvent::Kind cause);
+                     std::uint64_t epoch, PersistentState inherited,
+                     GroupEvent::Kind cause);
   void stop_leading(TypeIndex type, GroupEvent::Kind cause, NodeId peer);
   /// `state_seen` is the joined label's last known persistent state (from
   /// the heartbeat or wait-path memory that triggered the join); it seeds
@@ -263,7 +331,7 @@ class GroupManager {
   /// sites pass fields of the TypeState this method mutates.
   void become_member(TypeIndex type, LabelId label, NodeId leader,
                      Vec2 leader_pos, std::uint64_t leader_weight,
-                     PersistentState state_seen);
+                     std::uint64_t leader_epoch, PersistentState state_seen);
   void leave_group(TypeIndex type);
 
   // Protocol actions.
@@ -280,7 +348,7 @@ class GroupManager {
   void handle_relinquish(const radio::Frame& frame);
 
   void emit(GroupEvent::Kind kind, TypeIndex type, LabelId label, NodeId peer,
-            std::uint64_t weight);
+            std::uint64_t weight, std::uint64_t epoch);
 
   node::Mote& mote_;
   const std::vector<ContextTypeSpec>* specs_;
@@ -291,6 +359,8 @@ class GroupManager {
   LeaderStartFn leader_start_;
   LeaderStopFn leader_stop_;
   LeaderObservedFn leader_observed_;
+  EpochChangedFn epoch_changed_;
+  LabelRetiredFn label_retired_;
   LruMap<std::uint64_t, bool> hb_seen_;  // heartbeat (label, seq) dedup
   LruMap<std::uint64_t, bool> report_seen_;  // relayed-report dedup
   sim::EventHandle poll_timer_;

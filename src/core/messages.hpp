@@ -41,8 +41,8 @@ class HeartbeatPayload final : public radio::Payload {
 
   std::size_t size_bytes() const override {
     // type (2) + label (8) + leader (2) + pos (8) + estimate (8)
-    // + weight (4) + seq (4) + budget (1) + state entries (9B each).
-    return 37 + state.size() * 9;
+    // + weight (4) + seq (4) + epoch (4) + budget (1) + state (9B each).
+    return 41 + state.size() * 9;
   }
 
   TypeIndex type_index;
@@ -61,6 +61,10 @@ class HeartbeatPayload final : public radio::Payload {
   /// (the parameter h of §5.2); non-members decrement and rebroadcast.
   std::uint8_t perimeter_budget;
   PersistentState state;
+  /// Leadership epoch of this label: bumped on every takeover/succession.
+  /// Receivers fence stale incarnations (a partitioned ex-leader) by
+  /// preferring the higher epoch. Set by the sender after construction.
+  std::uint64_t epoch = 0;
 };
 
 /// Member -> leader sensor report: one scalar per aggregate variable of the
@@ -80,8 +84,8 @@ class ReportPayload final : public radio::Payload {
 
   std::size_t size_bytes() const override {
     // type (2) + label (8) + reporter (2) + pos (8) + timestamp (4)
-    // + ttl (1) + 4B per reading.
-    return 25 + scalars.size() * 4;
+    // + ttl (1) + epoch (4) + 4B per reading.
+    return 29 + scalars.size() * 4;
   }
 
   TypeIndex type_index;
@@ -94,6 +98,10 @@ class ReportPayload final : public radio::Payload {
   /// range (§3.2.1: members communicate "possibly using multiple hops
   /// through other members of the same group").
   std::uint8_t relay_budget = 0;
+  /// The leadership epoch this member last saw for its label. A leader
+  /// that overhears a same-label report with a higher epoch knows a newer
+  /// incarnation exists and steps down (partition-heal fencing).
+  std::uint64_t epoch = 0;
 };
 
 /// Leader relinquish: the leader no longer senses the entity and asks the
@@ -110,7 +118,7 @@ class RelinquishPayload final : public radio::Payload {
         last_seq(last_seq),
         state(std::move(state)) {}
 
-  std::size_t size_bytes() const override { return 21 + state.size() * 9; }
+  std::size_t size_bytes() const override { return 25 + state.size() * 9; }
 
   TypeIndex type_index;
   LabelId label;
@@ -118,6 +126,15 @@ class RelinquishPayload final : public radio::Payload {
   std::uint64_t weight;
   std::uint32_t last_seq;
   PersistentState state;
+  /// The relinquishing leader's epoch; the elected successor leads at
+  /// epoch + 1.
+  std::uint64_t epoch = 0;
+  /// Dissolve instead of electing a successor: the label now belongs to a
+  /// remote incarnation (this leader was epoch-fenced), so local members
+  /// must leave and let a fresh label form for the locally sensed entity.
+  /// Electing a successor would resurrect the fenced label at epoch + 1
+  /// and out-epoch the legitimate incumbent, ping-ponging forever.
+  bool dissolve = false;
 };
 
 }  // namespace et::core

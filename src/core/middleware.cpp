@@ -32,13 +32,32 @@ MiddlewareStack::MiddlewareStack(node::Mote& mote,
   groups_.set_leader_start(
       [this](TypeIndex type, LabelId label, const PersistentState& state) {
         runtime_.on_leader_start(type, label, state);
-        if (directory_) directory_->on_leader_start(type, label);
+        // become_leader records the epoch before firing this callback, so
+        // current_epoch() is already the epoch this node leads under.
+        if (directory_) {
+          directory_->on_leader_start(type, label, groups_.current_epoch(type));
+        }
       });
   groups_.set_leader_stop([this](TypeIndex type, LabelId label) {
     runtime_.on_leader_stop(type, label);
     if (directory_) directory_->on_leader_stop(type, label);
     if (transport_) transport_->on_leader_stop(type, label);
   });
+  if (directory_) {
+    groups_.set_epoch_changed([this](TypeIndex type, std::uint64_t epoch) {
+      directory_->on_epoch_change(type, epoch);
+    });
+    groups_.set_label_retired(
+        [this](TypeIndex type, LabelId label, std::uint64_t epoch) {
+          directory_->retire_label(type, label, epoch);
+        });
+    directory_->set_leader_fenced(
+        [this](TypeIndex type, LabelId label, std::uint64_t epoch,
+               NodeId incumbent, Vec2 incumbent_pos) {
+          groups_.on_directory_fence(type, label, epoch, incumbent,
+                                     incumbent_pos);
+        });
+  }
   if (transport_) {
     groups_.set_leader_observed(
         [this](TypeIndex type, LabelId label, NodeId leader, Vec2 pos) {

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "core/context_runtime.hpp"
@@ -18,6 +20,14 @@
 /// overheard heartbeats), geo-routes the invocation there, and past leaders
 /// forward along the chain toward the current leader. First contact falls
 /// back to a directory lookup.
+///
+/// Reliability layer (enabled by default): every invocation carries a
+/// per-destination sequence number; the delivering leader acks end-to-end,
+/// the origin retransmits on an exponential-backoff timer until acked or
+/// the retry budget runs out, and receivers suppress duplicates through a
+/// bounded dedup window. Delivery is exactly-once per receiving node;
+/// across a leadership migration the same invocation can reach the old and
+/// the new leader (at-least-once), which the invariant oracle accounts for.
 namespace et::core {
 
 struct TransportConfig {
@@ -30,6 +40,32 @@ struct TransportConfig {
   std::uint8_t max_forwards = 8;
   /// Consult the directory when the destination label is unknown.
   bool directory_fallback = true;
+  /// Acked end-to-end delivery with retransmits. When false the transport
+  /// is the original fire-and-forget MTP (kept for ablation: the chaos
+  /// sweep compares the two under burst loss).
+  bool reliable = true;
+  /// Retransmissions after the initial send before the transfer fails.
+  int max_retries = 4;
+  /// Initial retransmit timeout; doubles on every retry. Must exceed the
+  /// worst-case geo-routed round trip INCLUDING the per-hop ARQ backoff
+  /// ladder (~0.6 s per lossy hop), or the end-to-end layer retransmits
+  /// while the network layer is still trying — every premature copy is a
+  /// fresh routed envelope, and under burst loss that amplification
+  /// congests the channel the original frame needed to get through.
+  Duration retry_timeout = Duration::millis(1200);
+  /// Uniform jitter fraction added to every retransmit delay (timeout *
+  /// [1, 1 + jitter]), drawn from the mote's deterministic RNG stream so
+  /// synchronized senders desynchronize without breaking reproducibility.
+  double retry_jitter = 0.25;
+  /// Receiver-side duplicate-suppression window: completed transfers
+  /// remembered per node. Retransmits of an already-delivered invocation
+  /// are re-acked but not re-dispatched.
+  std::size_t dedup_capacity = 128;
+  /// A destination label that just failed resolution is negative-cached
+  /// for this long: repeat sends fail fast instead of re-querying the
+  /// directory every time (the unbounded-re-resolution fix).
+  Duration negative_cache_ttl = Duration::seconds(2);
+  std::size_t negative_cache_capacity = 32;
 };
 
 struct TransportStats {
@@ -39,7 +75,43 @@ struct TransportStats {
   std::uint64_t directory_lookups = 0;
   std::uint64_t dropped_unknown = 0;
   std::uint64_t dropped_forward_limit = 0;
+  // Reliability layer.
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t retransmits = 0;
+  /// Transfers abandoned after the retry budget (delivery_failed fired).
+  std::uint64_t delivery_failures = 0;
+  /// Retransmitted invocations the dedup window stopped from dispatching
+  /// twice.
+  std::uint64_t duplicates_suppressed = 0;
+  /// Sends suppressed by the negative cache (label recently unresolvable).
+  std::uint64_t resolve_failed = 0;
 };
+
+/// Reliability-layer lifecycle events, consumed by the invariant oracle
+/// and tests. `origin` + `dst_label` + `seq` identify one transfer.
+struct TransportEvent {
+  enum class Kind {
+    kSend,           // reliable transfer created at the origin
+    kRetransmit,     // origin re-sent after an ack timeout
+    kAcked,          // origin settled the transfer on an ack
+    kDelivered,      // receiver dispatched the invocation
+    kDuplicate,      // receiver suppressed an already-delivered transfer
+    kFailed,         // origin gave up (retry budget exhausted)
+    kResolveFailed,  // origin could not resolve the destination label
+  };
+
+  Kind kind;
+  Time time;
+  NodeId node;  // where the event happened
+  LabelId dst_label;
+  NodeId origin;
+  std::uint32_t seq = 0;
+  /// Retransmits performed so far on the transfer (0 on first send).
+  int attempt = 0;
+};
+
+const char* transport_event_kind_name(TransportEvent::Kind kind);
 
 /// MTP invocation message (inner payload of kMtpData envelopes).
 class MtpPayload final : public radio::Payload {
@@ -55,12 +127,13 @@ class MtpPayload final : public radio::Payload {
         port(port),
         args(std::move(args)) {}
 
-  std::size_t size_bytes() const override { return 32 + args.size() * 4; }
+  std::size_t size_bytes() const override { return 37 + args.size() * 4; }
 
   LabelId src_label;
   /// "Each message contains the current leader of the group, so that
   /// future return messages are forwarded as close to the group as
-  /// possible."
+  /// possible." Doubles as the transfer origin the end-to-end ack routes
+  /// back to.
   NodeId src_leader;
   Vec2 src_leader_pos;
   TypeIndex dst_type;
@@ -68,10 +141,36 @@ class MtpPayload final : public radio::Payload {
   PortId port;
   std::vector<double> args;
   std::uint8_t forwards = 0;
+  /// Per-destination sequence number (reliable mode); 0 on
+  /// fire-and-forget sends.
+  std::uint32_t seq = 0;
+  /// Ask the delivering leader for an end-to-end ack.
+  bool want_ack = false;
+};
+
+/// End-to-end acknowledgement, geo-routed back to the transfer origin.
+class MtpAckPayload final : public radio::Payload {
+ public:
+  MtpAckPayload(NodeId origin, LabelId dst_label, std::uint32_t seq)
+      : origin(origin), dst_label(dst_label), seq(seq) {}
+  std::size_t size_bytes() const override { return 14; }
+
+  NodeId origin;
+  LabelId dst_label;
+  std::uint32_t seq;
 };
 
 class Transport {
  public:
+  /// Fired once per reliable transfer whose retry budget is exhausted,
+  /// with the failed invocation so callers can degrade gracefully (drop,
+  /// reroute, raise an application alarm) instead of silently losing it.
+  /// May fire synchronously from within invoke() when the destination is
+  /// immediately unresolvable.
+  using DeliveryFailedFn = std::function<void(
+      TypeIndex, LabelId dst_label, PortId, const std::vector<double>& args)>;
+  using Listener = std::function<void(const TransportEvent&)>;
+
   Transport(node::Mote& mote, net::GeoRouting& routing, GroupManager& groups,
             ContextRuntime& runtime, Directory* directory,
             TransportConfig config = {});
@@ -96,9 +195,14 @@ class Transport {
   /// of dying as dropped_unknown against a stale "I am the leader" record.
   void on_leader_stop(TypeIndex type, LabelId label);
 
-  /// Clears volatile routing state (the last-known-leader table) after a
-  /// node reboot; the program image (handlers, wiring) survives.
-  void reboot() { leaders_.clear(); }
+  /// Clears volatile state (leader table, in-flight transfers, dedup and
+  /// negative caches) after a node reboot; the program image survives.
+  void reboot();
+
+  void set_delivery_failed(DeliveryFailedFn fn) {
+    delivery_failed_ = std::move(fn);
+  }
+  void add_listener(Listener fn) { listeners_.push_back(std::move(fn)); }
 
   /// Last-known leader of a label, if cached.
   struct LeaderInfo {
@@ -110,12 +214,52 @@ class Transport {
     return leaders_.peek(label);
   }
 
+  /// Reliable transfers awaiting an ack at this origin.
+  std::size_t pending_transfers() const { return pending_.size(); }
+
+  const TransportConfig& config() const { return config_; }
   const TransportStats& stats() const { return stats_; }
 
  private:
+  struct PendingTransfer {
+    std::shared_ptr<MtpPayload> payload;
+    int attempts = 0;  // retransmits performed
+    sim::EventHandle retry_timer;
+  };
+
+  /// Key of a transfer at its origin (per-destination seq + label).
+  static std::uint64_t transfer_key(LabelId label, std::uint32_t seq) {
+    return label.value() * 0x9e3779b97f4a7c15ull ^ seq;
+  }
+  /// Receiver-side dedup key; includes the origin so two origins' streams
+  /// never collide.
+  static std::uint64_t dedup_key(NodeId origin, LabelId label,
+                                 std::uint32_t seq) {
+    std::uint64_t h = label.value() * 0x9e3779b97f4a7c15ull;
+    h ^= origin.value() * 0xff51afd7ed558ccdull;
+    return h ^ seq;
+  }
+
   void handle_delivery(const net::RouteEnvelope& envelope);
+  void handle_ack(const net::RouteEnvelope& envelope);
   void send_to(const LeaderInfo& info, std::shared_ptr<MtpPayload> payload);
   void resolve_and_send(std::shared_ptr<MtpPayload> payload);
+  /// Dispatch at the destination leader: dedup, ack, deliver.
+  void deliver_local(const MtpPayload& payload);
+  void send_ack(const MtpPayload& payload);
+  void arm_retry(std::uint64_t key);
+  void on_retry_timeout(std::uint64_t key);
+  /// Cancels the retry timer and forgets the transfer. Returns false when
+  /// the key was not pending (already settled or failed).
+  bool settle(std::uint64_t key);
+  void fail_transfer(std::uint64_t key);
+  /// Origin-side abort when resolution fails: a reliable transfer fails
+  /// immediately (no point retrying into a void), fire-and-forget is a
+  /// silent drop either way.
+  void abort_unresolvable(const MtpPayload& payload);
+  void note_resolve_failure(LabelId label);
+  void emit(TransportEvent::Kind kind, LabelId dst_label, NodeId origin,
+            std::uint32_t seq, int attempt);
 
   node::Mote& mote_;
   net::GeoRouting& routing_;
@@ -124,6 +268,21 @@ class Transport {
   Directory* directory_;
   TransportConfig config_;
   LruMap<LabelId, LeaderInfo> leaders_;
+  /// Per-destination sequence counters (reliable mode).
+  LruMap<LabelId, std::uint32_t> next_seq_;
+  /// Origin-side transfers awaiting an ack, keyed by transfer_key().
+  std::unordered_map<std::uint64_t, PendingTransfer> pending_;
+  /// Receiver-side dedup window, keyed by dedup_key().
+  LruMap<std::uint64_t, bool> delivered_seen_;
+  /// Labels with a directory query in flight, each with the payloads
+  /// waiting on its answer. Coalescing keeps retransmits (and concurrent
+  /// sends) from issuing one query per attempt.
+  std::unordered_map<std::uint64_t, std::vector<std::shared_ptr<MtpPayload>>>
+      resolving_;
+  /// Negative cache: label -> expiry of its "unresolvable" verdict.
+  LruMap<LabelId, Time> resolve_failed_until_;
+  DeliveryFailedFn delivery_failed_;
+  std::vector<Listener> listeners_;
   TransportStats stats_;
 };
 

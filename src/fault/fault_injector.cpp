@@ -24,6 +24,10 @@ const char* fault_kind_name(FaultKind kind) {
       return "sensor-drop-start";
     case FaultKind::kSensorDropEnd:
       return "sensor-drop-end";
+    case FaultKind::kPartitionStart:
+      return "partition-start";
+    case FaultKind::kPartitionHeal:
+      return "partition-heal";
   }
   return "?";
 }
@@ -38,10 +42,49 @@ void FaultInjector::schedule(const FaultPlan& plan) {
   for (const FaultEvent& event : events) {
     const Duration delay =
         event.at > now ? event.at - now : Duration::zero();
-    system_.sim().schedule(delay, [this, event] {
-      apply(event.node, event.kind);
-    });
+    if (event.kind == FaultKind::kPartitionStart) {
+      // The spec lives in the plan, which need not outlive the schedule
+      // call — copy it into the closure.
+      PartitionSpec spec = plan.partitions()[event.partition];
+      system_.sim().schedule(delay, [this, spec = std::move(spec)] {
+        set_partition(spec);
+      });
+    } else if (event.kind == FaultKind::kPartitionHeal) {
+      system_.sim().schedule(delay, [this] { heal_partition(); });
+    } else {
+      system_.sim().schedule(delay, [this, event] {
+        apply(event.node, event.kind);
+      });
+    }
   }
+}
+
+void FaultInjector::set_partition(const PartitionSpec& spec) {
+  std::vector<std::uint32_t> component_of(system_.node_count(), 0);
+  for (std::size_t i = 0; i < spec.components.size(); ++i) {
+    for (NodeId node : spec.components[i]) {
+      component_of[node.value()] = static_cast<std::uint32_t>(i + 1);
+    }
+  }
+  system_.medium().set_partition(std::move(component_of));
+  stats_.partitions++;
+  record_network_fault(FaultKind::kPartitionStart);
+}
+
+void FaultInjector::heal_partition() {
+  if (!system_.medium().partitioned()) return;
+  system_.medium().clear_partition();
+  stats_.partition_heals++;
+  record_network_fault(FaultKind::kPartitionHeal);
+}
+
+void FaultInjector::record_network_fault(FaultKind kind) {
+  FaultRecord record;
+  record.at = system_.sim().now();
+  record.kind = kind;
+  ET_DEBUG(kComponent, "network %s", fault_kind_name(kind));
+  records_.push_back(record);
+  for (const Listener& listener : listeners_) listener(record);
 }
 
 void FaultInjector::harass_leaders(core::TypeIndex type, Duration period,
@@ -135,6 +178,10 @@ void FaultInjector::apply(NodeId node, FaultKind kind) {
     case FaultKind::kSensorDropEnd:
       stack.mote().set_sensor_down(false);
       break;
+    case FaultKind::kPartitionStart:
+    case FaultKind::kPartitionHeal:
+      // Network-wide faults route through set_partition/heal_partition.
+      return;
   }
 
   ET_DEBUG(kComponent, "node %llu %s (leader=%d)",

@@ -39,6 +39,8 @@ struct FaultStats {
   std::uint64_t sensor_dropouts = 0;
   /// Crashes that hit a current group leader.
   std::uint64_t leader_crashes = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t partition_heals = 0;
 };
 
 class FaultInjector {
@@ -73,6 +75,10 @@ class FaultInjector {
   void reboot(NodeId node);
   void set_radio_blackout(NodeId node, bool blackout);
   void set_sensor_dropout(NodeId node, bool dropout);
+  /// Splits the medium per `spec` (replacing any current split).
+  void set_partition(const PartitionSpec& spec);
+  /// Restores full reachability.
+  void heal_partition();
 
   const FaultStats& stats() const { return stats_; }
   /// Every applied fault, in application order.
@@ -80,6 +86,7 @@ class FaultInjector {
 
  private:
   void apply(NodeId node, FaultKind kind);
+  void record_network_fault(FaultKind kind);
   /// Current leader of `type` across the deployment, heaviest weight first,
   /// ties to the lowest id. Invalid NodeId when the type has no leader.
   NodeId find_leader(core::TypeIndex type) const;

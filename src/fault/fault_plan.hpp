@@ -27,14 +27,33 @@ enum class FaultKind {
   /// while the node keeps computing and communicating.
   kSensorDropStart,
   kSensorDropEnd,
+  /// Network partition begins: the medium is split into reachability
+  /// components (see PartitionSpec); no RF crosses a component boundary.
+  kPartitionStart,
+  /// The current partition heals: full reachability is restored.
+  kPartitionHeal,
 };
 
 const char* fault_kind_name(FaultKind kind);
 
+/// A network split, described by its non-default reachability components:
+/// every node listed in components[i] lands in component i+1, everything
+/// unlisted stays in component 0 (a node listed twice takes its last
+/// listing). Radio frames cross component boundaries in no direction —
+/// delivery, interference, and carrier sense are all confined.
+struct PartitionSpec {
+  std::vector<std::vector<NodeId>> components;
+};
+
 struct FaultEvent {
   Time at;
+  /// Victim for per-node faults; invalid for network-wide ones
+  /// (partitions).
   NodeId node;
   FaultKind kind;
+  /// Index into FaultPlan::partitions() for kPartitionStart; unused
+  /// otherwise.
+  std::size_t partition = 0;
 };
 
 /// Builder for fault schedules. Events may be added in any order; the
@@ -68,11 +87,44 @@ class FaultPlan {
     return add(at + length, node, FaultKind::kSensorDropEnd);
   }
 
+  /// Network split at `at`. A later partition_heal (or partition with a
+  /// new spec) replaces it — splits do not compose.
+  FaultPlan& partition_start(Time at, PartitionSpec spec) {
+    FaultEvent event{at, NodeId{}, FaultKind::kPartitionStart,
+                     partitions_.size()};
+    partitions_.push_back(std::move(spec));
+    events_.push_back(event);
+    return *this;
+  }
+  FaultPlan& partition_heal(Time at) {
+    return add(at, NodeId{}, FaultKind::kPartitionHeal);
+  }
+  /// Split over [at, at + length), healed afterwards.
+  FaultPlan& partition(Time at, PartitionSpec spec, Duration length) {
+    partition_start(at, std::move(spec));
+    return partition_heal(at + length);
+  }
+  /// Burst partition: `cycles` deterministic square-wave repetitions of
+  /// (split for `down`, healed for `up`), starting at `at`. Composes with
+  /// a lossy/burst channel — the partition gates reachability while the
+  /// channel keeps corrupting whatever still gets through.
+  FaultPlan& burst_partition(Time at, PartitionSpec spec, Duration down,
+                             Duration up, int cycles) {
+    Time t = at;
+    for (int i = 0; i < cycles; ++i) {
+      partition(t, spec, down);
+      t = t + down + up;
+    }
+    return *this;
+  }
+
   const std::vector<FaultEvent>& events() const { return events_; }
+  const std::vector<PartitionSpec>& partitions() const { return partitions_; }
   bool empty() const { return events_.empty(); }
 
  private:
   std::vector<FaultEvent> events_;
+  std::vector<PartitionSpec> partitions_;
 };
 
 }  // namespace et::fault

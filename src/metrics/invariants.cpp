@@ -1,0 +1,246 @@
+#include "metrics/invariants.hpp"
+
+#include "util/log.hpp"
+
+namespace et::metrics {
+
+namespace {
+constexpr const char* kComponent = "invariants";
+}
+
+const char* invariant_kind_name(InvariantViolation::Kind kind) {
+  switch (kind) {
+    case InvariantViolation::Kind::kDualLeader:
+      return "dual-leader";
+    case InvariantViolation::Kind::kEpochRegression:
+      return "epoch-regression";
+    case InvariantViolation::Kind::kDuplicateDelivery:
+      return "duplicate-delivery";
+    case InvariantViolation::Kind::kRetryBudgetExceeded:
+      return "retry-budget-exceeded";
+  }
+  return "?";
+}
+
+std::string InvariantViolation::to_string() const {
+  std::string s = time.to_string();
+  s += " INVARIANT ";
+  s += invariant_kind_name(kind);
+  s += " label ";
+  s += label.to_string();
+  s += ": ";
+  s += detail;
+  return s;
+}
+
+InvariantOracle::InvariantOracle(core::EnviroTrackSystem& system,
+                                 InvariantConfig config)
+    : system_(system), config_(config) {
+  system_.add_group_observer(this);
+  for (std::size_t i = 0; i < system_.node_count(); ++i) {
+    const NodeId node{i};
+    core::Transport* transport = system_.stack(node).transport();
+    if (!transport) continue;
+    transport->add_listener([this](const core::TransportEvent& event) {
+      on_transport_event(event.node, event);
+    });
+  }
+  scan_timer_ = system_.sim().schedule_periodic(
+      config_.check_period, config_.check_period, [this] { scan_leaders(); });
+}
+
+void InvariantOracle::push_trace(std::string line) {
+  trace_.push_back(std::move(line));
+  while (trace_.size() > config_.trace_depth) trace_.pop_front();
+}
+
+void InvariantOracle::record(InvariantViolation::Kind kind,
+                             core::TypeIndex type, LabelId label,
+                             std::string detail) {
+  InvariantViolation violation;
+  violation.kind = kind;
+  violation.time = system_.sim().now();
+  violation.type_index = type;
+  violation.label = label;
+  violation.detail = std::move(detail);
+  violation.trace.assign(trace_.begin(), trace_.end());
+  ET_WARN(kComponent, "%s", violation.to_string().c_str());
+  violations_.push_back(std::move(violation));
+}
+
+void InvariantOracle::on_group_event(const core::GroupEvent& event) {
+  push_trace(event.to_string());
+
+  if (event.kind != core::GroupEvent::Kind::kBecameLeader) return;
+  const std::uint64_t label = event.label.value();
+  auto [it, first] = max_epoch_.try_emplace(label, event.epoch);
+  if (first) return;
+  if (event.epoch < it->second) {
+    // During a split (and while the fence converges after the heal) a
+    // lower-epoch side legitimately elects at its own pace; only a
+    // regression on a whole network is a bug.
+    const Time now = system_.sim().now();
+    const bool settling =
+        system_.medium().partitioned() ||
+        (heal_seen_ && now - last_heal_ < config_.heal_settle);
+    if (!settling) {
+      std::string detail = "node ";
+      detail += std::to_string(event.node.value());
+      detail += " assumed leadership at epoch ";
+      detail += std::to_string(event.epoch);
+      detail += " below the label's high-water epoch ";
+      detail += std::to_string(it->second);
+      record(InvariantViolation::Kind::kEpochRegression, event.type_index,
+             event.label, std::move(detail));
+    }
+  }
+  it->second = std::max(it->second, event.epoch);
+}
+
+void InvariantOracle::on_transport_event(NodeId node,
+                                         const core::TransportEvent& event) {
+  std::string line = event.time.to_string();
+  line += " node ";
+  line += std::to_string(node.value());
+  line += " mtp-";
+  line += core::transport_event_kind_name(event.kind);
+  line += " label ";
+  line += event.dst_label.to_string();
+  line += " seq ";
+  line += std::to_string(event.seq);
+  push_trace(std::move(line));
+
+  switch (event.kind) {
+    case core::TransportEvent::Kind::kDelivered: {
+      const std::array<std::uint64_t, 4> key{
+          node.value(), event.origin.value(), event.dst_label.value(),
+          event.seq};
+      // Fire-and-forget sends all carry seq 0 and make no uniqueness
+      // promise; only reliable transfers (nonzero seq) are checked.
+      if (event.seq == 0) break;
+      if (!delivered_.insert(key).second) {
+        std::string detail = "node ";
+        detail += std::to_string(node.value());
+        detail += " dispatched transfer (origin ";
+        detail += std::to_string(event.origin.value());
+        detail += ", seq ";
+        detail += std::to_string(event.seq);
+        detail += ") twice";
+        record(InvariantViolation::Kind::kDuplicateDelivery, 0,
+               event.dst_label, std::move(detail));
+      }
+      break;
+    }
+    case core::TransportEvent::Kind::kRetransmit: {
+      const int budget =
+          system_.stack(node).transport()->config().max_retries;
+      if (event.attempt > budget) {
+        std::string detail = "transfer seq ";
+        detail += std::to_string(event.seq);
+        detail += " retransmitted ";
+        detail += std::to_string(event.attempt);
+        detail += " times against a budget of ";
+        detail += std::to_string(budget);
+        record(InvariantViolation::Kind::kRetryBudgetExceeded, 0,
+               event.dst_label, std::move(detail));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void InvariantOracle::scan_leaders() {
+  checks_run_++;
+  radio::Medium& medium = system_.medium();
+  const Time now = system_.sim().now();
+
+  const bool parted = medium.partitioned();
+  if (was_partitioned_ && !parted) {
+    heal_seen_ = true;
+    last_heal_ = now;
+  }
+  was_partitioned_ = parted;
+
+  // All current leaders, grouped by (type, label).
+  std::map<std::pair<core::TypeIndex, std::uint64_t>,
+           std::vector<NodeId>>
+      leaders;
+  for (std::size_t i = 0; i < system_.node_count(); ++i) {
+    const NodeId node{i};
+    core::GroupManager& groups = system_.stack(node).groups();
+    for (std::size_t t = 0; t < groups.type_count(); ++t) {
+      const auto type = static_cast<core::TypeIndex>(t);
+      if (groups.role(type) != core::Role::kLeader) continue;
+      leaders[{type, groups.current_label(type).value()}].push_back(node);
+    }
+  }
+
+  std::set<std::pair<core::TypeIndex, std::uint64_t>> dual_now;
+  for (const auto& [key, nodes] : leaders) {
+    if (nodes.size() < 2) continue;
+    // Leaders isolated from each other by a partition are expected; only
+    // mutually reachable ones must converge.
+    bool overlap = false;
+    for (std::size_t a = 0; a < nodes.size() && !overlap; ++a) {
+      for (std::size_t b = a + 1; b < nodes.size(); ++b) {
+        if (medium.same_partition(nodes[a], nodes[b])) {
+          overlap = true;
+          break;
+        }
+      }
+    }
+    if (!overlap) continue;
+    dual_now.insert(key);
+    auto [it, first] = dual_since_.try_emplace(key, now);
+    if (!first && now - it->second >= config_.leader_overlap_grace) {
+      std::string detail = "nodes";
+      for (NodeId node : nodes) {
+        detail += ' ';
+        detail += std::to_string(node.value());
+        detail += "(epoch ";
+        detail +=
+            std::to_string(system_.stack(node).groups().current_epoch(
+                key.first));
+        detail += ", comp ";
+        detail += std::to_string(medium.partition_component(node));
+        detail += ')';
+      }
+      detail += " co-led past the grace window";
+      record(InvariantViolation::Kind::kDualLeader, key.first,
+             LabelId{key.second}, std::move(detail));
+      it->second = now;  // re-arm: flag again only after another full window
+    }
+  }
+  // Labels that converged reset their overlap clock.
+  for (auto it = dual_since_.begin(); it != dual_since_.end();) {
+    if (dual_now.count(it->first) == 0) {
+      it = dual_since_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string InvariantOracle::report() const {
+  if (violations_.empty()) {
+    return "invariant oracle: all invariants held (" +
+           std::to_string(checks_run_) + " scans)";
+  }
+  std::string out = "invariant oracle: ";
+  out += std::to_string(violations_.size());
+  out += " violation(s)\n";
+  for (const InvariantViolation& violation : violations_) {
+    out += violation.to_string();
+    out += '\n';
+    for (const std::string& line : violation.trace) {
+      out += "    | ";
+      out += line;
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace et::metrics

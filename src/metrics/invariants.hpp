@@ -1,0 +1,122 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/system.hpp"
+#include "core/transport.hpp"
+
+/// Runtime protocol-invariant oracle.
+///
+/// Watches a running deployment (group events, transport events, periodic
+/// role scans) and checks the safety properties the protocol is supposed to
+/// provide, so chaos runs fail loudly at the moment an invariant breaks
+/// instead of producing silently-wrong metrics:
+///
+///   1. At most one leader per context label per partition component —
+///      transient dual leadership is legal while the id tiebreak / epoch
+///      fence converges, so overlap only counts after a grace window.
+///   2. Leadership-epoch monotonicity: nobody assumes leadership of a label
+///      at an epoch below one the label was already led at (checked only
+///      while the network is whole; during a partition each side may
+///      legitimately run at its own epoch, so checks resume one grace
+///      window after the last heal).
+///   3. No duplicate delivery: the reliable transport never dispatches the
+///      same (origin, label, seq) invocation twice on one node.
+///   4. Bounded retransmission: no transfer is retransmitted more often
+///      than its stack's configured retry budget.
+///
+/// Every violation captures a minimal trace — the most recent protocol
+/// events — so a failing chaos run points at the offending interleaving.
+namespace et::metrics {
+
+struct InvariantConfig {
+  /// Same-label leaders may coexist (takeover races, heal convergence) for
+  /// up to this long before overlap is a violation. ~4 heartbeat periods.
+  Duration leader_overlap_grace = Duration::seconds(2);
+  /// Leadership scan period.
+  Duration check_period = Duration::millis(100);
+  /// Epoch-monotonicity checks stay suspended for this long after a
+  /// partition heals (stale-epoch takeovers during convergence are the
+  /// fence's job to clean up, not a bug).
+  Duration heal_settle = Duration::seconds(2);
+  /// Protocol events retained for violation traces.
+  std::size_t trace_depth = 16;
+};
+
+struct InvariantViolation {
+  enum class Kind {
+    kDualLeader,
+    kEpochRegression,
+    kDuplicateDelivery,
+    kRetryBudgetExceeded,
+  };
+
+  Kind kind;
+  Time time;
+  core::TypeIndex type_index = 0;
+  LabelId label;
+  std::string detail;
+  /// The most recent protocol events leading up to the violation.
+  std::vector<std::string> trace;
+
+  std::string to_string() const;
+};
+
+const char* invariant_kind_name(InvariantViolation::Kind kind);
+
+class InvariantOracle final : public core::GroupObserver {
+ public:
+  /// Attaches to a *started* system: subscribes to group events on every
+  /// mote, to transport events on every stack that has a transport, and
+  /// arms the periodic leadership scan.
+  InvariantOracle(core::EnviroTrackSystem& system, InvariantConfig config = {});
+
+  InvariantOracle(const InvariantOracle&) = delete;
+  InvariantOracle& operator=(const InvariantOracle&) = delete;
+
+  void on_group_event(const core::GroupEvent& event) override;
+  void on_transport_event(NodeId node, const core::TransportEvent& event);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  std::uint64_t checks_run() const { return checks_run_; }
+
+  /// Human-readable summary of every violation with its trace; "all
+  /// invariants held" when clean.
+  std::string report() const;
+
+ private:
+  void scan_leaders();
+  void record(InvariantViolation::Kind kind, core::TypeIndex type,
+              LabelId label, std::string detail);
+  void push_trace(std::string line);
+
+  core::EnviroTrackSystem& system_;
+  InvariantConfig config_;
+  sim::EventHandle scan_timer_;
+
+  /// (type, label) pairs currently in dual leadership, with overlap start.
+  std::map<std::pair<core::TypeIndex, std::uint64_t>, Time> dual_since_;
+  /// Highest epoch each label has been led at (invariant 2).
+  std::map<std::uint64_t, std::uint64_t> max_epoch_;
+  /// Exact (receiver, origin, label, seq) tuples delivered (invariant 3).
+  std::set<std::array<std::uint64_t, 4>> delivered_;
+  /// Most recent heal; epoch checks resume heal_settle later.
+  Time last_heal_;
+  bool heal_seen_ = false;
+  bool was_partitioned_ = false;
+
+  std::deque<std::string> trace_;
+  std::vector<InvariantViolation> violations_;
+  std::uint64_t checks_run_ = 0;
+};
+
+}  // namespace et::metrics

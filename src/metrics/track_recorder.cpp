@@ -9,6 +9,18 @@ TrackRecorder::TrackRecorder(core::EnviroTrackSystem& system,
   system_.stack(base_station)
       .on_user_message([this](const core::UserMessagePayload& msg, NodeId) {
         if (msg.tag != tag_ || msg.data.size() < 2) return;
+        // Epoch fence: a stale leader (fenced after a partition heal) may
+        // still have reports in flight; once a higher-epoch report for the
+        // label has arrived, discard anything older.
+        auto [eit, first] = highest_epoch_.try_emplace(msg.src_label,
+                                                       msg.epoch);
+        if (!first) {
+          if (msg.epoch < eit->second) {
+            stale_discarded_++;
+            return;
+          }
+          eit->second = std::max(eit->second, msg.epoch);
+        }
         const Time now = system_.sim().now();
         const Vec2 reported{msg.data[0], msg.data[1]};
         const Vec2 actual =

@@ -40,12 +40,19 @@ class TrackRecorder {
   double mean_error() const;
   double max_error() const;
 
+  /// Reports discarded because they carried a leadership epoch lower than
+  /// the highest already seen for their label (stale pre-partition leader).
+  std::uint64_t stale_discarded() const { return stale_discarded_; }
+
  private:
   core::EnviroTrackSystem& system_;
   TargetId target_;
   std::string tag_;
   std::vector<TrackPoint> points_;
   std::unordered_map<LabelId, bool> labels_;
+  /// Per-label epoch high-water mark for the fence.
+  std::unordered_map<LabelId, std::uint64_t> highest_epoch_;
+  std::uint64_t stale_discarded_ = 0;
 };
 
 }  // namespace et::metrics

@@ -174,7 +174,16 @@ void GeoRouting::transmit_hop(std::uint64_t envelope_id) {
   hop.attempts_left--;
   mote_.unicast(hop.next_hop, radio::MsgType::kRoute,
                 std::make_shared<RoutePayload>(hop.envelope));
-  hop.timeout = mote_.sim().schedule(config_.ack_timeout, [this, envelope_id] {
+  // Exponential backoff + jitter per attempt. The growing timeout also
+  // absorbs MAC queueing delay under load, so a congested (but alive) link
+  // is not misdiagnosed as dead and swept for fallbacks.
+  const int attempt = config_.hop_attempts - hop.attempts_left - 1;
+  double backoff = 1.0;
+  for (int i = 0; i < attempt; ++i) backoff *= config_.retry_backoff;
+  const double jitter =
+      1.0 + config_.retry_jitter * mote_.rng().next_double();
+  hop.timeout = mote_.sim().schedule(
+      config_.ack_timeout * (backoff * jitter), [this, envelope_id] {
     auto pending_it = pending_.find(envelope_id);
     if (pending_it == pending_.end()) return;  // acked meanwhile
     PendingHop& pending = pending_it->second;
@@ -184,15 +193,19 @@ void GeoRouting::transmit_hop(std::uint64_t envelope_id) {
       return;
     }
     // This link is dead (crashed node or persistent interference): route
-    // around it through the next-closest alive neighbour.
+    // around it through the next-closest alive neighbour — but only a
+    // bounded number of times per envelope, or a loss burst turns every
+    // envelope into a broadcast storm over all closer neighbours.
     pending.dead.push_back(pending.next_hop);
-    if (const auto alternative =
-            best_next_hop(pending.envelope.dest, pending.dead)) {
-      pending.next_hop = *alternative;
-      pending.attempts_left = config_.hop_attempts;
-      stats_.retries++;
-      transmit_hop(envelope_id);
-      return;
+    if (static_cast<int>(pending.dead.size()) <= config_.max_fallbacks) {
+      if (const auto alternative =
+              best_next_hop(pending.envelope.dest, pending.dead)) {
+        pending.next_hop = *alternative;
+        pending.attempts_left = config_.hop_attempts;
+        stats_.retries++;
+        transmit_hop(envelope_id);
+        return;
+      }
     }
     // No alternative: for coordinate-addressed envelopes this node is the
     // closest *reachable* one and consumes; targeted envelopes drop.

@@ -42,6 +42,20 @@ struct RoutingConfig {
   int hop_attempts = 3;
   /// How long to wait for the next hop's ack before retrying.
   Duration ack_timeout = Duration::millis(60);
+  /// Ack-timeout multiplier per successive attempt of the same hop. A flat
+  /// retry cadence melts down under load: when the MAC queue backs up, the
+  /// queueing delay alone exceeds the timeout, every healthy link looks
+  /// dead, and the retries feed the very congestion that started it.
+  double retry_backoff = 2.0;
+  /// Uniform jitter fraction on top of the backoff (desynchronises relays
+  /// that lost the same frame). Drawn from the mote's RNG stream, so runs
+  /// stay bit-reproducible.
+  double retry_jitter = 0.5;
+  /// Dead-neighbour fallbacks tried per envelope before giving up. In a
+  /// dense deployment an uncapped sweep re-sends the envelope to every
+  /// closer neighbour — tens of transmissions per envelope during a loss
+  /// burst, which is exactly when the channel can least afford them.
+  int max_fallbacks = 3;
   /// TTL for new envelopes.
   std::uint16_t max_hops = 32;
   /// Remembered envelope ids for duplicate suppression.

@@ -26,8 +26,12 @@ const char* msg_type_name(MsgType type) {
       return "dir-query";
     case MsgType::kDirReply:
       return "dir-reply";
+    case MsgType::kDirFence:
+      return "dir-fence";
     case MsgType::kMtpData:
       return "mtp-data";
+    case MsgType::kMtpAck:
+      return "mtp-ack";
     case MsgType::kRoute:
       return "route";
     case MsgType::kRouteAck:
@@ -130,7 +134,8 @@ bool Medium::channel_busy_at(NodeId id) const {
       config_.use_spatial_index ? active_ : history_;
   for (const Transmission& tx : haystack) {
     if (tx.end > now && tx.start <= now &&
-        (tx.src == id || audible_at(pos, tx.pos))) {
+        (tx.src == id ||
+         (same_partition(tx.src, id) && audible_at(pos, tx.pos)))) {
       return true;
     }
   }
@@ -244,7 +249,11 @@ bool Medium::corrupted_at(NodeId receiver, Time start, Time end,
     const bool overlaps = tx.start < end && tx.end > start;
     if (!overlaps) continue;
     // Half-duplex: the receiver's own transmission always interferes.
-    if (tx.src == receiver || audible_at(pos, tx.pos)) return true;
+    // Transmissions from other partition components do not (RF isolation).
+    if (tx.src == receiver ||
+        (same_partition(tx.src, receiver) && audible_at(pos, tx.pos))) {
+      return true;
+    }
   }
   return false;
 }
@@ -279,6 +288,12 @@ void Medium::deliver(const Frame& frame, Time start, Time end,
   auto attempt = [&](NodeId receiver) {
     const Endpoint& rx = endpoints_[receiver.value()];
     if (!rx.receiver_enabled || rx.blackout) return;
+    if (!same_partition(frame.src, receiver)) {
+      // Checked before any RNG draw so partitioned and unpartitioned code
+      // paths consume the stream identically for the surviving receivers.
+      ts.pair_blocked_partition++;
+      return;
+    }
     ts.pair_attempts++;
     if (config_.model_collisions && corrupted_at(receiver, start, end, tx_id)) {
       ts.pair_lost_collision++;
@@ -342,6 +357,12 @@ void Medium::deliver(const Frame& frame, Time start, Time end,
   }
 
   if (delivered == 0) ts.lost++;
+}
+
+void Medium::set_partition(std::vector<std::uint32_t> component_of) {
+  assert(component_of.empty() || component_of.size() == endpoints_.size());
+  partition_of_ = std::move(component_of);
+  partition_version_++;
 }
 
 void Medium::set_receiver_enabled(NodeId id, bool enabled) {

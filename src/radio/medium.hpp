@@ -139,6 +139,26 @@ class Medium {
     return endpoints_[id.value()].blackout;
   }
 
+  /// Fault injection: splits the network into isolated reachability
+  /// components. `component_of[node]` assigns each node a component id;
+  /// frames (and interference, and carrier sense) cross component
+  /// boundaries in neither direction — RF isolation, as if a wall dropped
+  /// between the groups. An empty vector heals the partition.
+  void set_partition(std::vector<std::uint32_t> component_of);
+  void clear_partition() { set_partition({}); }
+  bool partitioned() const { return !partition_of_.empty(); }
+  /// Component id of `id` (0 for every node when unpartitioned).
+  std::uint32_t partition_component(NodeId id) const {
+    return partition_of_.empty() ? 0u : partition_of_[id.value()];
+  }
+  bool same_partition(NodeId a, NodeId b) const {
+    return partition_of_.empty() ||
+           partition_of_[a.value()] == partition_of_[b.value()];
+  }
+  /// Bumped on every set_partition/clear_partition; lets observers (the
+  /// invariant oracle) cheaply detect topology changes.
+  std::uint64_t partition_version() const { return partition_version_; }
+
   /// Total receiver-off time including a currently-open sleep interval.
   Duration radio_off_total(NodeId id) const {
     const Endpoint& ep = endpoints_[id.value()];
@@ -256,6 +276,9 @@ class Medium {
   /// delivery's interference window can reach (prune cutoff).
   Duration max_airtime_ = Duration::zero();
   std::uint64_t next_tx_id_ = 0;
+  /// Partition component per node; empty = fully connected.
+  std::vector<std::uint32_t> partition_of_;
+  std::uint64_t partition_version_ = 0;
   MediumStats stats_;
 };
 

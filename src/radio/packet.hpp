@@ -24,14 +24,16 @@ enum class MsgType : std::uint16_t {
   kDirUpdate,     // context label -> directory location update (§5.3)
   kDirQuery,      // "where are all the fires?" (§5.3)
   kDirReply,      // directory answer
+  kDirFence,      // directory -> stale leader: a higher epoch is registered
   kMtpData,       // transport-layer remote method invocation (§5.4)
+  kMtpAck,        // end-to-end acknowledgement of kMtpData (reliable mode)
   kRoute,         // geographic-routing encapsulation (multi-hop relay)
   kRouteAck,      // per-hop acknowledgement of kRoute
   kCrossTraffic,  // background noise generator (§6.2 bottleneck test)
   kUser,          // application-defined
 };
 
-inline constexpr std::size_t kMsgTypeCount = 11;
+inline constexpr std::size_t kMsgTypeCount = 13;
 
 const char* msg_type_name(MsgType type);
 

@@ -30,6 +30,10 @@ struct TypeStats {
   /// Losses drawn while the receiver's Gilbert–Elliott chain was in the Bad
   /// (burst) state; Good-state losses count as pair_lost_random.
   std::uint64_t pair_lost_burst = 0;
+  /// In-range (receiver, frame) pairs suppressed because the two nodes were
+  /// in different partition components (fault injection). Not counted as
+  /// pair_attempts: a partitioned pair is effectively out of range.
+  std::uint64_t pair_blocked_partition = 0;
 
   /// Fraction of sent frames that were lost (never received where it
   /// mattered). Returns 0 when nothing was sent.
@@ -74,6 +78,7 @@ struct MediumStats {
       t.pair_lost_collision += s.pair_lost_collision;
       t.pair_lost_random += s.pair_lost_random;
       t.pair_lost_burst += s.pair_lost_burst;
+      t.pair_blocked_partition += s.pair_blocked_partition;
     }
     return t;
   }

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "metrics/invariants.hpp"
+#include "test_world.hpp"
+
+/// Epoch-fencing regression pair, built around *label fission*: two
+/// co-located stimuli drift apart until the single group tracking them is
+/// torn into two disjoint clusters that inherited the same context label.
+/// Once the clusters are beyond radio range the heartbeat duel can never
+/// connect them again; the directory rendezvous is the only state both
+/// incarnations still share. With fencing disabled both clusters co-lead
+/// the label indefinitely — the at-most-one-leader invariant the runtime
+/// oracle must flag. With fencing enabled the directory rejects the losing
+/// incarnation's refresh (lower epoch, or the heartbeat duel's lower-id
+/// tie-break at equal epochs), routes a fence notice back, and the fenced
+/// leader dissolves its cluster so the locally sensed entity re-forms
+/// under a fresh label instead of resurrecting the fenced one.
+namespace et::test {
+namespace {
+
+using metrics::InvariantOracle;
+using metrics::InvariantViolation;
+
+bool has_violation(const InvariantOracle& oracle,
+                   InvariantViolation::Kind kind) {
+  for (const auto& violation : oracle.violations()) {
+    if (violation.kind == kind) return true;
+  }
+  return false;
+}
+
+TestWorld::Options fission_options(bool fencing) {
+  TestWorld::Options options;
+  options.rows = 3;
+  options.cols = 14;
+  options.enable_directory = true;
+  options.group.epoch_fencing_enabled = fencing;
+  // Fast refreshes so fence evidence reaches the stale incarnation well
+  // inside the oracle's leader-overlap grace window.
+  options.directory.update_period = Duration::millis(500);
+  // These tests probe protocol semantics; a roomier task queue keeps
+  // MCU-overload heartbeat drops from perturbing the scenario.
+  options.cpu.queue_capacity = 64;
+  return options;
+}
+
+/// Drives the fission: both blobs start co-located (one group, one label)
+/// and separate to opposite ends of the field, out of radio range.
+void run_fission(TestWorld& world) {
+  world.add_moving_blob({5.5, 1.0}, {11.5, 1.0}, 1.0);
+  world.add_moving_blob({5.5, 1.0}, {0.5, 1.0}, 1.0);
+  world.run(22);
+}
+
+TEST(EpochFencing, DisabledAllowsFissionedCoLeaders) {
+  TestWorld world(fission_options(false));
+  InvariantOracle oracle(world.system());
+  run_fission(world);
+
+  const auto leaders = world.leaders();
+  ASSERT_EQ(leaders.size(), 2u)
+      << "each fissioned cluster must end with its own leader";
+  EXPECT_EQ(world.groups(leaders[0]).current_label(0),
+            world.groups(leaders[1]).current_label(0))
+      << "both incarnations keep leading the pre-fission label";
+  EXPECT_TRUE(has_violation(oracle, InvariantViolation::Kind::kDualLeader))
+      << "the oracle must flag the persistent same-label co-leaders\n"
+      << oracle.report();
+
+  std::uint64_t fenced = 0;
+  for (std::size_t i = 0; i < world.system().node_count(); ++i) {
+    fenced += world.groups(NodeId{i}).stats().fenced;
+  }
+  EXPECT_EQ(fenced, 0u) << "nothing may fence with the feature disabled";
+}
+
+TEST(EpochFencing, EnabledRetiresOneIncarnationViaDirectory) {
+  TestWorld world(fission_options(true));
+  InvariantOracle oracle(world.system());
+  run_fission(world);
+
+  const auto leaders = world.leaders();
+  ASSERT_EQ(leaders.size(), 2u)
+      << "both entities must still be tracked after the fence";
+  EXPECT_NE(world.groups(leaders[0]).current_label(0),
+            world.groups(leaders[1]).current_label(0))
+      << "the fenced cluster must re-form under a fresh label";
+
+  std::uint64_t fenced = 0;
+  for (std::size_t i = 0; i < world.system().node_count(); ++i) {
+    fenced += world.groups(NodeId{i}).stats().fenced;
+  }
+  EXPECT_GE(fenced, 1u)
+      << "the directory must have fenced the losing incarnation";
+  EXPECT_FALSE(has_violation(oracle, InvariantViolation::Kind::kDualLeader))
+      << oracle.report();
+  EXPECT_TRUE(oracle.ok()) << oracle.report();
+
+  std::uint64_t fences_sent = 0;
+  for (std::size_t i = 0; i < world.system().node_count(); ++i) {
+    const auto* dir = world.system().stack(NodeId{i}).directory();
+    if (dir) fences_sent += dir->stats().fences_sent;
+  }
+  EXPECT_GE(fences_sent, 1u)
+      << "the fence must have traveled through the directory rendezvous";
+}
+
+}  // namespace
+}  // namespace et::test

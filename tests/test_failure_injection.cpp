@@ -331,6 +331,70 @@ TEST(FailureInjection, SensorDropoutRelinquishesAndRecovers) {
   EXPECT_EQ(injector.stats().sensor_dropouts, 1u);
 }
 
+TEST(FailureInjection, RebootIsIdempotentWithinOneTick) {
+  // Two reboot faults landing on the same node at the same instant (easy
+  // to produce with overlapping fault plans) must apply exactly once: the
+  // second sees a live node and is a no-op, not a double re-init.
+  TestWorld world;
+  world.add_blob({3.5, 1.0}, 1.8);
+  world.run(4);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  const LabelId label = world.groups(*leader).current_label(0);
+  fault::FaultInjector injector(world.system());
+
+  injector.crash(*leader);
+  world.run(1.5);
+  injector.reboot(*leader);
+  injector.reboot(*leader);  // same tick: must be swallowed
+  EXPECT_EQ(injector.stats().reboots, 1u);
+  ASSERT_EQ(injector.records().size(), 2u);  // one crash + one reboot
+
+  world.run(4);
+  const auto survivor = world.sole_leader();
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_EQ(world.groups(*survivor).current_label(0), label);
+  EXPECT_TRUE(world.groups(*leader).alive());
+  EXPECT_NE(world.groups(*leader).role(0), core::Role::kIdle)
+      << "the doubly-rebooted node must come back exactly like a single "
+         "reboot";
+
+  // A reboot aimed at a node that was never down is likewise a no-op.
+  injector.reboot(NodeId{0});
+  EXPECT_EQ(injector.stats().reboots, 1u);
+}
+
+TEST(FailureInjection, RebootDuringBlackoutRecoversAfterRadioReturns) {
+  // A node that reboots while its RF is blacked out comes up deaf: it
+  // must neither wedge nor corrupt the group, and must rejoin cleanly
+  // once the radio returns.
+  TestWorld world;
+  world.add_blob({3.5, 1.0}, 1.8);
+  world.run(4);
+  const auto leader = world.sole_leader();
+  ASSERT_TRUE(leader.has_value());
+  const LabelId label = world.groups(*leader).current_label(0);
+  fault::FaultInjector injector(world.system());
+
+  injector.crash(*leader);
+  injector.set_radio_blackout(*leader, true);
+  world.run(2);  // the rest of the group takes the label over
+  injector.reboot(*leader);  // reboots into the blackout
+  world.run(2);
+  EXPECT_TRUE(world.groups(*leader).alive());
+
+  injector.set_radio_blackout(*leader, false);
+  world.run(6);
+  const auto survivor = world.sole_leader();
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_EQ(world.groups(*survivor).current_label(0), label)
+      << "the label must survive a reboot that lands inside a blackout";
+  EXPECT_NE(world.groups(*leader).role(0), core::Role::kIdle)
+      << "the node must rejoin once it can hear heartbeats again";
+  EXPECT_EQ(injector.stats().reboots, 1u);
+  EXPECT_EQ(injector.stats().blackouts, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Chaos soaks on the tank scenario: burst loss + periodic leader murder.
 // ---------------------------------------------------------------------------

@@ -26,7 +26,10 @@ class TestWorld {
     double loss_probability = 0.0;  // lossless by default
     bool model_collisions = false;  // deterministic by default
     core::GroupConfig group;
+    core::TransportConfig transport;
+    core::DirectoryConfig directory;
     node::CpuConfig cpu;
+    radio::BurstLossConfig burst_loss;
     bool enable_directory = false;
     bool enable_transport = false;
     std::size_t critical_mass = 2;
@@ -54,8 +57,11 @@ class TestWorld {
     config.radio.model_collisions = options.model_collisions;
     config.radio.carrier_sense_miss =
         options.model_collisions ? 0.1 : 0.0;
+    config.radio.burst_loss = options.burst_loss;
     config.cpu = options.cpu;
     config.middleware.group = options.group;
+    config.middleware.transport = options.transport;
+    config.middleware.directory = options.directory;
     config.middleware.group.suppression_radius =
         std::max(options.group.suppression_radius,
                  2.0 * options.sensing_radius);
