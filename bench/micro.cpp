@@ -8,6 +8,8 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -162,6 +164,56 @@ BENCHMARK(BM_DenseBroadcast)
     ->ArgsProduct({{100, 1000, 5000}, {0, 1}})
     ->ArgNames({"n", "index"});
 
+/// Large-world scaling: N motes (squarest rows x cols factorisation), the
+/// tank crossing the middle band, two simulated seconds per measurement.
+/// threads:0 is the serial canonical oracle; threads:k runs the tiled
+/// parallel kernel. Reported as sim-seconds per wall-second; the reporter
+/// derives speedup_vs_serial rows from the threads:0 baseline.
+void BM_ScalingTank(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  constexpr double kSimSeconds = 2.0;
+  std::size_t rows = 1, cols = n;
+  for (auto r = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
+       r >= 1; --r) {
+    if (n % r == 0) {
+      rows = r;
+      cols = n / r;
+      break;
+    }
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    scenario::TankScenarioParams params;
+    params.rows = rows;
+    params.cols = cols;
+    params.track_y = rows / 2.0;
+    params.speed_hops_per_s = 5.0;
+    // The ground-truth monitor scans all N stacks per sample (serial);
+    // sample sparsely so the kernel, not the instrumentation, is measured.
+    params.coherence_sample_period = Duration::seconds(1);
+    params.kernel.canonical_order = true;
+    if (threads > 0) {
+      params.kernel.use_parallel_kernel = true;
+      params.kernel.threads = threads;
+    }
+    auto tank = std::make_unique<scenario::TankScenario>(params);
+    state.ResumeTiming();
+    tank->run_for(Duration::seconds(kSimSeconds));
+    state.PauseTiming();
+    tank.reset();  // teardown of N motes stays outside the measurement
+    state.ResumeTiming();
+  }
+  state.counters["sim_sps"] = benchmark::Counter(
+      kSimSeconds * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScalingTank)
+    ->ArgsProduct({{10000, 50000, 100000}, {0, 1, 2, 4, 8}})
+    ->ArgNames({"n", "threads"})
+    ->UseRealTime()
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
 void BM_TankScenarioSecond(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
@@ -193,6 +245,26 @@ class RowReporter final : public benchmark::ConsoleReporter {
         rows_.add(run.benchmark_name(), 0, "items_per_second",
                   static_cast<double>(items->second));
       }
+      const auto sps = run.counters.find("sim_sps");
+      if (sps != run.counters.end()) {
+        const std::string name = run.benchmark_name();
+        rows_.add(name, 0, "sim_seconds_per_second",
+                  static_cast<double>(sps->second));
+        // threads:0 is the serial oracle baseline for its world size; every
+        // later threads:k run of the same size gets a speedup row.
+        const auto pos = name.find("threads:");
+        if (pos == std::string::npos) continue;
+        const std::string size_key = name.substr(0, pos);
+        const bool is_serial = name.compare(pos + 8, 2, "0/") == 0 ||
+                               name.compare(pos + 8, std::string::npos, "0") == 0;
+        if (is_serial) {
+          serial_rate_[size_key] = static_cast<double>(sps->second);
+        } else if (const auto it = serial_rate_.find(size_key);
+                   it != serial_rate_.end() && it->second > 0) {
+          rows_.add(name, 0, "speedup_vs_serial",
+                    static_cast<double>(sps->second) / it->second);
+        }
+      }
     }
   }
 
@@ -200,6 +272,7 @@ class RowReporter final : public benchmark::ConsoleReporter {
 
  private:
   et::bench::JsonRows rows_;
+  std::map<std::string, double> serial_rate_;
 };
 
 }  // namespace

@@ -1,8 +1,30 @@
 #include "core/system.hpp"
 
 #include <cassert>
+#include <utility>
 
 namespace et::core {
+
+namespace {
+
+/// Re-emits group events through the master simulator's op path so the real
+/// observer runs on the master thread, in canonical key order — the same
+/// order the serial canonical oracle calls it in.
+class JournaledObserver final : public GroupObserver {
+ public:
+  JournaledObserver(sim::Simulator& sim, GroupObserver* target)
+      : sim_(sim), target_(target) {}
+
+  void on_group_event(const GroupEvent& event) override {
+    sim_.post_op([target = target_, event] { target->on_group_event(event); });
+  }
+
+ private:
+  sim::Simulator& sim_;
+  GroupObserver* target_;
+};
+
+}  // namespace
 
 EnviroTrackSystem::EnviroTrackSystem(sim::Simulator& sim,
                                      env::Environment& env,
@@ -12,9 +34,40 @@ EnviroTrackSystem::EnviroTrackSystem(sim::Simulator& sim,
       env_(env),
       field_(field),
       config_(config),
+      kernel_(config.kernel.use_parallel_kernel
+                  ? std::make_unique<sim::ParallelKernel>(
+                        sim, config.kernel,
+                        config.kernel.tile_cell_size > 0.0
+                            ? config.kernel.tile_cell_size
+                            : config.radio.comm_radius)
+                  : nullptr),
       medium_(sim, config.radio),
-      network_(sim, medium_, env, field, config.cpu),
-      aggregations_(AggregationRegistry::with_builtins()) {}
+      network_(sim, medium_, env, field, config.cpu,
+               kernel_ ? node::MoteNetwork::SimSelector(
+                             [this](NodeId, Vec2 pos) -> sim::Simulator& {
+                               return kernel_->sim_for(pos.x, pos.y);
+                             })
+                       : node::MoteNetwork::SimSelector{}),
+      aggregations_(AggregationRegistry::with_builtins()) {
+  if (config_.kernel.canonical()) {
+    canonical_ = true;
+    // One sequence counter per owner: every mote, the channel, the world.
+    auto counters = std::make_shared<std::vector<std::uint64_t>>(
+        network_.size() + 2, 0);
+    if (kernel_) {
+      for (sim::Simulator* engine : kernel_->all_sims()) {
+        engine->enable_canonical(counters);
+      }
+      kernel_->finalize(medium_.min_airtime(),
+                        [this](Time t) { env_.prepare(t); });
+    } else {
+      sim_.enable_canonical(std::move(counters));
+    }
+    medium_.enable_canonical([this](NodeId id) -> sim::Simulator& {
+      return network_.mote(id).sim();
+    });
+  }
+}
 
 TypeIndex EnviroTrackSystem::add_context_type(ContextTypeSpec spec) {
   assert(!started_ && "context types must be declared before start()");
@@ -27,16 +80,66 @@ void EnviroTrackSystem::start() {
   started_ = true;
   stacks_.reserve(network_.size());
   for (std::size_t i = 0; i < network_.size(); ++i) {
+    // Stack construction and start-up schedule per-mote timers (heartbeat
+    // phases, duty cycles); attribute them to the mote so canonical keys
+    // are engine-independent.
+    sim::ExecutingOwnerScope scope(sim_, static_cast<std::uint32_t>(i));
     stacks_.push_back(std::make_unique<MiddlewareStack>(
         network_.mote(NodeId{i}), specs_, senses_, aggregations_,
         field_.bounds(), config_.middleware));
   }
-  for (auto& stack : stacks_) stack->start();
+  for (std::size_t i = 0; i < stacks_.size(); ++i) {
+    sim::ExecutingOwnerScope scope(sim_, static_cast<std::uint32_t>(i));
+    stacks_[i]->start();
+  }
+}
+
+std::size_t EnviroTrackSystem::run_until(Time deadline) {
+  if (kernel_) return kernel_->run_until(deadline);
+  const std::size_t fired = sim_.run_until(deadline);
+  sim_.finish_run(deadline);
+  return fired;
 }
 
 void EnviroTrackSystem::add_group_observer(GroupObserver* observer) {
   assert(started_);
+  if (canonical_) {
+    journaled_observers_.push_back(
+        std::make_unique<JournaledObserver>(sim_, observer));
+    observer = journaled_observers_.back().get();
+  }
   for (auto& stack : stacks_) stack->groups().add_observer(observer);
+}
+
+void EnviroTrackSystem::add_transport_listener(TransportListener fn) {
+  assert(started_);
+  auto shared = std::make_shared<TransportListener>(std::move(fn));
+  transport_listeners_.push_back(shared);
+  for (std::size_t i = 0; i < stacks_.size(); ++i) {
+    Transport* transport = stacks_[i]->transport();
+    if (!transport) continue;
+    const NodeId id{i};
+    if (canonical_) {
+      transport->add_listener([this, shared, id](const TransportEvent& event) {
+        sim_.post_op([shared, id, event] { (*shared)(id, event); });
+      });
+    } else {
+      transport->add_listener(
+          [shared, id](const TransportEvent& event) { (*shared)(id, event); });
+    }
+  }
+}
+
+void EnviroTrackSystem::crash_node(NodeId id) {
+  // Crash/reboot arrive from world context (fault injector, tests); the
+  // scope attributes the stack's scheduling and ops to the affected mote.
+  sim::ExecutingOwnerScope scope(sim_, static_cast<std::uint32_t>(id.value()));
+  stacks_[id.value()]->crash();
+}
+
+void EnviroTrackSystem::reboot_node(NodeId id) {
+  sim::ExecutingOwnerScope scope(sim_, static_cast<std::uint32_t>(id.value()));
+  stacks_[id.value()]->reboot();
 }
 
 }  // namespace et::core

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -8,6 +9,8 @@
 #include "env/field.hpp"
 #include "node/network.hpp"
 #include "radio/medium.hpp"
+#include "sim/kernel_config.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 
 /// Deployment-level facade: "the sensor network, with EnviroTrack on it".
@@ -16,14 +19,18 @@
 /// simulator, the environment, and a field layout; registers sense
 /// predicates and (optionally) custom aggregations; declares context types
 /// (directly or via the EnviroTrack language, src/etl); and starts the
-/// system. The facade owns the medium, the mote population, and one
-/// middleware stack per mote.
+/// system. The facade owns the medium, the mote population, one middleware
+/// stack per mote, and — when `SystemConfig::kernel` asks for it — the
+/// parallel tiled kernel that drives them all. Callers should advance time
+/// through `run_until`/`run_for` on the system rather than on the raw
+/// simulator, so the same scenario code runs on every kernel.
 namespace et::core {
 
 struct SystemConfig {
   radio::RadioConfig radio;
   node::CpuConfig cpu;
   MiddlewareConfig middleware;
+  sim::KernelConfig kernel;
 };
 
 class EnviroTrackSystem {
@@ -47,6 +54,11 @@ class EnviroTrackSystem {
   void start();
   bool started() const { return started_; }
 
+  /// Advances the world to `deadline` on whichever kernel this system was
+  /// configured with. Returns events fired.
+  std::size_t run_until(Time deadline);
+  std::size_t run_for(Duration span) { return run_until(sim_.now() + span); }
+
   // --- Access ---
   sim::Simulator& sim() { return sim_; }
   radio::Medium& medium() { return medium_; }
@@ -55,31 +67,49 @@ class EnviroTrackSystem {
   const env::Field& field() const { return field_; }
   const std::vector<ContextTypeSpec>& specs() const { return specs_; }
   const SystemConfig& config() const { return config_; }
+  /// Non-null when running on the parallel kernel.
+  sim::ParallelKernel* kernel() { return kernel_.get(); }
 
   MiddlewareStack& stack(NodeId id) { return *stacks_[id.value()]; }
   std::size_t node_count() const { return network_.size(); }
 
   /// Subscribes `observer` to group events on every mote (metrics layer).
-  /// Must be called after start().
+  /// Must be called after start(). In canonical order the events are
+  /// journaled through the master simulator as channel ops, so observers
+  /// run single-threaded and in canonical event order even when the
+  /// emitting motes execute on tile threads.
   void add_group_observer(GroupObserver* observer);
 
+  /// Subscribes to transport events on every mote that runs a transport,
+  /// journaled exactly like group events. `fn` receives the reporting node.
+  using TransportListener = std::function<void(NodeId, const TransportEvent&)>;
+  void add_transport_listener(TransportListener fn);
+
   /// Failure injection: crash-stops one node.
-  void crash_node(NodeId id) { stacks_[id.value()]->crash(); }
+  void crash_node(NodeId id);
 
   /// Brings a crashed node back up with factory-fresh middleware state.
-  void reboot_node(NodeId id) { stacks_[id.value()]->reboot(); }
+  void reboot_node(NodeId id);
 
  private:
   sim::Simulator& sim_;
   env::Environment& env_;
   const env::Field& field_;
   SystemConfig config_;
+  /// Constructed before the network so mote construction can ask it for
+  /// tile assignment; null on the serial kernels.
+  std::unique_ptr<sim::ParallelKernel> kernel_;
   radio::Medium medium_;
   node::MoteNetwork network_;
   SenseRegistry senses_;
   AggregationRegistry aggregations_;
   std::vector<ContextTypeSpec> specs_;
   std::vector<std::unique_ptr<MiddlewareStack>> stacks_;
+  /// Journaling proxies handed to the group managers (canonical order).
+  std::vector<std::unique_ptr<GroupObserver>> journaled_observers_;
+  /// Shared listener fan-in targets (kept alive for the stacks' lambdas).
+  std::vector<std::shared_ptr<TransportListener>> transport_listeners_;
+  bool canonical_ = false;
   bool started_ = false;
 };
 

@@ -33,6 +33,12 @@ const Target& Environment::target(TargetId id) const {
   return *targets_[id.value()];
 }
 
+void Environment::prepare(Time t) const {
+  for (const auto& tgt : targets_) {
+    tgt->trajectory->prepare(tgt->local_time(t));
+  }
+}
+
 std::vector<TargetId> Environment::active_targets(Time t) const {
   std::vector<TargetId> out;
   for (const auto& tgt : targets_) {

@@ -67,6 +67,14 @@ class Environment {
   /// around zero.
   double reading(std::string_view channel, Vec2 pos, Time t) const;
 
+  /// Materialises lazily generated trajectory state (random-walk segments)
+  /// for every query time <= `t`. The parallel kernel calls this before
+  /// each tile window so concurrent position_at/senses/reading calls are
+  /// pure reads. Note: channels with noise_stddev > 0 draw from a shared
+  /// RNG per reading and are not usable under canonical/parallel order
+  /// (every built-in scenario leaves noise at 0).
+  void prepare(Time t) const;
+
  private:
   std::vector<std::unique_ptr<Target>> targets_;
   std::map<std::string, ChannelModel, std::less<>> channels_;

@@ -26,6 +26,12 @@ class Trajectory {
   /// True once the motion has reached its terminal point (always false for
   /// unbounded motions). Used by scenarios to decide when a traverse ends.
   virtual bool finished(Time t) const = 0;
+
+  /// Materialises any lazily generated state needed to answer position_at
+  /// for every time <= `t`. The parallel kernel calls this while still
+  /// single-threaded (before each tile window), so position_at stays a pure
+  /// read afterwards. Default: nothing to prepare.
+  virtual void prepare(Time /*t*/) const {}
 };
 
 /// Stands still at a fixed point (e.g. a fire's seat).
@@ -102,6 +108,10 @@ class RandomWalkTrajectory final : public Trajectory {
 
   Vec2 position_at(Time t) const override;
   bool finished(Time) const override { return false; }
+  /// Segment generation is append-only and consumes only this trajectory's
+  /// private RNG, so preparing up front yields the same walk as extending
+  /// lazily from position_at.
+  void prepare(Time t) const override { extend_to(t); }
 
  private:
   /// Extends the precomputed segment list to cover time `t`.

@@ -157,12 +157,14 @@ void FaultInjector::apply(NodeId node, FaultKind kind) {
       if (stack.mote().is_down()) return;  // already dead: not a new fault
       stats_.crashes++;
       if (record.was_leader) stats_.leader_crashes++;
-      stack.crash();
+      // Through the system facade, which attributes the stack's scheduling
+      // to the affected mote (canonical order).
+      system_.crash_node(node);
       break;
     case FaultKind::kReboot:
       if (!stack.mote().is_down()) return;
       stats_.reboots++;
-      stack.reboot();
+      system_.reboot_node(node);
       break;
     case FaultKind::kRadioBlackoutStart:
       stats_.blackouts++;

@@ -37,14 +37,13 @@ InvariantOracle::InvariantOracle(core::EnviroTrackSystem& system,
                                  InvariantConfig config)
     : system_(system), config_(config) {
   system_.add_group_observer(this);
-  for (std::size_t i = 0; i < system_.node_count(); ++i) {
-    const NodeId node{i};
-    core::Transport* transport = system_.stack(node).transport();
-    if (!transport) continue;
-    transport->add_listener([this](const core::TransportEvent& event) {
-      on_transport_event(event.node, event);
-    });
-  }
+  // Routed through the system so transport events are journaled into
+  // canonical order (and onto the master thread) under the parallel kernel,
+  // exactly like group events.
+  system_.add_transport_listener(
+      [this](NodeId node, const core::TransportEvent& event) {
+        on_transport_event(node, event);
+      });
   scan_timer_ = system_.sim().schedule_periodic(
       config_.check_period, config_.check_period, [this] { scan_leaders(); });
 }

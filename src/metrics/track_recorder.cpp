@@ -21,7 +21,9 @@ TrackRecorder::TrackRecorder(core::EnviroTrackSystem& system,
           }
           eit->second = std::max(eit->second, msg.epoch);
         }
-        const Time now = system_.sim().now();
+        // Ambient time: this handler runs in mote context, which under the
+        // parallel kernel executes on the base station's tile engine.
+        const Time now = sim::Simulator::ambient_now(system_.sim());
         const Vec2 reported{msg.data[0], msg.data[1]};
         const Vec2 actual =
             system_.environment().target(target_).position_at(now);

@@ -46,17 +46,22 @@ void Mote::on_frame(const radio::Frame& frame) {
 }
 
 sim::EventHandle Mote::after(Duration delay, std::function<void()> fn) {
-  return sim_.schedule(delay, [this, fn = std::move(fn)] {
-    if (!down_) cpu_.post_timer(fn);
-  });
+  // Timers are mote-owned events: stamping the id keeps canonical keys
+  // identical no matter which engine (serial, or this mote's tile) runs the
+  // scheduling code.
+  return sim_.schedule_owned(static_cast<std::uint32_t>(id_.value()), delay,
+                             [this, fn = std::move(fn)] {
+                               if (!down_) cpu_.post_timer(fn);
+                             });
 }
 
 sim::EventHandle Mote::every(Duration first_delay, Duration period,
                              std::function<void()> fn) {
-  return sim_.schedule_periodic(first_delay, period,
-                                [this, fn = std::move(fn)] {
-                                  if (!down_) cpu_.post_timer(fn);
-                                });
+  return sim_.schedule_periodic_owned(static_cast<std::uint32_t>(id_.value()),
+                                      first_delay, period,
+                                      [this, fn = std::move(fn)] {
+                                        if (!down_) cpu_.post_timer(fn);
+                                      });
 }
 
 }  // namespace et::node

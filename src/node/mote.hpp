@@ -34,7 +34,11 @@ class Mote {
 
   NodeId id() const { return id_; }
   Vec2 position() const { return position_; }
-  Time now() const { return sim_.now(); }
+  /// Ambient virtual time: under the parallel kernel this mote's code can
+  /// be driven either by its tile simulator or (for crash/reboot and other
+  /// world-initiated calls) by the master, so "now" is whichever engine is
+  /// executing on the calling thread.
+  Time now() const { return sim::Simulator::ambient_now(sim_); }
   sim::Simulator& sim() { return sim_; }
   Cpu& cpu() { return cpu_; }
   const Cpu& cpu() const { return cpu_; }
@@ -47,12 +51,12 @@ class Mote {
   /// The sense_e() predicate evaluated against local hardware: does this
   /// mote currently sense a target of `type`?
   bool senses(std::string_view type) const {
-    return !sensor_down_ && env_.senses(type, position_, sim_.now());
+    return !sensor_down_ && env_.senses(type, position_, now());
   }
 
   /// Scalar sensor reading ("magnetic", "temperature", ...).
   double read_sensor(std::string_view channel) const {
-    return sensor_down_ ? 0.0 : env_.reading(channel, position_, sim_.now());
+    return sensor_down_ ? 0.0 : env_.reading(channel, position_, now());
   }
 
   /// Fault injection: a dropped-out sensor reads zero and senses nothing,

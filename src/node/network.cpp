@@ -4,12 +4,14 @@ namespace et::node {
 
 MoteNetwork::MoteNetwork(sim::Simulator& sim, radio::Medium& medium,
                          env::Environment& env, const env::Field& field,
-                         CpuConfig cpu_config) {
+                         CpuConfig cpu_config, const SimSelector& selector) {
   motes_.reserve(field.size());
   for (std::size_t i = 0; i < field.size(); ++i) {
     const NodeId id{i};
-    motes_.push_back(std::make_unique<Mote>(sim, medium, env, id,
-                                            field.position(id), cpu_config));
+    const Vec2 pos = field.position(id);
+    sim::Simulator& mote_sim = selector ? selector(id, pos) : sim;
+    motes_.push_back(
+        std::make_unique<Mote>(mote_sim, medium, env, id, pos, cpu_config));
   }
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -15,9 +16,13 @@ namespace et::node {
 
 class MoteNetwork {
  public:
+  /// Picks the simulator driving a mote's events; the parallel kernel maps
+  /// positions to spatial tiles here. Null = every mote runs on `sim`.
+  using SimSelector = std::function<sim::Simulator&(NodeId, Vec2)>;
+
   MoteNetwork(sim::Simulator& sim, radio::Medium& medium,
               env::Environment& env, const env::Field& field,
-              CpuConfig cpu_config = {});
+              CpuConfig cpu_config = {}, const SimSelector& selector = {});
 
   MoteNetwork(const MoteNetwork&) = delete;
   MoteNetwork& operator=(const MoteNetwork&) = delete;

@@ -50,6 +50,19 @@ Medium::Medium(sim::Simulator& sim, RadioConfig config)
   assert(config_.bitrate_bps > 0.0);
 }
 
+Duration Medium::min_airtime() const {
+  return Duration::seconds(static_cast<double>(config_.header_bytes) * 8.0 /
+                           config_.bitrate_bps);
+}
+
+void Medium::enable_canonical(std::function<sim::Simulator&(NodeId)> sim_of) {
+  assert(sim_of);
+  canonical_ = true;
+  sim_of_ = std::move(sim_of);
+  rx_latency_ = min_airtime();
+  assert(rx_latency_.is_positive());
+}
+
 std::int32_t Medium::cell_coord(double v) const {
   return static_cast<std::int32_t>(std::floor(v / config_.comm_radius));
 }
@@ -71,12 +84,31 @@ void Medium::gather_in_radius(Vec2 center, double radius,
                               std::uint64_t exclude,
                               std::vector<std::uint32_t>& out) const {
   out.clear();
-  for_each_nearby(center, [&](std::uint32_t idx) {
-    if (idx == exclude) return;
-    if (within_radius(center, endpoints_[idx].pos, radius)) {
-      out.push_back(idx);
+  // Resolve the 3x3 cell block once, so the candidate count is known before
+  // the scan and `out` grows in a single reserve instead of doubling
+  // through push_back.
+  const std::int32_t cx = cell_coord(center.x);
+  const std::int32_t cy = cell_coord(center.y);
+  const std::vector<std::uint32_t>* cells[9];
+  int n_cells = 0;
+  std::size_t candidates = 0;
+  for (std::int32_t dx = -1; dx <= 1; ++dx) {
+    for (std::int32_t dy = -1; dy <= 1; ++dy) {
+      const auto it = grid_.find(cell_key(cx + dx, cy + dy));
+      if (it == grid_.end()) continue;
+      cells[n_cells++] = &it->second;
+      candidates += it->second.size();
     }
-  });
+  }
+  out.reserve(candidates);
+  for (int c = 0; c < n_cells; ++c) {
+    for (std::uint32_t idx : *cells[c]) {
+      if (idx == exclude) continue;
+      if (within_radius(center, endpoints_[idx].pos, radius)) {
+        out.push_back(idx);
+      }
+    }
+  }
   // Ascending id order keeps delivery — and therefore per-receiver RNG
   // consumption — bit-identical with the brute-force scan.
   std::sort(out.begin(), out.end());
@@ -103,6 +135,18 @@ Duration Medium::airtime_of(const Frame& frame) const {
 void Medium::send(Frame frame) {
   assert(frame.src.value() < endpoints_.size());
   assert(frame.payload != nullptr);
+  if (canonical_) {
+    // Mote context may be running on a tile thread; hand the whole MAC
+    // entry (stats included) over as a channel op so all medium state stays
+    // master-confined and ops replay in canonical issue order.
+    sim_.post_op(
+        [this, frame = std::move(frame)]() mutable { send_now(std::move(frame)); });
+    return;
+  }
+  send_now(std::move(frame));
+}
+
+void Medium::send_now(Frame frame) {
   const NodeId src = frame.src;
   Endpoint& ep = endpoints_[src.value()];
   stats_.of(frame.type).offered++;
@@ -146,9 +190,13 @@ std::vector<NodeId> Medium::neighbors(NodeId id) const {
   std::vector<NodeId> out;
   const Vec2 pos = endpoints_[id.value()].pos;
   if (config_.use_spatial_index) {
-    gather_in_radius(pos, config_.comm_radius, id.value(), neighbor_scratch_);
-    out.reserve(neighbor_scratch_.size());
-    for (std::uint32_t idx : neighbor_scratch_) out.push_back(NodeId{idx});
+    // Thread-local scratch: motes on different tiles of the parallel
+    // kernel query neighbours concurrently (grid/positions are immutable
+    // after setup, so the reads themselves are safe).
+    thread_local std::vector<std::uint32_t> scratch;
+    gather_in_radius(pos, config_.comm_radius, id.value(), scratch);
+    out.reserve(scratch.size());
+    for (std::uint32_t idx : scratch) out.push_back(NodeId{idx});
     return out;
   }
   for (std::size_t i = 0; i < endpoints_.size(); ++i) {
@@ -183,7 +231,7 @@ void Medium::try_send(NodeId id) {
     const int window = 1 << std::min(ep.backoff_attempts, 5);
     const double slots = rng_.uniform(1.0, static_cast<double>(window));
     ep.backoff_pending = true;
-    sim_.schedule(config_.backoff_slot * slots, [this, id] {
+    sim_.schedule_owned(sim::kChannelRank, config_.backoff_slot * slots, [this, id] {
       endpoints_[id.value()].backoff_pending = false;
       try_send(id);
     });
@@ -218,7 +266,7 @@ void Medium::begin_transmission(NodeId id) {
   ep.stats.bits_sent += bytes * 8;
 
   ep.in_flight = std::move(frame);
-  sim_.schedule(airtime, [this, id, start, end, tx_id] {
+  sim_.schedule_owned(sim::kChannelRank, airtime, [this, id, start, end, tx_id] {
     complete_transmission(id, start, end, tx_id);
   });
 }
@@ -237,7 +285,8 @@ void Medium::complete_transmission(NodeId id, Time start, Time end,
   // Move on to the next queued frame after a short turnaround gap so two
   // frames from the same node cannot overlap.
   if (!ep.queue.empty()) {
-    sim_.schedule(Duration::micros(100), [this, id] { try_send(id); });
+    sim_.schedule_owned(sim::kChannelRank, Duration::micros(100),
+                        [this, id] { try_send(id); });
   }
 }
 
@@ -321,7 +370,23 @@ void Medium::deliver(const Frame& frame, Time start, Time end,
     ep.stats.frames_received++;
     ep.stats.bits_received +=
         (config_.header_bytes + frame.payload->size_bytes()) * 8;
-    if (ep.recv) ep.recv(frame);
+    if (canonical_) {
+      // Canonical order: hand the frame to the receiver's simulator one
+      // min_airtime() after completion. The latency is what lets tiles run
+      // a whole lookahead window without hearing from the channel; the
+      // serial canonical oracle applies the same latency, so the two
+      // engines stay bit-exact.
+      sim_of_(receiver).schedule_at_key(
+          sim::EventKey{end + rx_latency_, sim::kChannelRank,
+                        sim_.alloc_seq(sim::kChannelRank)},
+          static_cast<std::uint32_t>(receiver.value()),
+          [this, receiver, frame] {
+            const Endpoint& rx_ep = endpoints_[receiver.value()];
+            if (rx_ep.recv) rx_ep.recv(frame);
+          });
+    } else if (ep.recv) {
+      ep.recv(frame);
+    }
   };
 
   const double reach =
@@ -366,6 +431,15 @@ void Medium::set_partition(std::vector<std::uint32_t> component_of) {
 }
 
 void Medium::set_receiver_enabled(NodeId id, bool enabled) {
+  if (canonical_) {
+    // Duty cycling toggles from mote context; defer like any channel op.
+    sim_.post_op([this, id, enabled] { set_receiver_enabled_now(id, enabled); });
+    return;
+  }
+  set_receiver_enabled_now(id, enabled);
+}
+
+void Medium::set_receiver_enabled_now(NodeId id, bool enabled) {
   Endpoint& ep = endpoints_[id.value()];
   if (ep.receiver_enabled == enabled) return;
   if (enabled) {

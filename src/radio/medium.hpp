@@ -92,14 +92,31 @@ struct RadioConfig {
 
 class Medium {
  public:
-  /// Invoked when a frame is successfully received by a node. Runs at the
-  /// simulated instant the last bit arrives.
+  /// Invoked when a frame is successfully received by a node. In the legacy
+  /// event order it runs at the simulated instant the last bit arrives; in
+  /// canonical order (see enable_canonical) it runs one minimum airtime
+  /// later — the fixed rx-handoff latency that gives the parallel kernel
+  /// its conservative lookahead.
   using Receiver = std::function<void(const Frame&)>;
 
   Medium(sim::Simulator& sim, RadioConfig config);
 
   Medium(const Medium&) = delete;
   Medium& operator=(const Medium&) = delete;
+
+  /// Airtime of the smallest possible frame (bare link-layer header). This
+  /// is the kernel's lookahead bound: no transmission handed to the MAC at
+  /// time t can be heard before t + min_airtime().
+  Duration min_airtime() const;
+
+  /// Switches the medium to canonical event order: sends and receiver
+  /// toggles issued from mote context are deferred as channel ops, medium
+  /// internals are channel-owned events, and successful receptions are
+  /// handed to the receiver's simulator (`sim_of`) one min_airtime() after
+  /// the transmission completes. Used by both the serial canonical oracle
+  /// (sim_of returns the master) and the parallel kernel (sim_of returns
+  /// the receiver's tile).
+  void enable_canonical(std::function<sim::Simulator&(NodeId)> sim_of);
 
   /// Registers a node. Ids must be dense from 0 and attached in order.
   void attach(NodeId id, Vec2 position, Receiver receiver);
@@ -225,6 +242,8 @@ class Medium {
   };
 
   Duration airtime_of(const Frame& frame) const;
+  void send_now(Frame frame);
+  void set_receiver_enabled_now(NodeId id, bool enabled);
   void try_send(NodeId id);
   void begin_transmission(NodeId id);
   void complete_transmission(NodeId id, Time start, Time end,
@@ -262,13 +281,19 @@ class Medium {
   sim::Simulator& sim_;
   RadioConfig config_;
   Rng rng_;
+  /// Canonical order: routes receptions to the owning simulator. Unset in
+  /// legacy mode.
+  std::function<sim::Simulator&(NodeId)> sim_of_;
+  bool canonical_ = false;
+  /// Completion-to-receiver handoff latency in canonical order
+  /// (= min_airtime(); zero in legacy mode).
+  Duration rx_latency_ = Duration::zero();
   std::vector<Endpoint> endpoints_;
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> grid_;
-  /// Capacity-recycled candidate buffers. `neighbor_scratch_` serves
-  /// neighbors()/queries; deliver() swaps `deliver_scratch_` into a local
+  /// Capacity-recycled candidate buffer for deliver(): swapped into a local
   /// so re-entrant queries from receiver callbacks cannot clobber the list
-  /// it is iterating.
-  mutable std::vector<std::uint32_t> neighbor_scratch_;
+  /// it is iterating. neighbors() uses a thread-local buffer instead, since
+  /// motes on different tiles of the parallel kernel query concurrently.
   std::vector<std::uint32_t> deliver_scratch_;
   std::vector<Transmission> active_;   // currently airing
   std::vector<Transmission> history_;  // recent + active transmissions

@@ -16,6 +16,7 @@ FireScenario::FireScenario(const FireScenarioParams& params)
   config.middleware.group.wait_radius = 4.0;
   config.middleware.enable_directory = true;
   config.middleware.enable_transport = true;
+  config.kernel = params.kernel;
 
   system_ = std::make_unique<core::EnviroTrackSystem>(sim_, env_, field_,
                                                       config);
@@ -42,10 +43,14 @@ FireScenario::FireScenario(const FireScenarioParams& params)
     return intensity && *intensity > threshold;
   };
   alarm.body = [this](core::TrackingContext& ctx) {
-    alarms_.push_back(FireEvent{
+    // Read in mote context, append via the op journal: under the parallel
+    // kernel the alarm fires on a tile thread, and journaling keeps the
+    // alarm log single-threaded and in canonical event order.
+    const FireEvent event{
         ctx.now(), ctx.label(),
         ctx.read_vector("seat").value_or(ctx.node_position()),
-        ctx.read_scalar("intensity").value_or(0.0)});
+        ctx.read_scalar("intensity").value_or(0.0)};
+    sim_.post_op([this, event] { alarms_.push_back(event); });
   };
   monitor.methods.push_back(std::move(alarm));
   spec.objects.push_back(std::move(monitor));
@@ -73,14 +78,21 @@ std::vector<core::DirectoryEntry> FireScenario::where_are_the_fires(
     NodeId asker) {
   std::vector<core::DirectoryEntry> result;
   bool done = false;
-  system_->stack(asker).directory()->query(
-      fire_type_,
-      [&](bool ok, const std::vector<core::DirectoryEntry>& entries) {
-        if (ok) result = entries;
-        done = true;
-      });
+  {
+    // The query schedules mote-side work (send + timeout) from outside any
+    // event; attribute it to the asker so canonical keys are identical on
+    // every kernel.
+    sim::ExecutingOwnerScope scope(sim_,
+                                   static_cast<std::uint32_t>(asker.value()));
+    system_->stack(asker).directory()->query(
+        fire_type_,
+        [&](bool ok, const std::vector<core::DirectoryEntry>& entries) {
+          if (ok) result = entries;
+          done = true;
+        });
+  }
   // Drive the simulation until the callback fires (reply or timeout).
-  while (!done) sim_.run_for(Duration::millis(200));
+  while (!done) system_->run_for(Duration::millis(200));
   return result;
 }
 

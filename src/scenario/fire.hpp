@@ -29,6 +29,9 @@ struct FireScenarioParams {
   /// Alarm threshold on the intensity aggregate.
   double alarm_threshold = 120.0;
 
+  /// Kernel selection (legacy serial / canonical serial / parallel).
+  sim::KernelConfig kernel;
+
   std::uint64_t seed = 1;
 };
 
@@ -54,7 +57,7 @@ class FireScenario {
     env_.remove_target_at(fire, sim_.now());
   }
 
-  void run(double seconds) { sim_.run_for(Duration::seconds(seconds)); }
+  void run(double seconds) { system_->run_for(Duration::seconds(seconds)); }
 
   /// Directory sweep from `asker`: blocks the simulation until the reply
   /// (or timeout) and returns the entries.

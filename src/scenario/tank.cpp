@@ -79,6 +79,7 @@ TankScenario::TankScenario(const TankScenarioParams& params)
   config.middleware.directory = params.directory;
   config.middleware.enable_directory = params.enable_directory;
   config.middleware.enable_transport = params.enable_transport;
+  config.kernel = params.kernel;
   if (params.duty_cycle_awake_fraction < 1.0) {
     config.middleware.enable_duty_cycle = true;
     config.middleware.duty_cycle.awake_fraction =
@@ -105,7 +106,7 @@ TankScenario::TankScenario(const TankScenarioParams& params)
 }
 
 TankRunResult TankScenario::run() {
-  sim_.run_until(end_);
+  system_->run_until(end_);
   return result();
 }
 

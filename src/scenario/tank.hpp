@@ -60,6 +60,10 @@ struct TankScenarioParams {
   Duration cooldown = Duration::seconds(3);
   Duration coherence_sample_period = Duration::millis(100);
 
+  /// Kernel selection: legacy serial (default), canonical serial oracle, or
+  /// the parallel tiled kernel.
+  sim::KernelConfig kernel;
+
   std::uint64_t seed = 1;
 };
 
@@ -93,7 +97,7 @@ class TankScenario {
   TankRunResult run();
 
   /// Advances the simulation by `span` without finishing.
-  void run_for(Duration span) { sim_.run_for(span); }
+  void run_for(Duration span) { system_->run_for(span); }
 
   sim::Simulator& sim() { return sim_; }
   core::EnviroTrackSystem& system() { return *system_; }

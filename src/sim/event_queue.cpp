@@ -5,7 +5,7 @@
 
 namespace et::sim {
 
-EventHandle EventQueue::schedule(Time at, Callback fn) {
+std::uint32_t EventQueue::alloc_slot(Callback fn, std::uint32_t fire_owner) {
   std::uint32_t index;
   if (!free_slots_.empty()) {
     index = free_slots_.back();
@@ -16,10 +16,26 @@ EventHandle EventQueue::schedule(Time at, Callback fn) {
   }
   Slot& slot = slots_[index];
   slot.fn = std::move(fn);
+  slot.fire_owner = fire_owner;
   slot.live = true;
-  heap_.push(Entry{at, next_seq_++, index, slot.generation});
   ++live_count_;
-  return EventHandle{alive_, this, index, slot.generation};
+  return index;
+}
+
+EventHandle EventQueue::schedule(Time at, Callback fn) {
+  const std::uint32_t index = alloc_slot(std::move(fn), 0);
+  heap_.push(Entry{at, 0, next_seq_++, index, slots_[index].generation});
+  return EventHandle{alive_, this, index, slots_[index].generation};
+}
+
+EventHandle EventQueue::schedule_key(EventKey key, std::uint32_t fire_owner,
+                                     Callback fn) {
+  const std::uint32_t index = alloc_slot(std::move(fn), fire_owner);
+  const Entry entry{key.time, key.rank, key.seq, index,
+                    slots_[index].generation};
+  heap_.push(entry);
+  if (key.rank == kWorldRank) world_heap_.push(entry);
+  return EventHandle{alive_, this, index, slots_[index].generation};
 }
 
 void EventQueue::release_slot(std::uint32_t index) {
@@ -59,18 +75,37 @@ Time EventQueue::next_time() const {
   return heap_.top().time;
 }
 
+EventKey EventQueue::next_key() const {
+  skip_cancelled();
+  assert(!heap_.empty());
+  const Entry& top = heap_.top();
+  return EventKey{top.time, top.rank, top.seq};
+}
+
+Time EventQueue::next_world_time() const {
+  while (!world_heap_.empty()) {
+    const Entry& top = world_heap_.top();
+    const Slot& slot = slots_[top.slot];
+    if (slot.live && slot.generation == top.generation) return top.time;
+    world_heap_.pop();
+  }
+  return Time::max();
+}
+
 EventQueue::Fired EventQueue::pop() {
   skip_cancelled();
   assert(!heap_.empty());
   const Entry top = heap_.top();
   heap_.pop();
-  Fired fired{top.time, std::move(slots_[top.slot].fn)};
+  Fired fired{top.time, top.rank, top.seq, slots_[top.slot].fire_owner,
+              std::move(slots_[top.slot].fn)};
   release_slot(top.slot);
   return fired;
 }
 
 void EventQueue::clear() {
   while (!heap_.empty()) heap_.pop();
+  while (!world_heap_.empty()) world_heap_.pop();
   for (std::uint32_t i = 0; i < slots_.size(); ++i) {
     if (slots_[i].live) release_slot(i);
   }

@@ -10,9 +10,15 @@
 
 /// The pending-event set of the discrete-event simulator.
 ///
-/// Events are totally ordered by (time, insertion sequence) so that
-/// simultaneous events fire in a deterministic FIFO order — essential for
-/// reproducible distributed-protocol runs.
+/// Events are totally ordered by (time, owner rank, insertion sequence) so
+/// that simultaneous events fire in a deterministic order — essential for
+/// reproducible distributed-protocol runs. In the default (legacy) mode the
+/// rank is always 0 and the sequence is a queue-global insertion counter,
+/// which reduces to the classic (time, FIFO) order. The canonical mode used
+/// by the parallel kernel (see sim/parallel.hpp) assigns ranks per owner
+/// (mote id < channel < world) and per-owner sequence numbers, producing a
+/// total order that is reproducible even when events are partitioned across
+/// per-tile queues.
 ///
 /// Storage is allocation-light: callbacks live in a slab of pooled slots
 /// (small closures inline, see util::InlineFunction) addressed by
@@ -22,6 +28,21 @@
 namespace et::sim {
 
 class EventQueue;
+
+/// Owner rank of medium-internal events (backoff, completion, delivery) in
+/// canonical order. Greater than any mote id, below world events.
+inline constexpr std::uint32_t kChannelRank = 0xFFFFFFFEu;
+/// Owner rank of world events (scenario drivers, fault injector, monitors).
+inline constexpr std::uint32_t kWorldRank = 0xFFFFFFFFu;
+
+/// Canonical position of an event in the run's total order.
+struct EventKey {
+  Time time;
+  std::uint32_t rank = 0;
+  std::uint64_t seq = 0;
+  friend constexpr auto operator<=>(const EventKey&, const EventKey&) =
+      default;
+};
 
 namespace detail {
 /// Control block shared between a periodic chain and its handle (the chain
@@ -71,9 +92,17 @@ class EventQueue {
  public:
   using Callback = util::InlineFunction<64>;
 
-  /// Schedules `fn` at absolute time `at`. Scheduling in the past is the
-  /// caller's bug; the queue itself only orders what it is given.
+  /// Schedules `fn` at absolute time `at` (legacy order: rank 0, global
+  /// FIFO sequence). Scheduling in the past is the caller's bug; the queue
+  /// itself only orders what it is given.
   EventHandle schedule(Time at, Callback fn);
+
+  /// Schedules `fn` at an explicit canonical key. The caller owns key
+  /// uniqueness; `fire_owner` is reported back on pop so the simulator can
+  /// track the executing owner. World-ranked keys are additionally indexed
+  /// for next_world_time().
+  EventHandle schedule_key(EventKey key, std::uint32_t fire_owner,
+                           Callback fn);
 
   bool empty() const;
   std::size_t size() const { return live_count_; }
@@ -81,10 +110,20 @@ class EventQueue {
   /// Time of the earliest live event. Undefined when empty().
   Time next_time() const;
 
+  /// Canonical key of the earliest live event. Undefined when empty().
+  EventKey next_key() const;
+
+  /// Earliest live world-ranked (kWorldRank) event, or Time::max() if none.
+  Time next_world_time() const;
+
   /// Removes and returns the earliest live event. Undefined when empty().
   struct Fired {
     Time time;
+    std::uint32_t rank;
+    std::uint64_t seq;
+    std::uint32_t fire_owner;
     Callback fn;
+    EventKey key() const { return EventKey{time, rank, seq}; }
   };
   Fired pop();
 
@@ -99,6 +138,7 @@ class EventQueue {
 
   struct Entry {
     Time time;
+    std::uint32_t rank;
     std::uint64_t seq;
     std::uint32_t slot;
     std::uint32_t generation;
@@ -106,12 +146,14 @@ class EventQueue {
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
+      if (a.rank != b.rank) return a.rank > b.rank;
       return a.seq > b.seq;
     }
   };
   struct Slot {
     Callback fn;
     std::uint32_t generation = 0;
+    std::uint32_t fire_owner = 0;
     bool live = false;
   };
 
@@ -120,6 +162,8 @@ class EventQueue {
            slots_[slot].generation == generation;
   }
   void handle_cancel(std::uint32_t slot, std::uint32_t generation);
+
+  std::uint32_t alloc_slot(Callback fn, std::uint32_t fire_owner);
 
   /// Frees a live slot: destroys the callback now (releasing captured
   /// state), bumps the generation so stale heap entries and handles miss,
@@ -130,6 +174,10 @@ class EventQueue {
   void skip_cancelled() const;
 
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Secondary index over live world-ranked events; entries are validated
+  /// lazily against the slab (slot liveness + generation), so cancellation
+  /// needs no bookkeeping here.
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> world_heap_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;

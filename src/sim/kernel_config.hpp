@@ -1,0 +1,28 @@
+#pragma once
+
+/// Kernel selection knobs, shared by scenario params and SystemConfig.
+/// Lives apart from sim/parallel.hpp so configs don't drag in <thread>.
+namespace et::sim {
+
+struct KernelConfig {
+  /// Run the simulation on the parallel tiled kernel (sim/parallel.hpp).
+  /// Implies canonical event order.
+  bool use_parallel_kernel = false;
+  /// Use the canonical (time, owner, seq) event order on the serial kernel.
+  /// This is the serial oracle the parallel kernel is bit-exact against;
+  /// off (default) keeps the legacy (time, FIFO) order byte-identical to
+  /// the seed.
+  bool canonical_order = false;
+  /// Worker threads for the parallel kernel.
+  unsigned threads = 4;
+  /// Spatial tiles per worker thread (more tiles -> finer load balance,
+  /// more barrier bookkeeping).
+  unsigned tiles_per_thread = 1;
+  /// Edge length of the square tile cells used to assign motes to tiles.
+  /// 0 = derive from the radio communication radius.
+  double tile_cell_size = 0.0;
+
+  bool canonical() const { return use_parallel_kernel || canonical_order; }
+};
+
+}  // namespace et::sim

@@ -1,0 +1,242 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace et::sim {
+
+namespace {
+
+constexpr std::uint64_t kMaxSeq = ~std::uint64_t{0};
+
+/// Deterministic, platform-independent cell hash (splitmix-style mix); the
+/// tile assignment must not depend on std::hash or pointer values.
+std::uint64_t cell_hash(std::int64_t cx, std::int64_t cy) {
+  std::uint64_t h = static_cast<std::uint64_t>(cx) * 0x9E3779B97F4A7C15ull;
+  h ^= static_cast<std::uint64_t>(cy) + 0x9E3779B97F4A7C15ull + (h << 6) +
+       (h >> 2);
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+ParallelKernel::ParallelKernel(Simulator& master, const KernelConfig& config,
+                               double cell_size)
+    : master_(master),
+      cell_size_(cell_size),
+      n_workers_(std::max(1u, config.threads)) {
+  assert(cell_size_ > 0.0);
+  // Barrier waiters spin briefly before parking — but only when the host
+  // actually has a core per participant (workers + the master). On an
+  // oversubscribed host a spinning waiter steals the core the worker it is
+  // waiting for needs, so park immediately instead.
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  spin_limit_ = cores > n_workers_ ? 16384 : 1;
+  const unsigned n_tiles =
+      n_workers_ * std::max(1u, config.tiles_per_thread);
+  tiles_.resize(n_tiles);
+  for (auto& tile : tiles_) {
+    // Tile simulators share the master seed so `make_rng` forks the same
+    // per-mote streams; they never own the calling thread's log clock and
+    // never hold world-ranked events.
+    tile.sim =
+        std::make_unique<Simulator>(master.seed(), /*register_log_clock=*/false);
+    tile.sim->forbid_world_rank();
+  }
+  workers_.reserve(n_workers_);
+  for (unsigned w = 0; w < n_workers_; ++w) {
+    workers_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+ParallelKernel::~ParallelKernel() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_.store(true, std::memory_order_release);
+    // Bump the phase so spinning workers notice without a wakeup.
+    phase_.fetch_add(1, std::memory_order_release);
+  }
+  cv_work_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+Simulator& ParallelKernel::sim_for(double x, double y) {
+  const auto cx = static_cast<std::int64_t>(std::floor(x / cell_size_));
+  const auto cy = static_cast<std::int64_t>(std::floor(y / cell_size_));
+  return *tiles_[cell_hash(cx, cy) % tiles_.size()].sim;
+}
+
+std::vector<Simulator*> ParallelKernel::all_sims() {
+  std::vector<Simulator*> sims;
+  sims.reserve(tiles_.size() + 1);
+  sims.push_back(&master_);
+  for (auto& tile : tiles_) sims.push_back(tile.sim.get());
+  return sims;
+}
+
+void ParallelKernel::finalize(Duration lookahead,
+                              std::function<void(Time)> prepare) {
+  assert(lookahead.is_positive() && "lookahead must come from the medium");
+  lookahead_ = lookahead;
+  prepare_ = std::move(prepare);
+}
+
+namespace {
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+}  // namespace
+
+void ParallelKernel::worker_main(unsigned worker_index) {
+  std::uint64_t seen_phase = 0;
+  for (;;) {
+    // Wait for a new phase: bounded spin, then park.
+    int spins = 0;
+    while (phase_.load(std::memory_order_acquire) == seen_phase) {
+      if (++spins < spin_limit_) {
+        cpu_relax();
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(mu_);
+      // Dekker pairing with the publisher: the sleeper count is raised
+      // before the final phase check; the publisher bumps the phase before
+      // reading the count. All four accesses are seq_cst, so one side
+      // always sees the other.
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      cv_work_.wait(lk, [&] {
+        return phase_.load(std::memory_order_seq_cst) != seen_phase;
+      });
+      sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+      break;
+    }
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    seen_phase = phase_.load(std::memory_order_acquire);
+    const EventKey bound = phase_bound_;  // happens-before via phase_
+
+    for (std::size_t t = worker_index; t < tiles_.size(); t += n_workers_) {
+      Simulator::set_thread_outbox(&tiles_[t].outbox);
+      tiles_[t].sim->run_until_key(bound);
+    }
+    Simulator::set_thread_outbox(nullptr);
+    if (running_.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
+        master_waiting_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_done_.notify_one();
+    }
+  }
+}
+
+void ParallelKernel::run_tile_phase(EventKey bound) {
+  // Tile keys always rank below the bound's channel/world rank, so a tile
+  // has work in this window iff its next event time is within the bound.
+  bool any_work = false;
+  for (auto& tile : tiles_) {
+    if (!tile.sim->queue_empty() &&
+        tile.sim->next_event_time() <= bound.time) {
+      any_work = true;
+      break;
+    }
+  }
+  if (any_work) {
+    phase_bound_ = bound;
+    running_.store(n_workers_, std::memory_order_relaxed);
+    phase_.fetch_add(1, std::memory_order_seq_cst);  // publishes phase_bound_
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+      // Parked workers re-check the phase under the lock, so pairing the
+      // bump with lock+notify closes the lost-wakeup window.
+      std::lock_guard<std::mutex> lk(mu_);
+      cv_work_.notify_all();
+    }
+    // Completion: bounded spin on the worker count, then park on cv_done_.
+    int spins = 0;
+    while (running_.load(std::memory_order_acquire) != 0) {
+      if (++spins < spin_limit_) {
+        cpu_relax();
+        continue;
+      }
+      master_waiting_.store(true, std::memory_order_seq_cst);
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_done_.wait(lk, [&] {
+        return running_.load(std::memory_order_seq_cst) == 0;
+      });
+      master_waiting_.store(false, std::memory_order_seq_cst);
+      break;
+    }
+  }
+  // Replay buffered channel ops into the master queue; the heap orders
+  // them by canonical key, reproducing serial execution order exactly.
+  for (auto& tile : tiles_) {
+    for (auto& op : tile.outbox) {
+      master_.schedule_at_key(op.key, op.fire_owner, std::move(op.fn));
+    }
+    tile.outbox.clear();
+  }
+}
+
+std::size_t ParallelKernel::run_until(Time deadline) {
+  assert(lookahead_.is_positive() && "finalize() before run_until()");
+  auto total_fired = [this] {
+    std::uint64_t total = master_.events_fired();
+    for (auto& tile : tiles_) total += tile.sim->events_fired();
+    return total;
+  };
+  const std::uint64_t fired_before = total_fired();
+
+  for (;;) {
+    // Fast-forward: jump the window floor to the earliest pending event
+    // anywhere, so idle stretches cost one scan instead of many windows.
+    Time next = master_.next_event_time();
+    for (auto& tile : tiles_) {
+      const Time tile_next = tile.sim->next_event_time();
+      if (tile_next < next) next = tile_next;
+    }
+    if (next > deadline) break;
+    if (next > floor_) floor_ = next;
+
+    const Time window_end = floor_ + lookahead_;
+    const Time world_time = master_.next_world_time();
+    enum class Mode { kCutAtWorld, kFullWindow, kFinal } mode;
+    EventKey bound;
+    if (world_time <= deadline && world_time < window_end) {
+      // Windows never span a world event: run motes and the channel up to
+      // (and including) the world event's timestamp, then the world event
+      // itself, so cross-cutting machinery (faults, scenario drivers,
+      // monitors) observes exactly the serial prefix.
+      bound = EventKey{world_time, kChannelRank, kMaxSeq};
+      mode = Mode::kCutAtWorld;
+    } else if (window_end <= deadline) {
+      bound = EventKey{window_end - Duration::micros(1), kWorldRank, kMaxSeq};
+      mode = Mode::kFullWindow;
+    } else {
+      bound = EventKey{deadline, kWorldRank, kMaxSeq};
+      mode = Mode::kFinal;
+    }
+
+    if (prepare_) prepare_(bound.time);
+    run_tile_phase(bound);
+    master_.run_until_key(bound);
+    if (mode == Mode::kCutAtWorld) {
+      master_.run_until_key(EventKey{world_time, kWorldRank, kMaxSeq});
+      floor_ = world_time;
+    } else if (mode == Mode::kFullWindow) {
+      floor_ = window_end;
+    } else {
+      break;
+    }
+  }
+
+  master_.finish_run(deadline);
+  for (auto& tile : tiles_) tile.sim->finish_run(deadline);
+  if (floor_ < deadline) floor_ = deadline;
+  return static_cast<std::size_t>(total_fired() - fired_before);
+}
+
+}  // namespace et::sim

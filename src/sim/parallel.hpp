@@ -1,0 +1,126 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/kernel_config.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+/// Conservative parallel discrete-event kernel.
+///
+/// Motes are partitioned into spatial tiles (square cells of the world,
+/// hashed onto `threads * tiles_per_thread` tiles, aligned with the radio
+/// medium's hash grid). Each tile is a logical process: a private
+/// `Simulator` holding that tile's mote-owned events (timers, CPU tasks,
+/// frame receptions). The radio medium and all world machinery (scenario
+/// drivers, environment, fault injection, monitors) stay on the master
+/// simulator.
+///
+/// Synchronization is a barrier-window scheme. The lookahead `δ` is the
+/// minimum frame airtime of the medium (plus zero propagation delay): a
+/// mote-initiated transmission started at `t` cannot complete — and hence
+/// cannot be heard by anyone — before `t + δ`, and frame receptions are
+/// handed to the receiving tile at completion `+ δ` as timestamped
+/// inter-LP events. Therefore events a tile executes in the window
+/// `(floor, floor + δ]` can only depend on channel state already committed
+/// before `floor`, and every tile can run its slice of the window without
+/// seeing the others. Each window runs in three steps:
+///
+///   1. tile phase (parallel): every tile runs its events up to the window
+///      bound, buffering channel ops (sends, receiver toggles, journal
+///      appends) into a per-tile outbox keyed by canonical (time, owner,
+///      seq) keys;
+///   2. op flush + master phase (serial): outboxes are replayed into the
+///      master queue where they execute in canonical key order together
+///      with medium-internal events (backoff, completions, deliveries);
+///   3. world events, if the window was cut at one (windows never span a
+///      world event, so cross-cutting machinery like fault injection and
+///      scenario drivers observes exactly the serial prefix).
+///
+/// Because every event carries the same canonical key it would have on the
+/// serial canonical engine, and windows are cut so that no event can
+/// observe state from events with larger keys, the interleaved execution
+/// is a permutation-free replay of the serial order: same seed ⇒ identical
+/// per-mote event order, RNG draws, metrics, and bench rows, for any
+/// thread or tile count.
+namespace et::sim {
+
+class ParallelKernel {
+ public:
+  /// `cell_size` is the tile-cell edge (SystemConfig derives it from the
+  /// radio communication radius when the config leaves it at 0).
+  ParallelKernel(Simulator& master, const KernelConfig& config,
+                 double cell_size);
+  ~ParallelKernel();
+
+  ParallelKernel(const ParallelKernel&) = delete;
+  ParallelKernel& operator=(const ParallelKernel&) = delete;
+
+  /// The tile simulator owning the mote at position (x, y). Pure function
+  /// of position: stable across calls, aligned with the medium hash grid.
+  Simulator& sim_for(double x, double y);
+
+  /// Every simulator of this run, master first. System uses this to switch
+  /// them all to canonical order with one shared counter table.
+  std::vector<Simulator*> all_sims();
+
+  /// Arms the window scheme: `lookahead` must be the medium's minimum
+  /// airtime (strictly positive); `prepare` is called with each window's
+  /// end time before the tile phase so shared read-only world state
+  /// (trajectories) can be extended while still single-threaded.
+  void finalize(Duration lookahead, std::function<void(Time)> prepare);
+
+  /// Runs the world up to and including `deadline` in conservative
+  /// windows. Returns the number of events fired across all simulators.
+  std::size_t run_until(Time deadline);
+
+  unsigned tile_count() const { return static_cast<unsigned>(tiles_.size()); }
+
+ private:
+  struct Tile {
+    std::unique_ptr<Simulator> sim;
+    OpOutbox outbox;
+  };
+
+  void worker_main(unsigned worker_index);
+  /// Runs every tile with events in the window up to `bound` (parallel),
+  /// then replays their op outboxes into the master queue in tile order.
+  void run_tile_phase(EventKey bound);
+
+  Simulator& master_;
+  double cell_size_;
+  unsigned n_workers_;
+  /// Spin iterations before a barrier waiter parks on its cv; 1 (park at
+  /// once) when the host has no spare core per participant.
+  int spin_limit_ = 1;
+  std::vector<Tile> tiles_;
+  Duration lookahead_ = Duration::zero();
+  std::function<void(Time)> prepare_;
+  /// Lower edge of the current window; every event with time <= floor_ has
+  /// been executed.
+  Time floor_ = Time::origin();
+
+  /// Barrier state. Windows are ~a millisecond of simulated time, so the
+  /// kernel crosses two barriers per window at up to ~kHz rates; the fast
+  /// path is lock-free (spin on `phase_` / `running_` with a bounded spin
+  /// before sleeping), the mutex/cv pair is only the parked-thread fallback.
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::atomic<std::uint64_t> phase_{0};
+  EventKey phase_bound_{};  // written before the phase_ release-bump
+  std::atomic<unsigned> running_{0};
+  std::atomic<unsigned> sleepers_{0};
+  std::atomic<bool> master_waiting_{false};
+  std::atomic<bool> shutdown_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace et::sim

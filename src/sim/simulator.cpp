@@ -10,9 +10,25 @@ namespace et::sim {
 
 namespace {
 
+/// Engine currently executing events on this thread (master or tile).
+thread_local Simulator* g_engine = nullptr;
+/// Op outbox of the tile this thread is currently running (parallel only).
+thread_local OpOutbox* g_outbox = nullptr;
+
+/// RAII: marks `sim` as this thread's running engine for a run loop.
+struct EngineScope {
+  Simulator* prev;
+  explicit EngineScope(Simulator* sim) : prev(g_engine) { g_engine = sim; }
+  ~EngineScope() { g_engine = prev; }
+  EngineScope(const EngineScope&) = delete;
+  EngineScope& operator=(const EngineScope&) = delete;
+};
+
 /// One periodic chain: a single control block holds the user callback and
 /// the stop flag; each firing re-arms by scheduling a lambda that captures
 /// only the shared_ptr (16 bytes — always inline in the event slot).
+/// Re-arming goes through Simulator::schedule, so in canonical mode every
+/// link of the chain inherits the owner of the firing event.
 struct PeriodicChain : detail::ChainControl {
   Simulator* sim = nullptr;
   Duration period;
@@ -28,20 +44,110 @@ struct PeriodicChain : detail::ChainControl {
 
 }  // namespace
 
-Simulator::Simulator(std::uint64_t seed) : seed_(seed), root_rng_(seed) {
-  Logger::instance().set_clock([this] { return now_; });
+ExecutingOwnerScope::ExecutingOwnerScope(Simulator& fallback_engine,
+                                         std::uint32_t owner) {
+  engine_ = g_engine ? g_engine : &fallback_engine;
+  prev_engine_ = g_engine;
+  g_engine = engine_;
+  prev_owner_ = engine_->executing_owner_;
+  engine_->executing_owner_ = owner;
 }
 
-Simulator::~Simulator() { Logger::instance().clear_clock(); }
+ExecutingOwnerScope::~ExecutingOwnerScope() {
+  engine_->executing_owner_ = prev_owner_;
+  g_engine = prev_engine_;
+}
+
+Simulator::Simulator(std::uint64_t seed, bool register_log_clock)
+    : seed_(seed), root_rng_(seed) {
+  if (register_log_clock) {
+    Logger::instance().set_clock([this] { return now_; });
+    registered_log_clock_ = true;
+  }
+}
+
+Simulator::~Simulator() {
+  if (registered_log_clock_) Logger::instance().clear_clock();
+}
+
+Time Simulator::ambient_now(const Simulator& fallback) {
+  return g_engine ? g_engine->now_ : fallback.now_;
+}
+
+void Simulator::enable_canonical(
+    std::shared_ptr<std::vector<std::uint64_t>> counters) {
+  assert(queue_.empty() && "enable_canonical before scheduling anything");
+  assert(counters && counters->size() >= 2);
+  canonical_ = true;
+  counters_ = std::move(counters);
+}
+
+std::size_t Simulator::counter_index(std::uint32_t rank) const {
+  const std::size_t motes = counters_->size() - 2;
+  if (rank == kChannelRank) return motes;
+  if (rank == kWorldRank) return motes + 1;
+  assert(rank < motes);
+  return rank;
+}
+
+EventKey Simulator::make_key(Time at, std::uint32_t owner) {
+  std::uint64_t& counter = (*counters_)[counter_index(owner)];
+  EventKey key{at, owner, counter};
+  // Bump rule: a schedule issued while (or after) event `bound_` executed
+  // must sort strictly after it, or the new event would land in this
+  // engine's past. Since bound_ tracks the *currently executing* event on
+  // whichever engine runs this code, the bump decision is identical in the
+  // serial and parallel engines.
+  if (bound_valid_ && key <= bound_) key.time = bound_.time + Duration::micros(1);
+  ++counter;
+  return key;
+}
+
+std::uint64_t Simulator::alloc_seq(std::uint32_t rank) {
+  assert(canonical_);
+  Simulator& eng = g_engine ? *g_engine : *this;
+  return (*eng.counters_)[eng.counter_index(rank)]++;
+}
+
+EventHandle Simulator::schedule_canonical(std::uint32_t owner, Time at,
+                                          Callback fn) {
+  assert(!(forbid_world_rank_ && owner == kWorldRank));
+  Simulator& eng = g_engine ? *g_engine : *this;
+  const EventKey key = eng.make_key(at, owner);
+  return queue_.schedule_key(key, owner, std::move(fn));
+}
 
 EventHandle Simulator::schedule(Duration delay, Callback fn) {
   assert(!delay.is_negative());
-  return queue_.schedule(now_ + delay, std::move(fn));
+  if (!canonical_) return queue_.schedule(now_ + delay, std::move(fn));
+  Simulator& eng = g_engine ? *g_engine : *this;
+  return schedule_canonical(eng.executing_owner_, eng.now_ + delay,
+                            std::move(fn));
 }
 
 EventHandle Simulator::schedule_at(Time at, Callback fn) {
-  assert(at >= now_);
-  return queue_.schedule(at, std::move(fn));
+  if (!canonical_) {
+    assert(at >= now_);
+    return queue_.schedule(at, std::move(fn));
+  }
+  Simulator& eng = g_engine ? *g_engine : *this;
+  assert(at >= eng.now_);
+  return schedule_canonical(eng.executing_owner_, at, std::move(fn));
+}
+
+EventHandle Simulator::schedule_owned(std::uint32_t owner, Duration delay,
+                                      Callback fn) {
+  assert(!delay.is_negative());
+  if (!canonical_) return queue_.schedule(now_ + delay, std::move(fn));
+  Simulator& eng = g_engine ? *g_engine : *this;
+  return schedule_canonical(owner, eng.now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at_key(EventKey key, std::uint32_t fire_owner,
+                                       Callback fn) {
+  assert(canonical_);
+  assert(!(forbid_world_rank_ && key.rank == kWorldRank));
+  return queue_.schedule_key(key, fire_owner, std::move(fn));
 }
 
 EventHandle Simulator::schedule_periodic(Duration first_delay, Duration period,
@@ -58,31 +164,110 @@ EventHandle Simulator::schedule_periodic(Duration first_delay, Duration period,
       std::static_pointer_cast<detail::ChainControl>(std::move(chain))};
 }
 
+EventHandle Simulator::schedule_periodic_owned(std::uint32_t owner,
+                                               Duration first_delay,
+                                               Duration period, Callback fn) {
+  assert(period.is_positive());
+  auto chain = std::make_shared<PeriodicChain>();
+  chain->sim = this;
+  chain->period = period;
+  chain->fn = std::move(fn);
+  // Only the first link needs the explicit stamp; once it fires, re-arms
+  // inherit `owner` as the executing owner.
+  schedule_owned(owner, first_delay, [chain] { chain->fire(chain); });
+  return EventHandle{
+      std::static_pointer_cast<detail::ChainControl>(std::move(chain))};
+}
+
+void Simulator::post_op(Callback fn) {
+  if (!canonical_) {
+    fn();
+    return;
+  }
+  Simulator& eng = g_engine ? *g_engine : *this;
+  const std::uint32_t owner = eng.executing_owner_;
+  const EventKey key = eng.make_key(eng.now_, owner);
+  if (g_outbox) {
+    // Tile phase: buffer; the kernel replays into the master queue at the
+    // window barrier. Key order == issue order, so the replayed execution
+    // order matches the serial-canonical engine exactly.
+    g_outbox->push_back(PendingOp{key, owner, std::move(fn)});
+  } else {
+    queue_.schedule_key(key, owner, std::move(fn));
+  }
+}
+
 std::size_t Simulator::run_until(Time deadline) {
+  EngineScope scope(this);
   std::size_t fired = 0;
   while (!queue_.empty() && queue_.next_time() <= deadline) {
     auto ev = queue_.pop();
     assert(ev.time >= now_);
     now_ = ev.time;
+    if (canonical_) {
+      bound_ = ev.key();
+      bound_valid_ = true;
+      executing_owner_ = ev.fire_owner;
+    }
     ev.fn();
     ++fired;
     ++events_fired_;
   }
   if (now_ < deadline) now_ = deadline;
+  if (canonical_) executing_owner_ = kWorldRank;
+  return fired;
+}
+
+std::size_t Simulator::run_until_key(EventKey bound) {
+  assert(canonical_);
+  EngineScope scope(this);
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.next_key() <= bound) {
+    auto ev = queue_.pop();
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    bound_ = ev.key();
+    bound_valid_ = true;
+    executing_owner_ = ev.fire_owner;
+    ev.fn();
+    ++fired;
+    ++events_fired_;
+  }
+  executing_owner_ = kWorldRank;
   return fired;
 }
 
 std::size_t Simulator::run_all() {
+  EngineScope scope(this);
   std::size_t fired = 0;
   while (!queue_.empty()) {
     auto ev = queue_.pop();
     assert(ev.time >= now_);
     now_ = ev.time;
+    if (canonical_) {
+      bound_ = ev.key();
+      bound_valid_ = true;
+      executing_owner_ = ev.fire_owner;
+    }
     ev.fn();
     ++fired;
     ++events_fired_;
   }
+  if (canonical_) executing_owner_ = kWorldRank;
   return fired;
 }
+
+void Simulator::finish_run(Time deadline) {
+  advance_to(deadline);
+  if (!canonical_) return;
+  // Seal the segment: everything up to and including `deadline` is in the
+  // past on every engine, so schedules issued between run segments (from
+  // scenario or test code) bump identically everywhere.
+  bound_ = EventKey{deadline, kWorldRank, ~std::uint64_t{0}};
+  bound_valid_ = true;
+  executing_owner_ = kWorldRank;
+}
+
+void Simulator::set_thread_outbox(OpOutbox* outbox) { g_outbox = outbox; }
 
 }  // namespace et::sim

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
@@ -9,13 +11,57 @@
 
 /// The discrete-event simulator driving every experiment in this repo.
 ///
-/// Single-threaded by design: a sensor-network run is a deterministic
-/// function of (scenario parameters, seed). Components schedule callbacks;
-/// the simulator advances virtual time to the next event and fires it.
-/// Independent runs may execute on different threads concurrently (see
-/// bench/sweep_runner.hpp) — a Simulator instance shares no mutable state
-/// with any other.
+/// One Simulator instance is single-threaded: components schedule
+/// callbacks; the simulator advances virtual time to the next event and
+/// fires it. Independent runs may execute on different threads concurrently
+/// (see bench/sweep_runner.hpp) — a Simulator instance shares no mutable
+/// state with any other.
+///
+/// Two event orders are supported:
+///
+///  - *Legacy* (default): events fire in (time, global FIFO) order, exactly
+///    as this kernel always behaved. Bit-identical to the seed.
+///  - *Canonical*: every event carries an (time, owner rank, per-owner seq)
+///    key; mote-owned events rank below medium-internal (channel) events,
+///    which rank below world events (scenario drivers, fault injection,
+///    monitors). The canonical order is a pure function of the schedule
+///    calls, independent of which queue an event sits in — which is what
+///    lets the parallel kernel (sim/parallel.hpp) partition motes into
+///    per-tile Simulators and still reproduce the serial oracle's event
+///    order bit for bit.
 namespace et::sim {
+
+class Simulator;
+
+/// Channel-op record buffered by a tile during a parallel window and
+/// replayed into the master queue at the barrier (see Simulator::post_op).
+struct PendingOp {
+  EventKey key;
+  std::uint32_t fire_owner;
+  EventQueue::Callback fn;
+};
+using OpOutbox = std::vector<PendingOp>;
+
+/// Declares "the code on this thread is currently acting on behalf of
+/// `owner` under engine `fallback_engine`". Used to attribute setup-time
+/// and cross-layer calls (stack construction, crash/reboot, directory
+/// queries issued from test code) to the mote they act on, so canonical
+/// keys come out identical whether the call happens in the serial or the
+/// parallel engine. When a run loop is already active on this thread, its
+/// engine wins and only the owner is overridden. No-op side effects in
+/// legacy mode beyond the (ignored) owner bookkeeping.
+class ExecutingOwnerScope {
+ public:
+  ExecutingOwnerScope(Simulator& fallback_engine, std::uint32_t owner);
+  ~ExecutingOwnerScope();
+  ExecutingOwnerScope(const ExecutingOwnerScope&) = delete;
+  ExecutingOwnerScope& operator=(const ExecutingOwnerScope&) = delete;
+
+ private:
+  Simulator* engine_;
+  Simulator* prev_engine_;
+  std::uint32_t prev_owner_;
+};
 
 class Simulator {
  public:
@@ -23,7 +69,10 @@ class Simulator {
   /// lambda or `std::function` converts implicitly.
   using Callback = EventQueue::Callback;
 
-  explicit Simulator(std::uint64_t seed = 1);
+  /// `register_log_clock = false` skips installing this simulator as the
+  /// calling thread's log-timestamp source (per-tile simulators of the
+  /// parallel kernel must not displace the master's clock).
+  explicit Simulator(std::uint64_t seed = 1, bool register_log_clock = true);
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -31,6 +80,12 @@ class Simulator {
 
   /// Current virtual time.
   Time now() const { return now_; }
+
+  /// Virtual time as seen by the code currently executing on this thread:
+  /// the running engine's clock if a run loop is active (master or tile),
+  /// otherwise `fallback.now()`. Always equals `fallback.now()` in legacy
+  /// single-engine runs.
+  static Time ambient_now(const Simulator& fallback);
 
   /// Master seed for this run.
   std::uint64_t seed() const { return seed_; }
@@ -40,21 +95,70 @@ class Simulator {
     return root_rng_.fork(component);
   }
 
-  /// Schedules `fn` to run after `delay` (>= 0) of virtual time.
+  // --- Canonical order ---
+
+  /// Switches this simulator to canonical event order. `counters` holds one
+  /// per-owner sequence counter per rank (size = mote count + 2; the last
+  /// two are the channel and world ranks) and is shared between the master
+  /// and every tile simulator of a run so keys are allocated from one
+  /// namespace. Must be called before anything is scheduled.
+  void enable_canonical(
+      std::shared_ptr<std::vector<std::uint64_t>> counters);
+  bool canonical() const { return canonical_; }
+
+  /// Tile simulators never hold world-ranked events; this arms an assert.
+  void forbid_world_rank() { forbid_world_rank_ = true; }
+
+  /// Schedules `fn` to run after `delay` (>= 0) of virtual time. In
+  /// canonical mode the event is owned by the currently executing owner
+  /// (events inherit their scheduler's owner).
   EventHandle schedule(Duration delay, Callback fn);
 
   /// Schedules `fn` at an absolute virtual time (>= now()).
   EventHandle schedule_at(Time at, Callback fn);
 
+  /// Schedules `fn` with an explicit owner rank (mote timers stamp their
+  /// mote id, medium internals stamp kChannelRank). Identical to schedule()
+  /// in legacy mode.
+  EventHandle schedule_owned(std::uint32_t owner, Duration delay,
+                             Callback fn);
+
   /// Schedules `fn` every `period`, starting after `first_delay`. The
-  /// returned handle cancels the *entire* periodic chain.
+  /// returned handle cancels the *entire* periodic chain. Re-arms inherit
+  /// the owner of the firing event, so the whole chain stays owned by
+  /// `owner` (or by the scheduling owner for the unstamped overload).
   EventHandle schedule_periodic(Duration first_delay, Duration period,
                                 Callback fn);
+  EventHandle schedule_periodic_owned(std::uint32_t owner,
+                                      Duration first_delay, Duration period,
+                                      Callback fn);
+
+  /// Inserts an event at a pre-assigned canonical key (parallel-kernel
+  /// plumbing: op replay and cross-engine injections). Canonical mode only.
+  EventHandle schedule_at_key(EventKey key, std::uint32_t fire_owner,
+                              Callback fn);
+
+  /// Allocates the next per-owner sequence number for `rank` (canonical
+  /// mode; used by the medium to key receive-handoff injections).
+  std::uint64_t alloc_seq(std::uint32_t rank);
+
+  /// Defers `fn` as a *channel op*: in legacy mode it runs inline, in
+  /// canonical mode it is keyed with (ambient now, executing owner, next
+  /// per-owner seq) and replayed through this (master) queue in key order —
+  /// from a tile thread it is buffered in the tile's outbox and flushed at
+  /// the window barrier. This is how mote-context side effects that touch
+  /// shared state (medium sends, receiver toggles, metrics journaling)
+  /// stay deterministic and thread-confined under the parallel kernel.
+  void post_op(Callback fn);
 
   /// Runs events until the queue drains or `deadline` is passed. Events at
   /// exactly `deadline` still fire; time never advances beyond it. Returns
   /// the number of events fired.
   std::size_t run_until(Time deadline);
+
+  /// Runs every event whose canonical key is <= `bound` (parallel-kernel
+  /// windows). Does not advance now_ past the last fired event.
+  std::size_t run_until_key(EventKey bound);
 
   /// Runs for `span` of virtual time from now().
   std::size_t run_for(Duration span) { return run_until(now_ + span); }
@@ -63,17 +167,58 @@ class Simulator {
   /// tests with finite schedules (periodic events never drain).
   std::size_t run_all();
 
+  /// Seals a run segment at `deadline`: advances now() and, in canonical
+  /// mode, sets the processed bound so later schedule calls (between run
+  /// segments) key identically in the serial and parallel engines.
+  void finish_run(Time deadline);
+
+  void advance_to(Time t) {
+    if (now_ < t) now_ = t;
+  }
+
+  bool queue_empty() const { return queue_.empty(); }
+  Time next_event_time() const {
+    return queue_.empty() ? Time::max() : queue_.next_time();
+  }
+  /// Earliest pending world-ranked event (canonical; Time::max() if none).
+  Time next_world_time() const { return queue_.next_world_time(); }
+
   /// Total events fired since construction.
   std::uint64_t events_fired() const { return events_fired_; }
 
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Installs/clears the calling thread's op outbox (parallel kernel only).
+  static void set_thread_outbox(OpOutbox* outbox);
+
  private:
+  friend class ExecutingOwnerScope;
+
+  std::size_t counter_index(std::uint32_t rank) const;
+  /// Builds the canonical key for (at, owner), applying the bump rule: a
+  /// key that would not sort strictly after the engine's processed bound is
+  /// moved to bound.time + 1us. Consumes the owner's sequence counter.
+  EventKey make_key(Time at, std::uint32_t owner);
+  EventHandle schedule_canonical(std::uint32_t owner, Time at, Callback fn);
+  std::size_t run_loop(Time deadline, bool use_key_bound, EventKey bound,
+                       bool drain);
+
   Time now_ = Time::origin();
   EventQueue queue_;
   std::uint64_t seed_;
   Rng root_rng_;
   std::uint64_t events_fired_ = 0;
+  bool registered_log_clock_ = false;
+
+  // Canonical-order state.
+  bool canonical_ = false;
+  bool forbid_world_rank_ = false;
+  std::uint32_t executing_owner_ = kWorldRank;
+  /// Key of the last event this engine fired (or the seal of the last run
+  /// segment); schedules that would not sort after it are bumped.
+  EventKey bound_{};
+  bool bound_valid_ = false;
+  std::shared_ptr<std::vector<std::uint64_t>> counters_;
 };
 
 }  // namespace et::sim

@@ -34,6 +34,8 @@ class TestWorld {
     bool enable_transport = false;
     std::size_t critical_mass = 2;
     Duration freshness = Duration::seconds(1);
+    /// Kernel selection (legacy serial / canonical serial / parallel).
+    sim::KernelConfig kernel;
     std::uint64_t seed = 1;
     /// Hook to adjust the blob spec (attach objects, tweak variables)
     /// before the system starts.
@@ -69,6 +71,7 @@ class TestWorld {
         options.group.wait_radius, options.sensing_radius + 1.5);
     config.middleware.enable_directory = options.enable_directory;
     config.middleware.enable_transport = options.enable_transport;
+    config.kernel = options.kernel;
     system_.emplace(sim_, env_, field_, config);
 
     system_->senses().add("blob_sensor", core::sense_target("blob"));
@@ -117,7 +120,7 @@ class TestWorld {
     return env_.add_target(std::move(blob));
   }
 
-  void run(double seconds) { sim_.run_for(Duration::seconds(seconds)); }
+  void run(double seconds) { system_->run_for(Duration::seconds(seconds)); }
 
   /// Nodes currently leading the blob type.
   std::vector<NodeId> leaders(core::TypeIndex type = 0) {
