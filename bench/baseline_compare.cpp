@@ -13,6 +13,8 @@
 /// while tracking error is comparable — the aggregation itself loses
 /// nothing, it just happens in the wrong place.
 
+#include <limits>
+
 #include "baseline/direct_reporting.hpp"
 #include "bench/bench_util.hpp"
 #include "metrics/energy.hpp"
@@ -27,7 +29,9 @@ struct Row {
   double util_pct = 0;
   double kbits = 0;
   double joules = 0;
-  double mean_error = -1;
+  /// NaN when the base station never heard a single report — a run where
+  /// tracking failed completely must not print as a zero-error one.
+  double mean_error = std::numeric_limits<double>::quiet_NaN();
 };
 
 Row run_envirotrack(double kmh, int seeds) {
@@ -56,7 +60,8 @@ Row run_envirotrack(double kmh, int seeds) {
   row.util_pct /= seeds;
   row.kbits /= seeds;
   row.joules /= seeds;
-  row.mean_error = err_n ? err_sum / err_n : -1;
+  row.mean_error = err_n ? err_sum / err_n
+                       : std::numeric_limits<double>::quiet_NaN();
   return row;
 }
 
@@ -116,7 +121,8 @@ Row run_baseline(double kmh, int seeds) {
   row.util_pct /= seeds;
   row.kbits /= seeds;
   row.joules /= seeds;
-  row.mean_error = err_n ? err_sum / err_n : -1;
+  row.mean_error = err_n ? err_sum / err_n
+                       : std::numeric_limits<double>::quiet_NaN();
   return row;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -17,13 +18,27 @@ class JsonRows {
  public:
   void add(const std::string& config, std::uint64_t seed,
            const std::string& metric, double value) {
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "  {\"config\": \"%s\", \"seed\": %llu, "
-                  "\"metric\": \"%s\", \"value\": %.6g}",
-                  config.c_str(), static_cast<unsigned long long>(seed),
-                  metric.c_str(), value);
-    rows_.emplace_back(buf);
+    // Only the double goes through a bounded snprintf; the row itself is
+    // assembled as a std::string so an arbitrarily long config or metric
+    // name can never truncate the row and corrupt the JSON file.
+    // JSON has no NaN/Inf literal; non-finite metric values (e.g. the NaN
+    // mean_error of a run with zero reports) become null.
+    char num[32];
+    if (std::isfinite(value)) {
+      std::snprintf(num, sizeof(num), "%.6g", value);
+    } else {
+      std::snprintf(num, sizeof(num), "null");
+    }
+    std::string row = "  {\"config\": \"";
+    row += config;
+    row += "\", \"seed\": ";
+    row += std::to_string(seed);
+    row += ", \"metric\": \"";
+    row += metric;
+    row += "\", \"value\": ";
+    row += num;
+    row += "}";
+    rows_.push_back(std::move(row));
   }
 
   std::string render() const {

@@ -98,7 +98,9 @@ void MiddlewareStack::ensure_user_consumer() {
       radio::MsgType::kUser, [this](const net::RouteEnvelope& envelope) {
         const auto* payload =
             static_cast<const UserMessagePayload*>(envelope.inner.get());
-        if (user_handler_) user_handler_(*payload, envelope.origin);
+        for (auto& handler : user_handlers_) {
+          handler(*payload, envelope.origin);
+        }
         for (auto& object : static_objects_) {
           object->deliver(*payload, envelope.origin);
         }
@@ -107,7 +109,7 @@ void MiddlewareStack::ensure_user_consumer() {
 
 void MiddlewareStack::on_user_message(UserHandler handler) {
   ensure_user_consumer();
-  user_handler_ = std::move(handler);
+  user_handlers_.push_back(std::move(handler));
 }
 
 StaticObject& MiddlewareStack::add_static_object(StaticObjectSpec spec) {

@@ -66,7 +66,10 @@ class MiddlewareStack {
   /// from surviving peers. No-op unless the node is down.
   void reboot();
 
-  /// Registers the application consumer of kUser envelopes at this node.
+  /// Registers an application consumer of kUser envelopes at this node.
+  /// Handlers accumulate: each registered handler sees every message, in
+  /// registration order — the base station can feed the Fig. 3 track
+  /// recorder and the serving tier's ingest path at the same time.
   void on_user_message(UserHandler handler);
 
   /// Hosts a static object (§3.2) on this node: its timer methods run for
@@ -95,7 +98,7 @@ class MiddlewareStack {
   std::unique_ptr<Directory> directory_;
   std::unique_ptr<Transport> transport_;
   std::unique_ptr<DutyCycleController> duty_cycle_;
-  UserHandler user_handler_;
+  std::vector<UserHandler> user_handlers_;
   std::vector<std::unique_ptr<StaticObject>> static_objects_;
   bool user_consumer_registered_ = false;
 };

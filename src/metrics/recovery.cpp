@@ -23,12 +23,25 @@ void RecoveryMonitor::on_fault(const fault::FaultRecord& record) {
 
 void RecoveryMonitor::on_group_event(const core::GroupEvent& event) {
   if (event.kind != core::GroupEvent::Kind::kBecameLeader) return;
-  // Close the oldest open gap of this context type: whoever leads the type
-  // again has re-assumed the crashed leader's tracking responsibility.
+  // Close the gap this takeover actually answers. Prefer an exact label
+  // match: with several simultaneously crashed leaders of the same context
+  // type (the multi-target regime), a takeover that kept target B's label
+  // must not close target A's gap — that cross-pairing corrupts both the
+  // takeover-time and the label-continuity statistics. Only when no open
+  // gap carries the event's label (the takeover minted or adopted a new
+  // label) fall back to the oldest gap of the type: whoever leads the type
+  // again has re-assumed a crashed leader's tracking responsibility.
   auto it = std::find_if(open_.begin(), open_.end(),
                          [&](const OpenGap& gap) {
-                           return gap.type == event.type_index;
+                           return gap.type == event.type_index &&
+                                  gap.label == event.label;
                          });
+  if (it == open_.end()) {
+    it = std::find_if(open_.begin(), open_.end(),
+                      [&](const OpenGap& gap) {
+                        return gap.type == event.type_index;
+                      });
+  }
   if (it == open_.end()) return;
   const Duration takeover = event.time - it->opened;
   stats_.recoveries++;

@@ -1,5 +1,7 @@
 #include "metrics/track_recorder.hpp"
 
+#include <limits>
+
 namespace et::metrics {
 
 TrackRecorder::TrackRecorder(core::EnviroTrackSystem& system,
@@ -8,39 +10,30 @@ TrackRecorder::TrackRecorder(core::EnviroTrackSystem& system,
     : system_(system), target_(target), tag_(std::move(expected_tag)) {
   system_.stack(base_station)
       .on_user_message([this](const core::UserMessagePayload& msg, NodeId) {
-        if (msg.tag != tag_ || msg.data.size() < 2) return;
-        // Epoch fence: a stale leader (fenced after a partition heal) may
-        // still have reports in flight; once a higher-epoch report for the
-        // label has arrived, discard anything older.
-        auto [eit, first] = highest_epoch_.try_emplace(msg.src_label,
-                                                       msg.epoch);
-        if (!first) {
-          if (msg.epoch < eit->second) {
-            stale_discarded_++;
-            return;
-          }
-          eit->second = std::max(eit->second, msg.epoch);
-        }
         // Ambient time: this handler runs in mote context, which under the
         // parallel kernel executes on the base station's tile engine.
         const Time now = sim::Simulator::ambient_now(system_.sim());
-        const Vec2 reported{msg.data[0], msg.data[1]};
+        const auto decoded = decode_track_report(msg, tag_, now);
+        if (!decoded) return;
+        if (!fence_.admit(decoded->label, decoded->epoch)) return;
         const Vec2 actual =
             system_.environment().target(target_).position_at(now);
-        labels_.emplace(msg.src_label, true);
-        points_.push_back(TrackPoint{now, msg.src_label, reported, actual,
-                                     distance(reported, actual)});
+        labels_.emplace(decoded->label, true);
+        points_.push_back(TrackPoint{now, decoded->label, decoded->position,
+                                     actual,
+                                     distance(decoded->position, actual)});
       });
 }
 
 double TrackRecorder::mean_error() const {
-  if (points_.empty()) return 0.0;
+  if (points_.empty()) return std::numeric_limits<double>::quiet_NaN();
   double sum = 0.0;
   for (const TrackPoint& p : points_) sum += p.error;
   return sum / static_cast<double>(points_.size());
 }
 
 double TrackRecorder::max_error() const {
+  if (points_.empty()) return std::numeric_limits<double>::quiet_NaN();
   double m = 0.0;
   for (const TrackPoint& p : points_) m = std::max(m, p.error);
   return m;

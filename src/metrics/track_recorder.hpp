@@ -6,13 +6,15 @@
 
 #include "core/app_messages.hpp"
 #include "core/system.hpp"
+#include "metrics/track_decode.hpp"
 
 /// Base-station track recording (Fig. 3).
 ///
-/// Plays the role of the paper's pursuer laptop: installs itself as the
+/// Plays the role of the paper's pursuer laptop: installs itself as a
 /// kUser message consumer on one mote, interprets "track" reports (x, y
-/// from the `location` aggregate) and logs them against the ground-truth
-/// target position at the moment each report arrives.
+/// from the `location` aggregate; shared decoder in track_decode.hpp) and
+/// logs them against the ground-truth target position at the moment each
+/// report arrives.
 namespace et::metrics {
 
 struct TrackPoint {
@@ -37,12 +39,15 @@ class TrackRecorder {
   /// application's perspective: should be 1 for a single target).
   std::size_t distinct_labels() const { return labels_.size(); }
 
+  /// Mean/max distance between reported and ground-truth positions. NaN
+  /// when no report ever arrived: a run where tracking failed completely
+  /// must not score as a perfect (zero-error) one.
   double mean_error() const;
   double max_error() const;
 
   /// Reports discarded because they carried a leadership epoch lower than
   /// the highest already seen for their label (stale pre-partition leader).
-  std::uint64_t stale_discarded() const { return stale_discarded_; }
+  std::uint64_t stale_discarded() const { return fence_.stale_discarded(); }
 
  private:
   core::EnviroTrackSystem& system_;
@@ -50,9 +55,7 @@ class TrackRecorder {
   std::string tag_;
   std::vector<TrackPoint> points_;
   std::unordered_map<LabelId, bool> labels_;
-  /// Per-label epoch high-water mark for the fence.
-  std::unordered_map<LabelId, std::uint64_t> highest_epoch_;
-  std::uint64_t stale_discarded_ = 0;
+  EpochFence fence_;
 };
 
 }  // namespace et::metrics

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "bench/bench_util.hpp"
+
+/// The BENCH_*.json row writer. These files are the durable perf record
+/// (they survive repo re-anchors), so malformed rows are silent data loss.
+namespace et::test {
+namespace {
+
+TEST(JsonRows, LongConfigNamesAreNeverTruncated) {
+  // Regression: rows used to be formatted into a fixed 256-byte snprintf
+  // buffer. A sweep config long enough to overflow it (kernel + tile grid
+  // + fault plan + knobs) was silently truncated — the row lost its
+  // closing brace and the whole BENCH file stopped parsing.
+  const std::string config(300, 'k');
+  bench::JsonRows rows;
+  rows.add(config, 7, "qps", 123456.0);
+
+  const std::string out = rows.render();
+  EXPECT_NE(out.find(config), std::string::npos)
+      << "the full 300-char config string must survive into the row";
+  EXPECT_NE(out.find("\"value\": 123456"), std::string::npos);
+  EXPECT_NE(out.find("}"), std::string::npos);
+  // Structurally complete JSON: one row object, closed array.
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.substr(out.size() - 2), "]\n");
+  EXPECT_NE(out.find("{\"config\": \"" + config + "\", \"seed\": 7"),
+            std::string::npos);
+}
+
+TEST(JsonRows, NonFiniteValuesRenderAsNull) {
+  // JSON has no NaN/Inf literal; a NaN metric (e.g. mean_error of a run
+  // with zero reports) must render as null, not as the literal "nan"
+  // (which breaks every JSON parser downstream).
+  bench::JsonRows rows;
+  rows.add("empty-track", 1, "mean_error",
+           std::numeric_limits<double>::quiet_NaN());
+  rows.add("overflow", 1, "ratio",
+           std::numeric_limits<double>::infinity());
+  rows.add("fine", 1, "qps", 2.5);
+
+  const std::string out = rows.render();
+  EXPECT_NE(out.find("\"metric\": \"mean_error\", \"value\": null"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"metric\": \"ratio\", \"value\": null"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"metric\": \"qps\", \"value\": 2.5"),
+            std::string::npos);
+  EXPECT_EQ(out.find("nan"), std::string::npos);
+  EXPECT_EQ(out.find("inf"), std::string::npos);
+}
+
+TEST(JsonRows, RowsRenderInInsertionOrderWithCommas) {
+  bench::JsonRows rows;
+  EXPECT_TRUE(rows.empty());
+  rows.add("a", 1, "m", 1.0);
+  rows.add("b", 2, "m", 2.0);
+  const std::string out = rows.render();
+  const auto a = out.find("\"config\": \"a\"");
+  const auto b = out.find("\"config\": \"b\"");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_NE(out.find("},\n"), std::string::npos)
+      << "rows are comma-separated";
+}
+
+}  // namespace
+}  // namespace et::test

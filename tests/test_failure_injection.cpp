@@ -453,5 +453,61 @@ TEST(FailureInjection, HarassedTankUnderBurstLossKeepsTracking) {
       << "takeover latency is bounded by the 2.1 x HB receive timer";
 }
 
+TEST(FailureInjection, ConcurrentLeaderCrashesPairTakeoversByLabel) {
+  // Regression: with two leaders of the same context type crashed at once,
+  // the recovery monitor used to pair a takeover with the *oldest* open
+  // gap of the type, ignoring labels. A takeover that kept target B's
+  // label would close target A's gap and grade as "label replaced" —
+  // corrupting both continuity and takeover-time statistics.
+  //
+  // Blob A is sensed by exactly one mote (tiny radius centred on node 1),
+  // so once its leader dies nobody can take over: its gap must stay open.
+  // Blob B is sensed by exactly two motes — (6,0) and (6,1) — so the crash
+  // leaves exactly one member, whose single takeover preserves the label.
+  TestWorld world;
+  fault::FaultInjector injector(world.system());
+  metrics::RecoveryMonitor recovery(world.system(), injector,
+                                    Duration::millis(100));
+  world.add_blob({1.0, 0.0}, 0.3);
+  world.add_blob({6.0, 0.5}, 1.0);
+  world.run(3);
+
+  const auto leaders = world.leaders();
+  ASSERT_EQ(leaders.size(), 2u) << "one leader per blob";
+  NodeId a_leader, b_leader;
+  for (const NodeId n : leaders) {
+    if (distance(world.field().position(n), Vec2{1.0, 0.0}) < 0.5) {
+      a_leader = n;
+    } else {
+      b_leader = n;
+    }
+  }
+  ASSERT_TRUE(a_leader.is_valid());
+  ASSERT_TRUE(b_leader.is_valid());
+  const LabelId a_label = world.groups(a_leader).current_label(0);
+  const LabelId b_label = world.groups(b_leader).current_label(0);
+  ASSERT_NE(a_label, b_label);
+
+  // A's gap opens first (the older gap — the one the buggy pairing ate).
+  injector.crash(a_leader);
+  world.run(0.2);
+  injector.crash(b_leader);
+  world.run(4);
+
+  EXPECT_EQ(recovery.stats().leader_faults, 2u);
+  ASSERT_EQ(recovery.stats().recoveries, 1u)
+      << "only B's group has members able to take over";
+  EXPECT_EQ(recovery.stats().label_preserved, 1u)
+      << "B's takeover kept B's label and must be paired with B's gap";
+  EXPECT_EQ(recovery.stats().label_replaced, 0u)
+      << "nothing answered A's gap, so nothing may grade as replaced";
+  EXPECT_LT(recovery.mean_takeover_seconds(), 2.0)
+      << "takeover time must be measured against B's gap, not A's older one";
+
+  const auto survivor = world.sole_leader();
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_EQ(world.groups(*survivor).current_label(0), b_label);
+}
+
 }  // namespace
 }  // namespace et::test

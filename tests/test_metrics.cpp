@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "metrics/channel_report.hpp"
 #include "metrics/event_log.hpp"
 #include "metrics/track_recorder.hpp"
@@ -134,6 +136,23 @@ TEST(TrackRecorder, RecordsOnlyMatchingTag) {
   for (const auto& point : recorder.points()) {
     EXPECT_NEAR(point.actual.x, 3.5, 1e-9) << "stationary ground truth";
   }
+}
+
+TEST(TrackRecorder, EmptyTrackErrorIsNaNNotZero) {
+  // Regression: mean_error()/max_error() used to return 0.0 for an empty
+  // track — indistinguishable from a perfect track, so a run where the
+  // base station heard *nothing* graded as flawless. No data is NaN.
+  TestWorld world;
+  // A blob far off-grid: exists as ground truth, is never sensed, so the
+  // base station never hears a single report.
+  const TargetId target = world.add_blob({100.0, 100.0}, 0.01);
+  metrics::TrackRecorder recorder(world.system(), NodeId{0}, target,
+                                  "track");
+  world.run(3);
+  ASSERT_EQ(recorder.report_count(), 0u);
+  EXPECT_TRUE(std::isnan(recorder.mean_error()))
+      << "empty track must not grade as a perfect (0-error) track";
+  EXPECT_TRUE(std::isnan(recorder.max_error()));
 }
 
 }  // namespace

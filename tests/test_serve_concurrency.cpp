@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "serve/track_store.hpp"
+
+/// Concurrency contract of the sharded store: one writer applying batches
+/// while reader threads query. Run under TSan in CI. Readers assert
+/// *semantic* consistency — a snapshot is for the label asked, its seq
+/// never regresses, history is time-ordered — since with a live writer
+/// exact values are racy by design. Readers run a fixed number of sweeps
+/// and the writer keeps writing until they are done, so the two sides are
+/// guaranteed to overlap.
+namespace et::test {
+namespace {
+
+metrics::DecodedTrack report(LabelId label, double x, double y,
+                             std::int64_t at_micros) {
+  metrics::DecodedTrack d;
+  d.time = Time::origin() + Duration::micros(at_micros);
+  d.label = label;
+  d.source = NodeId{1};
+  d.position = {x, y};
+  d.epoch = 1;
+  return d;
+}
+
+TEST(ServeConcurrency, WriterAndReadersStaySane) {
+  serve::StoreConfig config;
+  config.shard_count = 8;
+  config.ring_capacity = 32;
+  serve::ShardedTrackStore store(config);
+
+  constexpr int kLabels = 24;
+  constexpr int kReaders = 4;
+  constexpr int kSweepsPerReader = 300;
+  std::vector<LabelId> labels;
+  for (int i = 0; i < kLabels; ++i) {
+    labels.push_back(LabelId::make(NodeId{static_cast<std::uint64_t>(i)}, 1));
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::vector<metrics::DecodedTrack> batch;
+    // Rounds advance monotonically until the readers are done: position.x
+    // and time both encode the round, so served values stay monotone.
+    for (std::int64_t round = 0; !stop.load(std::memory_order_acquire);
+         ++round) {
+      batch.clear();
+      for (int i = 0; i < kLabels; ++i) {
+        batch.push_back(report(labels[static_cast<std::size_t>(i)],
+                               static_cast<double>(round),
+                               static_cast<double>(i), round * 1000));
+      }
+      store.apply_batch(batch);
+    }
+  });
+
+  std::vector<std::thread> readers;
+  std::vector<std::uint64_t> reads(kReaders, 0);
+  std::atomic<int> failures{0};
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      std::vector<std::uint64_t> last_seq(kLabels, 0);
+      for (int sweep = 0; sweep < kSweepsPerReader; ++sweep) {
+        for (int i = 0; i < kLabels; ++i) {
+          const LabelId label = labels[static_cast<std::size_t>(i)];
+          if (const auto snap = store.latest(label)) {
+            if (snap->label != label) failures.fetch_add(1);
+            // seq is monotone: a served track never goes backwards.
+            if (snap->seq < last_seq[static_cast<std::size_t>(i)]) {
+              failures.fetch_add(1);
+            }
+            last_seq[static_cast<std::size_t>(i)] = snap->seq;
+          }
+          const auto points = store.history(label, Duration::seconds(1));
+          for (std::size_t p = 1; p < points.size(); ++p) {
+            if (points[p].time < points[p - 1].time) failures.fetch_add(1);
+            if (points[p].seq <= points[p - 1].seq) failures.fetch_add(1);
+          }
+          reads[static_cast<std::size_t>(r)]++;
+        }
+        const auto region =
+            store.tracks_in_region(Rect{{-1.0, -1.0}, {1e9, 1e9}});
+        for (std::size_t p = 1; p < region.size(); ++p) {
+          if (!(region[p - 1].label < region[p].label)) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  for (int r = 0; r < kReaders; ++r) {
+    EXPECT_EQ(reads[static_cast<std::size_t>(r)],
+              static_cast<std::uint64_t>(kSweepsPerReader) * kLabels);
+  }
+  // Quiescent state: every label saw every round, in order.
+  const std::uint64_t rounds =
+      store.stats().reports_applied / static_cast<std::uint64_t>(kLabels);
+  EXPECT_GT(rounds, 0u);
+  for (int i = 0; i < kLabels; ++i) {
+    const auto snap = store.latest(labels[static_cast<std::size_t>(i)]);
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->seq, rounds);
+    EXPECT_DOUBLE_EQ(snap->position.x, static_cast<double>(rounds - 1));
+  }
+  EXPECT_EQ(store.stats().reports_applied,
+            static_cast<std::uint64_t>(kLabels) * rounds);
+}
+
+}  // namespace
+}  // namespace et::test
