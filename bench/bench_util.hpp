@@ -6,8 +6,79 @@
 #include <string>
 #include <vector>
 
+#include "sim/kernel_config.hpp"
+
 /// Shared helpers for the figure/table reproduction binaries.
 namespace et::bench {
+
+/// Parses an ET_KERNEL-style kernel selector into `*kernel`:
+///   ""          / "legacy"  -> legacy serial engine (the seed's order)
+///   "serial"                -> canonical-order serial oracle
+///   "parallel"              -> tiled parallel kernel, default threads
+///   "parallel:N"            -> tiled parallel kernel, N worker threads
+/// Returns false (and fills `*error` when non-null) on anything else —
+/// including `parallel:0`, negative, or non-numeric thread counts, which
+/// must fail loudly: a sweep silently falling back to a default thread
+/// count would benchmark the wrong configuration.
+inline bool parse_kernel_selector(const std::string& value,
+                                  sim::KernelConfig* kernel,
+                                  std::string* error = nullptr) {
+  *kernel = sim::KernelConfig{};
+  if (value.empty() || value == "legacy") return true;
+  if (value == "serial") {
+    kernel->canonical_order = true;
+    return true;
+  }
+  if (value == "parallel") {
+    kernel->use_parallel_kernel = true;
+    return true;
+  }
+  const std::string prefix = "parallel:";
+  if (value.rfind(prefix, 0) == 0) {
+    const std::string spec = value.substr(prefix.size());
+    if (spec.empty() ||
+        spec.find_first_not_of("0123456789") != std::string::npos) {
+      if (error) {
+        *error = "ET_KERNEL '" + value +
+                 "': thread count must be a positive integer";
+      }
+      return false;
+    }
+    // strtoul saturates on overflow, so absurd counts also land here.
+    const unsigned long threads = std::strtoul(spec.c_str(), nullptr, 10);
+    if (threads == 0 || threads > 1024) {
+      if (error) {
+        *error = "ET_KERNEL '" + value +
+                 "': thread count must be between 1 and 1024";
+      }
+      return false;
+    }
+    kernel->use_parallel_kernel = true;
+    kernel->threads = static_cast<unsigned>(threads);
+    return true;
+  }
+  if (error) {
+    *error = "unknown ET_KERNEL '" + value +
+             "' (expected legacy, serial, parallel, or parallel:N)";
+  }
+  return false;
+}
+
+/// Kernel selection from the ET_KERNEL environment variable (unset/empty =
+/// legacy engine). Exits with the parser's message on a malformed value.
+/// "serial" and "parallel:N" runs print byte-identical output — CI diffs
+/// them.
+inline sim::KernelConfig kernel_from_env() {
+  sim::KernelConfig kernel;
+  const char* env = std::getenv("ET_KERNEL");
+  if (!env) return kernel;
+  std::string error;
+  if (!parse_kernel_selector(env, &kernel, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    std::exit(2);
+  }
+  return kernel;
+}
 
 /// Accumulates machine-readable {config, seed, metric, value} rows and
 /// renders them as a JSON array — the persisted BENCH_*.json format that

@@ -56,31 +56,6 @@ struct ChaosPoint {
   double tracked_fraction = 0.0;
 };
 
-/// Kernel selection from ET_KERNEL: unset = legacy serial engine,
-/// "serial" = canonical-order serial oracle, "parallel:N" = tiled parallel
-/// kernel with N threads. "serial" and "parallel:N" runs print
-/// byte-identical output — CI diffs them.
-sim::KernelConfig kernel_from_env() {
-  sim::KernelConfig kernel;
-  const char* env = std::getenv("ET_KERNEL");
-  if (!env || !*env) return kernel;
-  const std::string value(env);
-  if (value == "serial") {
-    kernel.canonical_order = true;
-  } else if (value.rfind("parallel", 0) == 0) {
-    kernel.use_parallel_kernel = true;
-    const auto colon = value.find(':');
-    if (colon != std::string::npos) {
-      const int threads = std::atoi(value.c_str() + colon + 1);
-      if (threads > 0) kernel.threads = static_cast<unsigned>(threads);
-    }
-  } else {
-    std::fprintf(stderr, "unknown ET_KERNEL '%s'\n", value.c_str());
-    std::exit(2);
-  }
-  return kernel;
-}
-
 TankScenarioParams base_params(std::uint64_t seed) {
   TankScenarioParams params;
   params.rows = 3;
@@ -89,7 +64,7 @@ TankScenarioParams base_params(std::uint64_t seed) {
   params.group.heartbeat_period = Duration::seconds(0.5);
   // Bursty MICA-style losses instead of i.i.d. noise.
   params.radio.burst_loss.enabled = true;
-  params.kernel = kernel_from_env();
+  params.kernel = bench::kernel_from_env();
   params.seed = seed;
   return params;
 }

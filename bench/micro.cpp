@@ -19,6 +19,7 @@
 #include "etl/compiler.hpp"
 #include "etl/parser.hpp"
 #include "scenario/tank.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -172,6 +173,7 @@ BENCHMARK(BM_DenseBroadcast)
 void BM_ScalingTank(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const int threads = static_cast<int>(state.range(1));
+  const bool wide = state.range(2) != 0;
   constexpr double kSimSeconds = 2.0;
   std::size_t rows = 1, cols = n;
   for (auto r = static_cast<std::size_t>(std::sqrt(static_cast<double>(n)));
@@ -193,6 +195,7 @@ void BM_ScalingTank(benchmark::State& state) {
     // sample sparsely so the kernel, not the instrumentation, is measured.
     params.coherence_sample_period = Duration::seconds(1);
     params.kernel.canonical_order = true;
+    params.kernel.wide_windows = wide;
     if (threads > 0) {
       params.kernel.use_parallel_kernel = true;
       params.kernel.threads = threads;
@@ -201,6 +204,25 @@ void BM_ScalingTank(benchmark::State& state) {
     state.ResumeTiming();
     tank->run_for(Duration::seconds(kSimSeconds));
     state.PauseTiming();
+    // Kernel telemetry: how many barrier windows the run executed, how wide
+    // they were, and where the wall time went. The serial-fraction counter
+    // is the measured Amdahl bound of this configuration.
+    if (sim::ParallelKernel* kernel = tank->system().kernel()) {
+      const sim::ParallelKernelStats& ks = kernel->stats();
+      state.counters["windows"] = static_cast<double>(ks.windows);
+      state.counters["mean_window_us"] = ks.mean_window_width_us();
+      state.counters["max_window_us"] =
+          ks.window_width_max.to_seconds() * 1e6;
+      state.counters["windows_cut_world"] =
+          static_cast<double>(ks.windows_cut_world);
+      state.counters["barrier_wait_ms"] =
+          static_cast<double>(ks.barrier_wait_ns) * 1e-6;
+      state.counters["serial_fraction"] = ks.serial_fraction();
+      state.counters["fanout_batches"] =
+          static_cast<double>(ks.fanout_batches);
+      state.counters["fanout_receivers"] =
+          static_cast<double>(ks.fanout_receivers);
+    }
     tank.reset();  // teardown of N motes stays outside the measurement
     state.ResumeTiming();
   }
@@ -208,8 +230,11 @@ void BM_ScalingTank(benchmark::State& state) {
       kSimSeconds * state.iterations(), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ScalingTank)
-    ->ArgsProduct({{10000, 50000, 100000}, {0, 1, 2, 4, 8}})
-    ->ArgNames({"n", "threads"})
+    ->ArgsProduct({{10000, 50000, 100000}, {0, 1, 2, 4, 8}, {1}})
+    // One narrow-window row: the global-min-airtime baseline the wide
+    // planner's window count is compared against.
+    ->Args({50000, 2, 0})
+    ->ArgNames({"n", "threads", "wide"})
     ->UseRealTime()
     ->Unit(benchmark::kSecond)
     ->Iterations(1);
@@ -244,6 +269,19 @@ class RowReporter final : public benchmark::ConsoleReporter {
       if (items != run.counters.end()) {
         rows_.add(run.benchmark_name(), 0, "items_per_second",
                   static_cast<double>(items->second));
+      }
+      // Kernel telemetry counters (BM_ScalingTank): one row each, so the
+      // window/barrier/serial-fraction trajectory survives in the JSON.
+      static constexpr const char* kKernelCounters[] = {
+          "windows",          "mean_window_us",  "max_window_us",
+          "windows_cut_world", "barrier_wait_ms", "serial_fraction",
+          "fanout_batches",   "fanout_receivers"};
+      for (const char* counter : kKernelCounters) {
+        const auto it = run.counters.find(counter);
+        if (it != run.counters.end()) {
+          rows_.add(run.benchmark_name(), 0, counter,
+                    static_cast<double>(it->second));
+        }
       }
       const auto sps = run.counters.find("sim_sps");
       if (sps != run.counters.end()) {

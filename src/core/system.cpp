@@ -35,11 +35,8 @@ EnviroTrackSystem::EnviroTrackSystem(sim::Simulator& sim,
       field_(field),
       config_(config),
       kernel_(config.kernel.use_parallel_kernel
-                  ? std::make_unique<sim::ParallelKernel>(
-                        sim, config.kernel,
-                        config.kernel.tile_cell_size > 0.0
-                            ? config.kernel.tile_cell_size
-                            : config.radio.comm_radius)
+                  ? std::make_unique<sim::ParallelKernel>(sim, config.kernel,
+                                                          field.bounds())
                   : nullptr),
       medium_(sim, config.radio),
       network_(sim, medium_, env, field, config.cpu,
@@ -58,14 +55,39 @@ EnviroTrackSystem::EnviroTrackSystem(sim::Simulator& sim,
       for (sim::Simulator* engine : kernel_->all_sims()) {
         engine->enable_canonical(counters);
       }
-      kernel_->finalize(medium_.min_airtime(),
-                        [this](Time t) { env_.prepare(t); });
     } else {
       sim_.enable_canonical(std::move(counters));
     }
-    medium_.enable_canonical([this](NodeId id) -> sim::Simulator& {
-      return network_.mote(id).sim();
-    });
+    // The medium resolves the handoff latencies (they depend on the
+    // wide-window flag); the kernel's window plan then mirrors them.
+    medium_.enable_canonical(
+        [this](NodeId id) -> sim::Simulator& {
+          return network_.mote(id).sim();
+        },
+        config_.kernel.wide_windows);
+    if (kernel_) {
+      sim::WindowPlan plan;
+      plan.min_airtime = medium_.min_airtime();
+      plan.wide = config_.kernel.wide_windows;
+      plan.tx_handoff = medium_.tx_handoff();
+      plan.rx_handoff = medium_.rx_latency();
+      plan.hop_radius = config_.radio.comm_radius;
+      plan.n_motes = static_cast<std::uint32_t>(network_.size());
+      plan.collect_channel =
+          [this](std::vector<std::pair<Time, Vec2>>& out) {
+            medium_.collect_channel_constraints(out);
+          };
+      plan.pos_of = [this](std::uint32_t rank) {
+        return medium_.position_of(NodeId{rank});
+      };
+      plan.prepare = [this](Time t) { env_.prepare(t); };
+      kernel_->finalize(std::move(plan));
+      medium_.set_fanout_executor(
+          [this](std::size_t n_groups, std::size_t n_receivers,
+                 const std::function<void(std::size_t)>& body) {
+            kernel_->run_fanout(n_groups, n_receivers, body);
+          });
+    }
   }
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
 
 #include "util/log.hpp"
 
@@ -55,11 +56,22 @@ Duration Medium::min_airtime() const {
                            config_.bitrate_bps);
 }
 
-void Medium::enable_canonical(std::function<sim::Simulator&(NodeId)> sim_of) {
+void Medium::enable_canonical(std::function<sim::Simulator&(NodeId)> sim_of,
+                              bool wide_windows) {
   assert(sim_of);
   canonical_ = true;
   sim_of_ = std::move(sim_of);
-  rx_latency_ = min_airtime();
+  const Duration airtime = min_airtime();
+  if (wide_windows) {
+    // Wide-window semantics: both latencies are multiples of the minimum
+    // airtime. rx below one airtime would break the kernel's conservative
+    // floor, so it clamps; a negative MAC handoff is meaningless.
+    rx_latency_ = airtime * std::max(1.0, config_.rx_handoff_airtimes);
+    tx_handoff_ = airtime * std::max(0.0, config_.mac_handoff_airtimes);
+  } else {
+    rx_latency_ = airtime;
+    tx_handoff_ = Duration::zero();
+  }
   assert(rx_latency_.is_positive());
 }
 
@@ -120,6 +132,7 @@ void Medium::attach(NodeId id, Vec2 position, Receiver receiver) {
   Endpoint endpoint;
   endpoint.pos = position;
   endpoint.recv = std::move(receiver);
+  endpoint.rx_rng = sim_.make_rng("radio-rx-" + std::to_string(id.value()));
   endpoints_.push_back(std::move(endpoint));
   grid_[cell_key(cell_coord(position.x), cell_coord(position.y))].push_back(
       static_cast<std::uint32_t>(id.value()));
@@ -138,9 +151,13 @@ void Medium::send(Frame frame) {
   if (canonical_) {
     // Mote context may be running on a tile thread; hand the whole MAC
     // entry (stats included) over as a channel op so all medium state stays
-    // master-confined and ops replay in canonical issue order.
-    sim_.post_op(
-        [this, frame = std::move(frame)]() mutable { send_now(std::move(frame)); });
+    // master-confined and ops replay in canonical issue order. The op is
+    // keyed tx_handoff() after the send — the wide-window MAC-entry
+    // latency (zero in narrow mode) — and flagged as a send so the window
+    // planner can track it as a pending transmission source.
+    sim_.post_radio_op(tx_handoff_, [this, frame = std::move(frame)]() mutable {
+      send_now(std::move(frame));
+    });
     return;
   }
   send_now(std::move(frame));
@@ -231,7 +248,10 @@ void Medium::try_send(NodeId id) {
     const int window = 1 << std::min(ep.backoff_attempts, 5);
     const double slots = rng_.uniform(1.0, static_cast<double>(window));
     ep.backoff_pending = true;
-    sim_.schedule_owned(sim::kChannelRank, config_.backoff_slot * slots, [this, id] {
+    const Duration delay = config_.backoff_slot * slots;
+    if (canonical_) note_mac_wakeup(sim_.now() + delay, id);
+    sim_.schedule_owned(sim::kChannelRank, delay, [this, id] {
+      if (canonical_) clear_mac_wakeup(id);
       endpoints_[id.value()].backoff_pending = false;
       try_send(id);
     });
@@ -285,8 +305,11 @@ void Medium::complete_transmission(NodeId id, Time start, Time end,
   // Move on to the next queued frame after a short turnaround gap so two
   // frames from the same node cannot overlap.
   if (!ep.queue.empty()) {
-    sim_.schedule_owned(sim::kChannelRank, Duration::micros(100),
-                        [this, id] { try_send(id); });
+    if (canonical_) note_mac_wakeup(sim_.now() + Duration::micros(100), id);
+    sim_.schedule_owned(sim::kChannelRank, Duration::micros(100), [this, id] {
+      if (canonical_) clear_mac_wakeup(id);
+      try_send(id);
+    });
   }
 }
 
@@ -307,7 +330,7 @@ bool Medium::corrupted_at(NodeId receiver, Time start, Time end,
   return false;
 }
 
-bool Medium::sample_burst_state(NodeId receiver) {
+bool Medium::sample_burst_state(NodeId receiver, Rng& rng) {
   Endpoint& ep = endpoints_[receiver.value()];
   // Exact transition of the two-state CTMC over the (arbitrarily long)
   // interval since the chain was last sampled: with G->B rate a = 1/mean_good
@@ -324,71 +347,73 @@ bool Medium::sample_burst_state(NodeId receiver) {
   const double decay = std::exp(-rate * dt);
   const double p_bad =
       ep.burst_bad ? pi_bad + (1.0 - pi_bad) * decay : pi_bad * (1.0 - decay);
-  ep.burst_bad = rng_.chance(p_bad);
+  ep.burst_bad = rng.chance(p_bad);
   ep.burst_sampled_at = sim_.now();
   return ep.burst_bad;
+}
+
+void Medium::attempt_canonical(std::uint32_t k,
+                               const std::vector<std::uint32_t>& candidates,
+                               const Frame& frame, Time start, Time end,
+                               std::uint64_t tx_id, Time handoff,
+                               std::uint64_t seq_base, ScatterStats& acc) {
+  const NodeId receiver{candidates[k]};
+  Endpoint& rx = endpoints_[receiver.value()];
+  if (!rx.receiver_enabled || rx.blackout) return;
+  if (!same_partition(frame.src, receiver)) {
+    // Checked before any RNG draw so partitioned and unpartitioned code
+    // paths consume the stream identically for the surviving receivers.
+    acc.blocked_partition++;
+    return;
+  }
+  acc.attempts++;
+  if (config_.model_collisions && corrupted_at(receiver, start, end, tx_id)) {
+    acc.lost_collision++;
+    return;
+  }
+  if (config_.burst_loss.enabled) {
+    const bool bad = sample_burst_state(receiver, rx.rx_rng);
+    const double p =
+        bad ? config_.burst_loss.loss_bad : config_.burst_loss.loss_good;
+    if (rx.rx_rng.chance(p)) {
+      if (bad) {
+        acc.lost_burst++;
+      } else {
+        acc.lost_random++;
+      }
+      return;
+    }
+  } else if (rx.rx_rng.chance(config_.loss_probability)) {
+    acc.lost_random++;
+    return;
+  }
+  acc.delivered++;
+  rx.stats.frames_received++;
+  rx.stats.bits_received +=
+      (config_.header_bytes + frame.payload->size_bytes()) * 8;
+  // Hand the frame to the receiver's simulator rx_latency() after
+  // completion at the key pre-assigned to this candidate slot. The latency
+  // is what lets tiles run a whole lookahead window without hearing from
+  // the channel; the serial canonical oracle applies the same latency, so
+  // the two engines stay bit-exact.
+  sim_of_(receiver).schedule_at_key(
+      sim::EventKey{handoff, sim::kChannelRank, seq_base + k},
+      static_cast<std::uint32_t>(receiver.value()),
+      [this, receiver, frame] {
+        const Endpoint& rx_ep = endpoints_[receiver.value()];
+        if (rx_ep.recv) rx_ep.recv(frame);
+      });
 }
 
 void Medium::deliver(const Frame& frame, Time start, Time end,
                      std::uint64_t tx_id) {
   TypeStats& ts = stats_.of(frame.type);
-  std::size_t delivered = 0;
 
-  auto attempt = [&](NodeId receiver) {
-    const Endpoint& rx = endpoints_[receiver.value()];
-    if (!rx.receiver_enabled || rx.blackout) return;
-    if (!same_partition(frame.src, receiver)) {
-      // Checked before any RNG draw so partitioned and unpartitioned code
-      // paths consume the stream identically for the surviving receivers.
-      ts.pair_blocked_partition++;
-      return;
-    }
-    ts.pair_attempts++;
-    if (config_.model_collisions && corrupted_at(receiver, start, end, tx_id)) {
-      ts.pair_lost_collision++;
-      return;
-    }
-    if (config_.burst_loss.enabled) {
-      const bool bad = sample_burst_state(receiver);
-      const double p =
-          bad ? config_.burst_loss.loss_bad : config_.burst_loss.loss_good;
-      if (rng_.chance(p)) {
-        if (bad) {
-          ts.pair_lost_burst++;
-        } else {
-          ts.pair_lost_random++;
-        }
-        return;
-      }
-    } else if (rng_.chance(config_.loss_probability)) {
-      ts.pair_lost_random++;
-      return;
-    }
-    ts.pair_delivered++;
-    ++delivered;
-    Endpoint& ep = endpoints_[receiver.value()];
-    ep.stats.frames_received++;
-    ep.stats.bits_received +=
-        (config_.header_bytes + frame.payload->size_bytes()) * 8;
-    if (canonical_) {
-      // Canonical order: hand the frame to the receiver's simulator one
-      // min_airtime() after completion. The latency is what lets tiles run
-      // a whole lookahead window without hearing from the channel; the
-      // serial canonical oracle applies the same latency, so the two
-      // engines stay bit-exact.
-      sim_of_(receiver).schedule_at_key(
-          sim::EventKey{end + rx_latency_, sim::kChannelRank,
-                        sim_.alloc_seq(sim::kChannelRank)},
-          static_cast<std::uint32_t>(receiver.value()),
-          [this, receiver, frame] {
-            const Endpoint& rx_ep = endpoints_[receiver.value()];
-            if (rx_ep.recv) rx_ep.recv(frame);
-          });
-    } else if (ep.recv) {
-      ep.recv(frame);
-    }
-  };
-
+  // Candidate receivers in ascending id order — the same set in every mode
+  // and for both geometry paths. The buffer is swapped into a local
+  // (capacity recycled through deliver_scratch_) so receiver callbacks that
+  // re-enter the medium cannot clobber the iteration.
+  std::vector<std::uint32_t> candidates = std::move(deliver_scratch_);
   const double reach =
       frame.range_limit ? std::min(*frame.range_limit, config_.comm_radius)
                         : config_.comm_radius;
@@ -397,31 +422,161 @@ void Medium::deliver(const Frame& frame, Time start, Time end,
     if (config_.use_spatial_index) {
       // reach <= comm_radius, so the 3x3 cell block covers every receiver;
       // gather_in_radius yields them in ascending id order, matching the
-      // brute-force scan below frame for frame. The buffer is swapped into
-      // a local (capacity recycled through deliver_scratch_) so receiver
-      // callbacks that re-enter the medium cannot clobber the iteration.
-      std::vector<std::uint32_t> candidates = std::move(deliver_scratch_);
+      // brute-force scan below frame for frame.
       gather_in_radius(src_pos, reach, frame.src.value(), candidates);
-      for (std::uint32_t idx : candidates) attempt(NodeId{idx});
-      candidates.clear();
-      deliver_scratch_ = std::move(candidates);
     } else {
+      candidates.clear();
       for (std::size_t i = 0; i < endpoints_.size(); ++i) {
         if (i == frame.src.value()) continue;
         if (within_radius(src_pos, endpoints_[i].pos, reach)) {
-          attempt(NodeId{i});
+          candidates.push_back(static_cast<std::uint32_t>(i));
         }
       }
     }
   } else {
+    candidates.clear();
     const NodeId dst = *frame.dst;
     if (dst.value() < endpoints_.size() &&
         within_radius(src_pos, endpoints_[dst.value()].pos, reach)) {
-      attempt(dst);
+      candidates.push_back(static_cast<std::uint32_t>(dst.value()));
     }
   }
 
+  std::size_t delivered = 0;
+  if (!canonical_) {
+    // Legacy order: shared RNG stream consumed in ascending id order,
+    // receivers invoked inline at the completion instant — byte-identical
+    // to the seed.
+    for (std::uint32_t idx : candidates) {
+      const NodeId receiver{idx};
+      const Endpoint& rx = endpoints_[idx];
+      if (!rx.receiver_enabled || rx.blackout) continue;
+      if (!same_partition(frame.src, receiver)) {
+        ts.pair_blocked_partition++;
+        continue;
+      }
+      ts.pair_attempts++;
+      if (config_.model_collisions &&
+          corrupted_at(receiver, start, end, tx_id)) {
+        ts.pair_lost_collision++;
+        continue;
+      }
+      if (config_.burst_loss.enabled) {
+        const bool bad = sample_burst_state(receiver, rng_);
+        const double p =
+            bad ? config_.burst_loss.loss_bad : config_.burst_loss.loss_good;
+        if (rng_.chance(p)) {
+          if (bad) {
+            ts.pair_lost_burst++;
+          } else {
+            ts.pair_lost_random++;
+          }
+          continue;
+        }
+      } else if (rng_.chance(config_.loss_probability)) {
+        ts.pair_lost_random++;
+        continue;
+      }
+      ts.pair_delivered++;
+      ++delivered;
+      Endpoint& ep = endpoints_[idx];
+      ep.stats.frames_received++;
+      ep.stats.bits_received +=
+          (config_.header_bytes + frame.payload->size_bytes()) * 8;
+      if (ep.recv) ep.recv(frame);
+    }
+  } else {
+    // Canonical order: one pre-assigned reception key and one private RNG
+    // stream per candidate, so every receiver's outcome is independent of
+    // the order receivers are sampled in. The serial loop and the sharded
+    // fan-out below therefore produce the same simulation, bit for bit —
+    // parallelism never rides on the sampling order.
+    const std::uint64_t seq_base =
+        sim_.alloc_seq_block(sim::kChannelRank, candidates.size());
+    const Time handoff = end + rx_latency_;
+    ScatterStats totals;
+    if (fanout_exec_ && candidates.size() >= config_.fanout_min_receivers) {
+      // Shard by receiving simulator (tile): groups touch disjoint endpoint
+      // state and tile queues, so the kernel may run them concurrently.
+      fanout_group_sims_.clear();
+      for (auto& group : fanout_groups_) group.clear();
+      for (std::uint32_t k = 0;
+           k < static_cast<std::uint32_t>(candidates.size()); ++k) {
+        sim::Simulator* tile = &sim_of_(NodeId{candidates[k]});
+        std::size_t g = 0;
+        while (g < fanout_group_sims_.size() && fanout_group_sims_[g] != tile)
+          ++g;
+        if (g == fanout_group_sims_.size()) {
+          fanout_group_sims_.push_back(tile);
+          if (fanout_groups_.size() < fanout_group_sims_.size())
+            fanout_groups_.emplace_back();
+        }
+        fanout_groups_[g].push_back(k);
+      }
+      const std::size_t n_groups = fanout_group_sims_.size();
+      fanout_stats_.assign(n_groups, ScatterStats{});
+      fanout_exec_(n_groups, candidates.size(), [&](std::size_t g) {
+        for (std::uint32_t k : fanout_groups_[g]) {
+          attempt_canonical(k, candidates, frame, start, end, tx_id, handoff,
+                            seq_base, fanout_stats_[g]);
+        }
+      });
+      for (const ScatterStats& s : fanout_stats_) {
+        totals.attempts += s.attempts;
+        totals.delivered += s.delivered;
+        totals.lost_collision += s.lost_collision;
+        totals.lost_random += s.lost_random;
+        totals.lost_burst += s.lost_burst;
+        totals.blocked_partition += s.blocked_partition;
+      }
+    } else {
+      for (std::uint32_t k = 0;
+           k < static_cast<std::uint32_t>(candidates.size()); ++k) {
+        attempt_canonical(k, candidates, frame, start, end, tx_id, handoff,
+                          seq_base, totals);
+      }
+    }
+    ts.pair_attempts += totals.attempts;
+    ts.pair_delivered += totals.delivered;
+    ts.pair_lost_collision += totals.lost_collision;
+    ts.pair_lost_random += totals.lost_random;
+    ts.pair_lost_burst += totals.lost_burst;
+    ts.pair_blocked_partition += totals.blocked_partition;
+    delivered = totals.delivered;
+  }
+
+  candidates.clear();
+  deliver_scratch_ = std::move(candidates);
   if (delivered == 0) ts.lost++;
+}
+
+void Medium::note_mac_wakeup(Time at, NodeId id) {
+  mac_wakeups_.emplace_back(at, static_cast<std::uint32_t>(id.value()));
+}
+
+void Medium::clear_mac_wakeup(NodeId id) {
+  const auto idx = static_cast<std::uint32_t>(id.value());
+  for (auto& entry : mac_wakeups_) {
+    if (entry.second == idx) {
+      entry = mac_wakeups_.back();
+      mac_wakeups_.pop_back();
+      return;
+    }
+  }
+  assert(false && "clearing a MAC wakeup that was never noted");
+}
+
+void Medium::collect_channel_constraints(
+    std::vector<std::pair<Time, Vec2>>& out) const {
+  // A transmission on the air completes (and can trigger receptions) no
+  // earlier than tx.end. A pending MAC wakeup may start a new transmission
+  // the instant it fires; that frame cannot complete before the wakeup
+  // plus one minimum airtime.
+  for (const Transmission& tx : active_) out.emplace_back(tx.end, tx.pos);
+  const Duration airtime = min_airtime();
+  for (const auto& [at, idx] : mac_wakeups_) {
+    out.emplace_back(at + airtime, endpoints_[idx].pos);
+  }
 }
 
 void Medium::set_partition(std::vector<std::uint32_t> component_of) {

@@ -4,6 +4,7 @@
 #include <functional>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "radio/packet.hpp"
@@ -82,6 +83,23 @@ struct RadioConfig {
   int max_backoff_attempts = 8;
   /// Outgoing frame queue per node; overflow drops the newest frame.
   std::size_t tx_queue_capacity = 16;
+  /// Wide-window canonical semantics (see KernelConfig::wide_windows): the
+  /// latency between a mote handing a frame to the radio stack and the MAC
+  /// taking it over (serialising the frame into the transceiver FIFO), as a
+  /// multiple of the minimum frame airtime. Only applied in canonical
+  /// order with wide windows on; the serial oracle and the parallel kernel
+  /// apply it identically.
+  double mac_handoff_airtimes = 2.0;
+  /// Completion-to-receiver handoff latency (FIFO drain + rx dispatch) as a
+  /// multiple of the minimum frame airtime, wide-window canonical mode.
+  /// Narrow canonical mode always uses exactly one airtime (the original
+  /// conservative lookahead); values below 1 are clamped to 1.
+  double rx_handoff_airtimes = 3.0;
+  /// Broadcasts with at least this many candidate receivers are sampled on
+  /// the parallel kernel's worker pool (sharded by receiving tile) instead
+  /// of serially on the master. Outcomes are identical either way — the
+  /// threshold only trades barrier overhead against fan-out width.
+  std::size_t fanout_min_receivers = 64;
   /// Disable to study the pure random-loss channel.
   bool model_collisions = true;
   /// Route geometric queries through the uniform grid index. The
@@ -112,11 +130,43 @@ class Medium {
   /// Switches the medium to canonical event order: sends and receiver
   /// toggles issued from mote context are deferred as channel ops, medium
   /// internals are channel-owned events, and successful receptions are
-  /// handed to the receiver's simulator (`sim_of`) one min_airtime() after
-  /// the transmission completes. Used by both the serial canonical oracle
+  /// handed to the receiver's simulator (`sim_of`) rx_latency() after the
+  /// transmission completes. Used by both the serial canonical oracle
   /// (sim_of returns the master) and the parallel kernel (sim_of returns
-  /// the receiver's tile).
-  void enable_canonical(std::function<sim::Simulator&(NodeId)> sim_of);
+  /// the receiver's tile). With `wide_windows` the MAC-handoff and
+  /// rx-handoff latencies from RadioConfig apply (identically on both
+  /// engines); off keeps the original semantics: zero MAC entry latency
+  /// and exactly one min_airtime() of rx handoff.
+  void enable_canonical(std::function<sim::Simulator&(NodeId)> sim_of,
+                        bool wide_windows = false);
+
+  /// Latency between a mote-context send() and the MAC accepting the frame
+  /// (canonical order; zero unless wide windows are on).
+  Duration tx_handoff() const { return tx_handoff_; }
+  /// Completion-to-receiver handoff latency (canonical order).
+  Duration rx_latency() const { return rx_latency_; }
+
+  /// Parallel fan-out hook. When set, canonical broadcast deliveries with
+  /// at least RadioConfig::fanout_min_receivers candidates are sharded into
+  /// per-tile groups and `exec(n_groups, n_receivers, body)` must invoke
+  /// `body(g)` exactly once for every g in [0, n_groups) — concurrently if
+  /// it likes; groups touch disjoint endpoint and tile-queue state, and
+  /// outcomes are order-independent by construction (per-receiver RNG
+  /// streams, pre-assigned reception keys).
+  using FanoutExec = std::function<void(
+      std::size_t n_groups, std::size_t n_receivers,
+      const std::function<void(std::size_t)>& body)>;
+  void set_fanout_executor(FanoutExec exec) { fanout_exec_ = std::move(exec); }
+
+  /// Window-planner feed (canonical order): appends one (earliest possible
+  /// completion time, source position) entry per transmission currently on
+  /// the air and per scheduled MAC wakeup (pending backoff retry or
+  /// post-frame turnaround — either may start a new transmission when it
+  /// fires, which cannot complete before wakeup + min_airtime()). Together
+  /// with the pending radio ops tracked by the kernel these are every
+  /// source from which a future reception can originate.
+  void collect_channel_constraints(
+      std::vector<std::pair<Time, Vec2>>& out) const;
 
   /// Registers a node. Ids must be dense from 0 and attached in order.
   void attach(NodeId id, Vec2 position, Receiver receiver);
@@ -228,6 +278,12 @@ class Medium {
     /// when it was last sampled.
     bool burst_bad = false;
     Time burst_sampled_at;
+    /// Canonical order: this receiver's private loss stream (burst chain
+    /// and loss draws), forked per node so delivery outcomes do not depend
+    /// on the order receivers are sampled in — the property that makes the
+    /// parallel fan-out trivially equivalent to the serial loop. Legacy
+    /// order keeps the medium-wide stream for seed compatibility.
+    Rng rx_rng{0};
     EndpointStats stats;
   };
 
@@ -257,10 +313,40 @@ class Medium {
   bool corrupted_at(NodeId receiver, Time start, Time end,
                     std::uint64_t tx_id) const;
   /// Advances `receiver`'s Gilbert–Elliott chain to now() (exact two-state
-  /// CTMC transition over the elapsed interval, one RNG draw) and returns
-  /// whether the chain is in the Bad state. Burst loss must be enabled.
-  bool sample_burst_state(NodeId receiver);
+  /// CTMC transition over the elapsed interval, one draw from `rng`) and
+  /// returns whether the chain is in the Bad state. Burst loss must be
+  /// enabled. Canonical order passes the receiver's own stream; legacy
+  /// passes the shared medium stream.
+  bool sample_burst_state(NodeId receiver, Rng& rng);
   void prune_history();
+
+  /// Per-delivery outcome tallies, accumulated per fan-out group and summed
+  /// into MediumStats afterwards so concurrent groups never touch shared
+  /// counters.
+  struct ScatterStats {
+    std::uint64_t attempts = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t lost_collision = 0;
+    std::uint64_t lost_random = 0;
+    std::uint64_t lost_burst = 0;
+    std::uint64_t blocked_partition = 0;
+  };
+  /// Canonical delivery attempt for candidate `k` of the current batch:
+  /// samples the receiver's own RNG stream, and on success schedules the
+  /// reception into the receiver's simulator at the pre-assigned key
+  /// (handoff, kChannelRank, seq_base + k). Touches only the receiver's
+  /// endpoint, the receiver's tile queue and `acc` — safe to run
+  /// concurrently for receivers on different tiles.
+  void attempt_canonical(std::uint32_t k,
+                         const std::vector<std::uint32_t>& candidates,
+                         const Frame& frame, Time start, Time end,
+                         std::uint64_t tx_id, Time handoff,
+                         std::uint64_t seq_base, ScatterStats& acc);
+
+  /// Pending MAC wakeups (backoff expiries, post-frame turnarounds),
+  /// maintained only in canonical order for collect_channel_constraints().
+  void note_mac_wakeup(Time at, NodeId id);
+  void clear_mac_wakeup(NodeId id);
 
   // --- Spatial index (uniform grid, cell size = comm_radius) ---
 
@@ -286,8 +372,20 @@ class Medium {
   std::function<sim::Simulator&(NodeId)> sim_of_;
   bool canonical_ = false;
   /// Completion-to-receiver handoff latency in canonical order
-  /// (= min_airtime(); zero in legacy mode).
+  /// (>= min_airtime(); zero in legacy mode).
   Duration rx_latency_ = Duration::zero();
+  /// Mote-send to MAC-entry latency (wide-window canonical order only).
+  Duration tx_handoff_ = Duration::zero();
+  FanoutExec fanout_exec_;
+  /// Scheduled backoff/turnaround wakeups as (fire time, endpoint index);
+  /// unsorted, removed when they fire. Canonical order only. At most one
+  /// per endpoint (the MAC is idle-or-backing-off per node).
+  std::vector<std::pair<Time, std::uint32_t>> mac_wakeups_;
+  /// Fan-out scratch (capacity recycled): candidate indices grouped by
+  /// receiving simulator, the group -> simulator map, and per-group stats.
+  std::vector<std::vector<std::uint32_t>> fanout_groups_;
+  std::vector<sim::Simulator*> fanout_group_sims_;
+  std::vector<ScatterStats> fanout_stats_;
   std::vector<Endpoint> endpoints_;
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> grid_;
   /// Capacity-recycled candidate buffer for deliver(): swapped into a local

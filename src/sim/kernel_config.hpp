@@ -18,9 +18,20 @@ struct KernelConfig {
   /// Spatial tiles per worker thread (more tiles -> finer load balance,
   /// more barrier bookkeeping).
   unsigned tiles_per_thread = 1;
-  /// Edge length of the square tile cells used to assign motes to tiles.
-  /// 0 = derive from the radio communication radius.
+  /// Unused since tiles became contiguous blocks of the field rectangle
+  /// (the planner needs real tile geometry); kept so existing configs keep
+  /// compiling. Tile count is still threads * tiles_per_thread.
   double tile_cell_size = 0.0;
+  /// Wide-window canonical semantics: sends issued from mote context pay an
+  /// explicit MAC-entry (handoff) latency and receptions pay a longer
+  /// completion-to-receiver handoff (both multiples of the minimum frame
+  /// airtime, see RadioConfig), and the parallel kernel plans adaptive
+  /// per-tile window bounds from a tile-pair lookahead matrix instead of
+  /// cutting every window at the global minimum airtime. The serial
+  /// canonical oracle applies the identical latencies, so serial and
+  /// parallel stay bit-exact either way. Off reproduces the original
+  /// fixed-lookahead windows (the global-min-airtime baseline).
+  bool wide_windows = true;
 
   bool canonical() const { return use_parallel_kernel || canonical_order; }
 };

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 namespace et::sim {
@@ -11,25 +13,54 @@ namespace {
 
 constexpr std::uint64_t kMaxSeq = ~std::uint64_t{0};
 
-/// Deterministic, platform-independent cell hash (splitmix-style mix); the
-/// tile assignment must not depend on std::hash or pointer values.
-std::uint64_t cell_hash(std::int64_t cx, std::int64_t cy) {
-  std::uint64_t h = static_cast<std::uint64_t>(cx) * 0x9E3779B97F4A7C15ull;
-  h ^= static_cast<std::uint64_t>(cy) + 0x9E3779B97F4A7C15ull + (h << 6) +
-       (h >> 2);
-  h *= 0xBF58476D1CE4E5B9ull;
-  h ^= h >> 31;
-  return h;
+/// Separation between two axis-aligned intervals (0 when they overlap).
+double axis_gap(double a_min, double a_max, double b_min, double b_max) {
+  if (a_max < b_min) return b_min - a_max;
+  if (b_max < a_min) return a_min - b_max;
+  return 0.0;
+}
+
+double rect_gap(const Rect& a, const Rect& b) {
+  const double gx = axis_gap(a.min.x, a.max.x, b.min.x, b.max.x);
+  const double gy = axis_gap(a.min.y, a.max.y, b.min.y, b.max.y);
+  return std::hypot(gx, gy);
+}
+
+double point_rect_gap(Vec2 p, const Rect& r) {
+  return distance(p, r.clamp(p));
+}
+
+/// Minimum transmissions for an effect to travel `gap`: each covers at most
+/// `radius`. The epsilon rounds borderline gaps *down* — underestimating
+/// hops narrows windows (safe), overestimating would widen them (unsafe).
+unsigned hops_for(double gap, double radius) {
+  if (gap <= 0.0 || radius <= 0.0) return 1;
+  const double h = std::ceil(gap / radius - 1e-9);
+  return h < 1.0 ? 1u : static_cast<unsigned>(h);
+}
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+inline std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 }  // namespace
 
 ParallelKernel::ParallelKernel(Simulator& master, const KernelConfig& config,
-                               double cell_size)
+                               Rect world_bounds)
     : master_(master),
-      cell_size_(cell_size),
+      world_(world_bounds),
       n_workers_(std::max(1u, config.threads)) {
-  assert(cell_size_ > 0.0);
   // Barrier waiters spin briefly before parking — but only when the host
   // actually has a core per participant (workers + the master). On an
   // oversubscribed host a spinning waiter steals the core the worker it is
@@ -38,7 +69,33 @@ ParallelKernel::ParallelKernel(Simulator& master, const KernelConfig& config,
   spin_limit_ = cores > n_workers_ ? 16384 : 1;
   const unsigned n_tiles =
       n_workers_ * std::max(1u, config.tiles_per_thread);
+  // Factor the tile count into the rows x cols grid whose cells best match
+  // the world's aspect ratio (squarest cells -> fewest cross-tile
+  // neighbour pairs and the most honest hop distances).
+  const double w = std::max(1e-9, world_.width());
+  const double h = std::max(1e-9, world_.height());
+  double best_score = std::numeric_limits<double>::infinity();
+  for (unsigned r = 1; r <= n_tiles; ++r) {
+    if (n_tiles % r != 0) continue;
+    const unsigned c = n_tiles / r;
+    const double score = std::abs(std::log((w / c) / (h / r)));
+    if (score < best_score) {
+      best_score = score;
+      rows_ = r;
+      cols_ = c;
+    }
+  }
   tiles_.resize(n_tiles);
+  tile_rects_.reserve(n_tiles);
+  for (unsigned r = 0; r < rows_; ++r) {
+    for (unsigned c = 0; c < cols_; ++c) {
+      tile_rects_.push_back(
+          Rect{{world_.min.x + world_.width() * c / cols_,
+                world_.min.y + world_.height() * r / rows_},
+               {world_.min.x + world_.width() * (c + 1) / cols_,
+                world_.min.y + world_.height() * (r + 1) / rows_}});
+    }
+  }
   for (auto& tile : tiles_) {
     // Tile simulators share the master seed so `make_rng` forks the same
     // per-mote streams; they never own the calling thread's log clock and
@@ -47,9 +104,17 @@ ParallelKernel::ParallelKernel(Simulator& master, const KernelConfig& config,
         std::make_unique<Simulator>(master.seed(), /*register_log_clock=*/false);
     tile.sim->forbid_world_rank();
   }
+  tile_ends_.resize(n_tiles);
+  tile_bounds_.resize(n_tiles);
+  // Radio-entry ops that bypass the tile outboxes (sends issued from
+  // world/setup context go straight into the master queue) still have to
+  // reach the window planner's pending-send set.
+  master_.set_send_op_hook([this](EventKey key, std::uint32_t owner) {
+    send_ops_.push_back(SendOp{key, owner});
+  });
   workers_.reserve(n_workers_);
-  for (unsigned w = 0; w < n_workers_; ++w) {
-    workers_.emplace_back([this, w] { worker_main(w); });
+  for (unsigned w_idx = 0; w_idx < n_workers_; ++w_idx) {
+    workers_.emplace_back([this, w_idx] { worker_main(w_idx); });
   }
 }
 
@@ -62,12 +127,23 @@ ParallelKernel::~ParallelKernel() {
   }
   cv_work_.notify_all();
   for (auto& worker : workers_) worker.join();
+  master_.set_send_op_hook({});
 }
 
 Simulator& ParallelKernel::sim_for(double x, double y) {
-  const auto cx = static_cast<std::int64_t>(std::floor(x / cell_size_));
-  const auto cy = static_cast<std::int64_t>(std::floor(y / cell_size_));
-  return *tiles_[cell_hash(cx, cy) % tiles_.size()].sim;
+  const double w = world_.width();
+  const double h = world_.height();
+  auto clamp_idx = [](double v, unsigned n) {
+    if (!(v > 0.0)) return 0u;
+    const auto i = static_cast<long long>(v);
+    return i >= static_cast<long long>(n) ? n - 1
+                                          : static_cast<unsigned>(i);
+  };
+  const unsigned c =
+      w > 0.0 ? clamp_idx((x - world_.min.x) / w * cols_, cols_) : 0u;
+  const unsigned r =
+      h > 0.0 ? clamp_idx((y - world_.min.y) / h * rows_, rows_) : 0u;
+  return *tiles_[static_cast<std::size_t>(r) * cols_ + c].sim;
 }
 
 std::vector<Simulator*> ParallelKernel::all_sims() {
@@ -78,22 +154,24 @@ std::vector<Simulator*> ParallelKernel::all_sims() {
   return sims;
 }
 
-void ParallelKernel::finalize(Duration lookahead,
-                              std::function<void(Time)> prepare) {
-  assert(lookahead.is_positive() && "lookahead must come from the medium");
-  lookahead_ = lookahead;
-  prepare_ = std::move(prepare);
+void ParallelKernel::finalize(WindowPlan plan) {
+  assert(plan.min_airtime.is_positive() &&
+         "lookahead must come from the medium");
+  assert(!plan.wide || plan.rx_handoff >= plan.min_airtime);
+  plan_ = std::move(plan);
+  plan_valid_ = true;
+  hop_cycle_ = plan_.tx_handoff + plan_.min_airtime + plan_.rx_handoff;
+  // Tile-pair lookahead matrix: hops(i, j) transmissions to get from tile
+  // i's rectangle into tile j's, each costing one hop cycle.
+  const std::size_t n = tiles_.size();
+  tile_hops_.assign(n * n, 1u);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      tile_hops_[i * n + j] =
+          hops_for(rect_gap(tile_rects_[i], tile_rects_[j]), plan_.hop_radius);
+    }
+  }
 }
-
-namespace {
-inline void cpu_relax() {
-#if defined(__x86_64__) || defined(__i386__)
-  __builtin_ia32_pause();
-#elif defined(__aarch64__)
-  asm volatile("yield");
-#endif
-}
-}  // namespace
 
 void ParallelKernel::worker_main(unsigned worker_index) {
   std::uint64_t seen_phase = 0;
@@ -119,13 +197,17 @@ void ParallelKernel::worker_main(unsigned worker_index) {
     }
     if (shutdown_.load(std::memory_order_acquire)) return;
     seen_phase = phase_.load(std::memory_order_acquire);
-    const EventKey bound = phase_bound_;  // happens-before via phase_
-
-    for (std::size_t t = worker_index; t < tiles_.size(); t += n_workers_) {
-      Simulator::set_thread_outbox(&tiles_[t].outbox);
-      tiles_[t].sim->run_until_key(bound);
+    // phase_kind_, tile_bounds_ and the fanout fields are all written
+    // before the phase_ bump (happens-before via the seq_cst bump/load).
+    if (phase_kind_ == PhaseKind::kFanout) {
+      drain_fanout();
+    } else {
+      for (std::size_t t = worker_index; t < tiles_.size(); t += n_workers_) {
+        Simulator::set_thread_outbox(&tiles_[t].outbox);
+        tiles_[t].sim->run_until_key(tile_bounds_[t]);
+      }
+      Simulator::set_thread_outbox(nullptr);
     }
-    Simulator::set_thread_outbox(nullptr);
     if (running_.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
         master_waiting_.load(std::memory_order_seq_cst)) {
       std::lock_guard<std::mutex> lk(mu_);
@@ -134,61 +216,180 @@ void ParallelKernel::worker_main(unsigned worker_index) {
   }
 }
 
-void ParallelKernel::run_tile_phase(EventKey bound) {
+void ParallelKernel::drain_fanout() {
+  const auto* body = fanout_body_;
+  for (;;) {
+    const std::size_t g = fanout_next_.fetch_add(1, std::memory_order_seq_cst);
+    if (g >= fanout_count_) return;
+    (*body)(g);
+  }
+}
+
+void ParallelKernel::run_pool_phase() {
+  running_.store(n_workers_, std::memory_order_relaxed);
+  phase_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    // Parked workers re-check the phase under the lock, so pairing the
+    // bump with lock+notify closes the lost-wakeup window.
+    std::lock_guard<std::mutex> lk(mu_);
+    cv_work_.notify_all();
+  }
+  // The master helps drain fan-out batches instead of idling at the join.
+  if (phase_kind_ == PhaseKind::kFanout) drain_fanout();
+  // Completion: bounded spin on the worker count, then park on cv_done_.
+  int spins = 0;
+  while (running_.load(std::memory_order_acquire) != 0) {
+    if (++spins < spin_limit_) {
+      cpu_relax();
+      continue;
+    }
+    master_waiting_.store(true, std::memory_order_seq_cst);
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] {
+      return running_.load(std::memory_order_seq_cst) == 0;
+    });
+    master_waiting_.store(false, std::memory_order_seq_cst);
+    break;
+  }
+}
+
+void ParallelKernel::run_fanout(std::size_t n_groups, std::size_t n_receivers,
+                                const std::function<void(std::size_t)>& body) {
+  stats_.fanout_batches++;
+  stats_.fanout_receivers += n_receivers;
+  if (n_groups <= 1) {
+    for (std::size_t g = 0; g < n_groups; ++g) body(g);
+    return;
+  }
+  fanout_body_ = &body;
+  fanout_count_ = n_groups;
+  fanout_next_.store(0, std::memory_order_relaxed);
+  phase_kind_ = PhaseKind::kFanout;
+  run_pool_phase();
+  phase_kind_ = PhaseKind::kTiles;
+  fanout_body_ = nullptr;
+}
+
+void ParallelKernel::run_tile_phase() {
   // Tile keys always rank below the bound's channel/world rank, so a tile
-  // has work in this window iff its next event time is within the bound.
+  // has work in this window iff its next event time is within its bound.
   bool any_work = false;
-  for (auto& tile : tiles_) {
-    if (!tile.sim->queue_empty() &&
-        tile.sim->next_event_time() <= bound.time) {
+  for (std::size_t t = 0; t < tiles_.size(); ++t) {
+    if (!tiles_[t].sim->queue_empty() &&
+        tiles_[t].sim->next_event_time() <= tile_bounds_[t].time) {
       any_work = true;
       break;
     }
   }
   if (any_work) {
-    phase_bound_ = bound;
-    running_.store(n_workers_, std::memory_order_relaxed);
-    phase_.fetch_add(1, std::memory_order_seq_cst);  // publishes phase_bound_
-    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
-      // Parked workers re-check the phase under the lock, so pairing the
-      // bump with lock+notify closes the lost-wakeup window.
-      std::lock_guard<std::mutex> lk(mu_);
-      cv_work_.notify_all();
-    }
-    // Completion: bounded spin on the worker count, then park on cv_done_.
-    int spins = 0;
-    while (running_.load(std::memory_order_acquire) != 0) {
-      if (++spins < spin_limit_) {
-        cpu_relax();
-        continue;
-      }
-      master_waiting_.store(true, std::memory_order_seq_cst);
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_done_.wait(lk, [&] {
-        return running_.load(std::memory_order_seq_cst) == 0;
-      });
-      master_waiting_.store(false, std::memory_order_seq_cst);
-      break;
-    }
+    const std::uint64_t t0 = wall_ns();
+    run_pool_phase();
+    const std::uint64_t t1 = wall_ns();
+    // The master is blocked for the whole publish-to-join span; tile work
+    // proceeds in parallel during it, so the span is both the tile-phase
+    // wall time and the master's barrier wait.
+    stats_.tile_phase_ns += t1 - t0;
+    stats_.barrier_wait_ns += t1 - t0;
   }
   // Replay buffered channel ops into the master queue; the heap orders
   // them by canonical key, reproducing serial execution order exactly.
+  // Radio-entry ops double as pending-send constraints for the planner.
+  const std::uint64_t t2 = wall_ns();
   for (auto& tile : tiles_) {
     for (auto& op : tile.outbox) {
+      if (op.is_send) send_ops_.push_back(SendOp{op.key, op.fire_owner});
       master_.schedule_at_key(op.key, op.fire_owner, std::move(op.fn));
     }
     tile.outbox.clear();
   }
+  stats_.serial_phase_ns += wall_ns() - t2;
+}
+
+Time ParallelKernel::plan_tile_ends(Time deadline) {
+  const std::size_t n = tiles_.size();
+  const Time hard_cap = deadline + Duration::micros(1);
+  if (!plan_.wide) {
+    // Narrow mode: the original global-min-airtime window for everyone.
+    const Time end = std::min(floor_ + plan_.min_airtime, hard_cap);
+    for (std::size_t j = 0; j < n; ++j) tile_ends_[j] = end;
+    return end;
+  }
+
+  Time cap = floor_ + plan_.window_cap;
+  if (cap > hard_cap) cap = hard_cap;
+  for (std::size_t j = 0; j < n; ++j) tile_ends_[j] = cap;
+  auto constrain = [&](std::size_t j, Time at) {
+    if (at < tile_ends_[j]) tile_ends_[j] = at;
+  };
+
+  // (1) Tile sources: everything tile i does this round stems from events
+  // no earlier than its next pending one, and needs hops(i, j) full hop
+  // cycles to be heard inside tile j.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time next_i = tiles_[i].sim->next_event_time();
+    if (next_i > deadline) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      constrain(j, next_i + hop_cycle_ * static_cast<double>(
+                                             tile_hops_[i * n + j]));
+    }
+  }
+
+  // (2) Pending radio-entry ops: the frame enters the MAC no earlier than
+  // the op's key, completes one airtime later at the earliest, and is
+  // heard rx_handoff after that — within hop_radius of the sending mote.
+  for (const SendOp& op : send_ops_) {
+    if (op.key.time > deadline) continue;
+    const Time base = op.key.time + plan_.min_airtime + plan_.rx_handoff;
+    if (op.owner < plan_.n_motes && plan_.pos_of) {
+      const Vec2 pos = plan_.pos_of(op.owner);
+      for (std::size_t j = 0; j < n; ++j) {
+        const unsigned hops =
+            hops_for(point_rect_gap(pos, tile_rects_[j]), plan_.hop_radius);
+        constrain(j, base + hop_cycle_ * static_cast<double>(hops - 1));
+      }
+    } else {
+      // Sends from world/setup context have no reliable position; treat
+      // them as global.
+      for (std::size_t j = 0; j < n; ++j) constrain(j, base);
+    }
+  }
+
+  // (3) Channel state: active transmissions and pending MAC wakeups, as
+  // (earliest completion, position) pairs. Heard rx_handoff after the
+  // completion, hop_radius from the source.
+  channel_scratch_.clear();
+  if (plan_.collect_channel) plan_.collect_channel(channel_scratch_);
+  for (const auto& [done, pos] : channel_scratch_) {
+    if (done > deadline) continue;
+    const Time base = done + plan_.rx_handoff;
+    for (std::size_t j = 0; j < n; ++j) {
+      const unsigned hops =
+          hops_for(point_rect_gap(pos, tile_rects_[j]), plan_.hop_radius);
+      constrain(j, base + hop_cycle_ * static_cast<double>(hops - 1));
+    }
+  }
+
+  // Safety floor: the fixed-lookahead window is always admissible, so the
+  // planner never does worse than the narrow kernel.
+  const Time safety = floor_ + plan_.min_airtime;
+  Time e_min = hard_cap;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (tile_ends_[j] < safety) tile_ends_[j] = safety;
+    if (tile_ends_[j] > hard_cap) tile_ends_[j] = hard_cap;
+    if (tile_ends_[j] < e_min) e_min = tile_ends_[j];
+  }
+  return e_min;
 }
 
 std::size_t ParallelKernel::run_until(Time deadline) {
-  assert(lookahead_.is_positive() && "finalize() before run_until()");
+  assert(plan_valid_ && "finalize() before run_until()");
   auto total_fired = [this] {
     std::uint64_t total = master_.events_fired();
     for (auto& tile : tiles_) total += tile.sim->events_fired();
     return total;
   };
   const std::uint64_t fired_before = total_fired();
+  const std::size_t n = tiles_.size();
 
   for (;;) {
     // Fast-forward: jump the window floor to the earliest pending event
@@ -201,36 +402,78 @@ std::size_t ParallelKernel::run_until(Time deadline) {
     if (next > deadline) break;
     if (next > floor_) floor_ = next;
 
-    const Time window_end = floor_ + lookahead_;
+    const Time e_min = plan_tile_ends(deadline);
     const Time world_time = master_.next_world_time();
-    enum class Mode { kCutAtWorld, kFullWindow, kFinal } mode;
-    EventKey bound;
-    if (world_time <= deadline && world_time < window_end) {
-      // Windows never span a world event: run motes and the channel up to
-      // (and including) the world event's timestamp, then the world event
-      // itself, so cross-cutting machinery (faults, scenario drivers,
-      // monitors) observes exactly the serial prefix.
-      bound = EventKey{world_time, kChannelRank, kMaxSeq};
-      mode = Mode::kCutAtWorld;
-    } else if (window_end <= deadline) {
-      bound = EventKey{window_end - Duration::micros(1), kWorldRank, kMaxSeq};
-      mode = Mode::kFullWindow;
-    } else {
-      bound = EventKey{deadline, kWorldRank, kMaxSeq};
-      mode = Mode::kFinal;
+    const bool world_in_range = world_time <= deadline;
+
+    // Per-tile bounds, individually capped at the next world event: world
+    // events may touch any mote's state (fault injection, scenario
+    // drivers), so no tile may pass one — tiles already past their bound
+    // simply no-op this round.
+    for (std::size_t j = 0; j < n; ++j) {
+      tile_bounds_[j] =
+          world_in_range && world_time < tile_ends_[j]
+              ? EventKey{world_time, kChannelRank, kMaxSeq}
+              : EventKey{tile_ends_[j] - Duration::micros(1), kWorldRank,
+                         kMaxSeq};
     }
 
-    if (prepare_) prepare_(bound.time);
-    run_tile_phase(bound);
-    master_.run_until_key(bound);
+    enum class Mode { kCutAtWorld, kFullWindow, kFinal } mode;
+    EventKey master_bound;
+    if (world_in_range && world_time < e_min) {
+      // Every tile is stopped at the world event's timestamp: run motes
+      // and the channel up to (and including) it, then the world event
+      // itself, so cross-cutting machinery observes exactly the serial
+      // prefix.
+      mode = Mode::kCutAtWorld;
+      master_bound = EventKey{world_time, kChannelRank, kMaxSeq};
+    } else if (e_min <= deadline) {
+      mode = Mode::kFullWindow;
+      master_bound =
+          EventKey{e_min - Duration::micros(1), kWorldRank, kMaxSeq};
+    } else {
+      mode = Mode::kFinal;
+      master_bound = EventKey{deadline, kWorldRank, kMaxSeq};
+    }
+
+    // Prepare shared world state out to the furthest bound any engine will
+    // reach this round, while still single-threaded.
+    if (plan_.prepare) {
+      Time prep = master_bound.time;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (tile_bounds_[j].time > prep) prep = tile_bounds_[j].time;
+      }
+      plan_.prepare(prep);
+    }
+
+    stats_.windows++;
+    const Duration width = master_bound.time - floor_;
+    stats_.window_width_total += width;
+    if (width > stats_.window_width_max) stats_.window_width_max = width;
+
+    run_tile_phase();
+    const std::uint64_t master_t0 = wall_ns();
+    master_.run_until_key(master_bound);
     if (mode == Mode::kCutAtWorld) {
       master_.run_until_key(EventKey{world_time, kWorldRank, kMaxSeq});
+      stats_.windows_cut_world++;
       floor_ = world_time;
     } else if (mode == Mode::kFullWindow) {
-      floor_ = window_end;
+      stats_.windows_full++;
+      floor_ = e_min;
     } else {
-      break;
+      stats_.windows_final++;
     }
+    // Executed radio-entry ops are no longer *pending* — their frames are
+    // now active transmissions, queued behind one, or backoff wakeups, all
+    // covered by the channel constraints.
+    const Time executed =
+        mode == Mode::kCutAtWorld ? world_time : master_bound.time;
+    std::erase_if(send_ops_, [executed](const SendOp& op) {
+      return op.key.time <= executed;
+    });
+    stats_.serial_phase_ns += wall_ns() - master_t0;
+    if (mode == Mode::kFinal) break;
   }
 
   master_.finish_run(deadline);

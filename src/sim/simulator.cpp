@@ -109,6 +109,16 @@ std::uint64_t Simulator::alloc_seq(std::uint32_t rank) {
   return (*eng.counters_)[eng.counter_index(rank)]++;
 }
 
+std::uint64_t Simulator::alloc_seq_block(std::uint32_t rank,
+                                         std::uint64_t count) {
+  assert(canonical_);
+  Simulator& eng = g_engine ? *g_engine : *this;
+  std::uint64_t& counter = (*eng.counters_)[eng.counter_index(rank)];
+  const std::uint64_t first = counter;
+  counter += count;
+  return first;
+}
+
 EventHandle Simulator::schedule_canonical(std::uint32_t owner, Time at,
                                           Callback fn) {
   assert(!(forbid_world_rank_ && owner == kWorldRank));
@@ -147,6 +157,11 @@ EventHandle Simulator::schedule_at_key(EventKey key, std::uint32_t fire_owner,
                                        Callback fn) {
   assert(canonical_);
   assert(!(forbid_world_rank_ && key.rank == kWorldRank));
+  // A key at or below the processed bound is an insertion into this
+  // engine's executed past — a conservative-window violation if it ever
+  // happens. Counted (and asserted on by tests) rather than silently
+  // reordered.
+  if (bound_valid_ && key <= bound_) ++late_insertions_;
   return queue_.schedule_key(key, fire_owner, std::move(fn));
 }
 
@@ -180,19 +195,32 @@ EventHandle Simulator::schedule_periodic_owned(std::uint32_t owner,
 }
 
 void Simulator::post_op(Callback fn) {
+  post_op_impl(Duration::zero(), /*is_send=*/false, std::move(fn));
+}
+
+void Simulator::post_radio_op(Duration entry_delay, Callback fn) {
+  assert(!entry_delay.is_negative());
+  post_op_impl(entry_delay, /*is_send=*/true, std::move(fn));
+}
+
+void Simulator::post_op_impl(Duration delay, bool is_send, Callback fn) {
   if (!canonical_) {
     fn();
     return;
   }
   Simulator& eng = g_engine ? *g_engine : *this;
   const std::uint32_t owner = eng.executing_owner_;
-  const EventKey key = eng.make_key(eng.now_, owner);
+  const EventKey key = eng.make_key(eng.now_ + delay, owner);
   if (g_outbox) {
     // Tile phase: buffer; the kernel replays into the master queue at the
-    // window barrier. Key order == issue order, so the replayed execution
-    // order matches the serial-canonical engine exactly.
-    g_outbox->push_back(PendingOp{key, owner, std::move(fn)});
+    // window barrier. Key order == issue order (sends shifted by the same
+    // MAC-handoff everywhere), so the replayed execution order matches the
+    // serial-canonical engine exactly.
+    g_outbox->push_back(PendingOp{key, owner, std::move(fn), is_send});
   } else {
+    // Master/setup context: radio ops skip the outbox, so the kernel's
+    // pending-send tracking is fed through the hook instead.
+    if (is_send && send_op_hook_) send_op_hook_(key, owner);
     queue_.schedule_key(key, owner, std::move(fn));
   }
 }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string_view>
 #include <vector>
@@ -39,6 +40,10 @@ struct PendingOp {
   EventKey key;
   std::uint32_t fire_owner;
   EventQueue::Callback fn;
+  /// True for radio-entry ops (Medium sends posted via post_radio_op): the
+  /// parallel kernel's window planner tracks them as pending transmission
+  /// sources until the master executes them.
+  bool is_send = false;
 };
 using OpOutbox = std::vector<PendingOp>;
 
@@ -142,6 +147,13 @@ class Simulator {
   /// mode; used by the medium to key receive-handoff injections).
   std::uint64_t alloc_seq(std::uint32_t rank);
 
+  /// Allocates `count` consecutive sequence numbers for `rank` and returns
+  /// the first. The medium pre-assigns one per delivery candidate so the
+  /// reception keys of a fan-out batch are known before (and independent
+  /// of) the per-receiver loss draws — receivers can then be sampled in any
+  /// order, including concurrently, without perturbing canonical order.
+  std::uint64_t alloc_seq_block(std::uint32_t rank, std::uint64_t count);
+
   /// Defers `fn` as a *channel op*: in legacy mode it runs inline, in
   /// canonical mode it is keyed with (ambient now, executing owner, next
   /// per-owner seq) and replayed through this (master) queue in key order —
@@ -150,6 +162,26 @@ class Simulator {
   /// shared state (medium sends, receiver toggles, metrics journaling)
   /// stay deterministic and thread-confined under the parallel kernel.
   void post_op(Callback fn);
+
+  /// post_op() for radio-entry side effects: the op is keyed `entry_delay`
+  /// after the ambient now (the MAC-handoff latency of wide-window
+  /// canonical mode) and marked `is_send`, so the parallel kernel's window
+  /// planner can treat it as a pending-transmission constraint source. In
+  /// legacy mode it runs inline like post_op().
+  void post_radio_op(Duration entry_delay, Callback fn);
+
+  /// Master-side notification for radio ops that bypass the tile outboxes
+  /// (sends issued from world/setup context). The parallel kernel installs
+  /// this to keep its pending-send constraint set complete.
+  void set_send_op_hook(std::function<void(EventKey, std::uint32_t)> hook) {
+    send_op_hook_ = std::move(hook);
+  }
+
+  /// Times a schedule_at_key() landed at or below this engine's processed
+  /// bound — i.e. in its executed past. Always zero when the parallel
+  /// kernel's window bounds are correct (the conservative-synchronization
+  /// precondition); exposed so tests can assert exactly that.
+  std::uint64_t late_insertions() const { return late_insertions_; }
 
   /// Runs events until the queue drains or `deadline` is passed. Events at
   /// exactly `deadline` still fire; time never advances beyond it. Returns
@@ -200,6 +232,7 @@ class Simulator {
   /// moved to bound.time + 1us. Consumes the owner's sequence counter.
   EventKey make_key(Time at, std::uint32_t owner);
   EventHandle schedule_canonical(std::uint32_t owner, Time at, Callback fn);
+  void post_op_impl(Duration delay, bool is_send, Callback fn);
   std::size_t run_loop(Time deadline, bool use_key_bound, EventKey bound,
                        bool drain);
 
@@ -219,6 +252,8 @@ class Simulator {
   EventKey bound_{};
   bool bound_valid_ = false;
   std::shared_ptr<std::vector<std::uint64_t>> counters_;
+  std::uint64_t late_insertions_ = 0;
+  std::function<void(EventKey, std::uint32_t)> send_op_hook_;
 };
 
 }  // namespace et::sim

@@ -69,5 +69,67 @@ TEST(JsonRows, RowsRenderInInsertionOrderWithCommas) {
       << "rows are comma-separated";
 }
 
+TEST(KernelSelector, AcceptsTheFourDocumentedForms) {
+  sim::KernelConfig kernel;
+
+  EXPECT_TRUE(bench::parse_kernel_selector("", &kernel));
+  EXPECT_FALSE(kernel.canonical());
+
+  EXPECT_TRUE(bench::parse_kernel_selector("legacy", &kernel));
+  EXPECT_FALSE(kernel.canonical());
+
+  EXPECT_TRUE(bench::parse_kernel_selector("serial", &kernel));
+  EXPECT_TRUE(kernel.canonical_order);
+  EXPECT_FALSE(kernel.use_parallel_kernel);
+
+  EXPECT_TRUE(bench::parse_kernel_selector("parallel", &kernel));
+  EXPECT_TRUE(kernel.use_parallel_kernel);
+  EXPECT_EQ(kernel.threads, sim::KernelConfig{}.threads);
+
+  EXPECT_TRUE(bench::parse_kernel_selector("parallel:8", &kernel));
+  EXPECT_TRUE(kernel.use_parallel_kernel);
+  EXPECT_EQ(kernel.threads, 8u);
+}
+
+TEST(KernelSelector, SelectorResetsStaleConfigState) {
+  // The parser owns the whole config: a previous parallel selection must
+  // not leak threads/flags into a later "serial" parse.
+  sim::KernelConfig kernel;
+  ASSERT_TRUE(bench::parse_kernel_selector("parallel:16", &kernel));
+  ASSERT_TRUE(bench::parse_kernel_selector("serial", &kernel));
+  EXPECT_FALSE(kernel.use_parallel_kernel);
+  EXPECT_EQ(kernel.threads, sim::KernelConfig{}.threads);
+}
+
+TEST(KernelSelector, RejectsZeroNegativeAndGarbageThreadCounts) {
+  // Regression: the old chaos_sweep-local parser accepted "parallel:0" and
+  // "parallel:junk" by silently falling back to the default thread count —
+  // the sweep then benchmarked a configuration nobody asked for.
+  sim::KernelConfig kernel;
+  for (const char* bad :
+       {"parallel:0", "parallel:-3", "parallel:abc", "parallel:2junk",
+        "parallel:", "parallel: 4", "parallel:4.5",
+        "parallel:99999999999999999999"}) {
+    std::string error;
+    EXPECT_FALSE(bench::parse_kernel_selector(bad, &kernel, &error))
+        << "'" << bad << "' must be rejected";
+    EXPECT_NE(error.find("thread count"), std::string::npos)
+        << "'" << bad << "' should explain what a valid count looks like, "
+        << "got: " << error;
+  }
+}
+
+TEST(KernelSelector, RejectsUnknownSelectorsWithTheValidList) {
+  sim::KernelConfig kernel;
+  for (const char* bad : {"seria", "PARALLEL:4", "tiled", "parallel4"}) {
+    std::string error;
+    EXPECT_FALSE(bench::parse_kernel_selector(bad, &kernel, &error))
+        << "'" << bad << "' must be rejected";
+    EXPECT_NE(error.find("expected legacy, serial, parallel"),
+              std::string::npos)
+        << "the error should list the valid selectors, got: " << error;
+  }
+}
+
 }  // namespace
 }  // namespace et::test

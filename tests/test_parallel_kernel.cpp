@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "scenario/fire.hpp"
 #include "scenario/tank.hpp"
 #include "scenario/units.hpp"
+#include "sim/parallel.hpp"
 #include "test_world.hpp"
 
 /// Parallel-kernel equivalence suite.
@@ -235,13 +237,16 @@ TEST(ParallelKernel, SimultaneousEventsKeepSerialTieBreakOrder) {
 /// Chaos under the parallel kernel: crashes, reboots, and a partition with
 /// the protocol-invariant oracle attached. The violation report, fault
 /// record stream, and event log must match the serial oracle exactly.
-std::string run_chaos(const sim::KernelConfig& kernel) {
+std::string run_chaos(const sim::KernelConfig& kernel,
+                      const std::function<void(TestWorld&)>& inspect = {},
+                      bool force_fanout = false) {
   TestWorld::Options options;
   options.rows = 3;
   options.cols = 10;
   options.enable_transport = true;
   options.kernel = kernel;
   options.seed = 5;
+  if (force_fanout) options.fanout_min_receivers = 1;
   TestWorld world(options);
   metrics::InvariantOracle oracle(world.system());
   fault::FaultInjector injector(world.system());
@@ -274,6 +279,7 @@ std::string run_chaos(const sim::KernelConfig& kernel) {
   }
   append_medium(os, world.system().medium().stats());
   append_events(os, world.events());
+  if (inspect) inspect(world);
   return os.str();
 }
 
@@ -295,6 +301,141 @@ TEST(ParallelKernel, CanonicalSerialStillTracks) {
   EXPECT_TRUE(result.trackable())
       << "labels=" << result.tracking.distinct_labels
       << " tracked=" << result.tracking.tracked_fraction();
+}
+
+sim::KernelConfig narrow(sim::KernelConfig k) {
+  k.wide_windows = false;
+  return k;
+}
+
+/// Wide-window suite: the adaptive per-tile planner (tile-pair lookahead
+/// matrix + pending-send/channel constraints) against the serial oracle,
+/// and the legacy fixed-lookahead mode it must keep reproducing.
+TEST(WideWindow, NarrowModeStillBitExact) {
+  // wide_windows off reverts to the original global-min-airtime windows;
+  // serial and parallel must still agree byte for byte there (this is the
+  // PR 7 baseline configuration).
+  scenario::TankScenarioParams params;
+  params.seed = 42;
+  const std::string oracle = run_tank(params, narrow(serial_oracle()));
+  for (const sim::KernelConfig& k : parallel_grid()) {
+    EXPECT_EQ(run_tank(params, narrow(k)), oracle)
+        << describe(k) << " narrow";
+  }
+}
+
+TEST(WideWindow, ChaosLookaheadAdmitsNoLateReceptions) {
+  // The windowing proof, stated as a runtime property: once a tile's
+  // window bound is published, no cross-tile effect (reception handoff,
+  // replayed op) may be inserted at or before it. Every engine counts such
+  // insertions; a wide-window chaos run — crashes, reboots, a partition,
+  // world events cutting windows — must end with all counters at zero, on
+  // every thread/tile grid.
+  for (const sim::KernelConfig& k : parallel_grid()) {
+    run_chaos(k, [&](TestWorld& world) {
+      sim::ParallelKernel* kernel = world.system().kernel();
+      ASSERT_NE(kernel, nullptr) << describe(k);
+      EXPECT_GT(kernel->stats().windows, 0u) << describe(k);
+      for (sim::Simulator* engine : kernel->all_sims()) {
+        EXPECT_EQ(engine->late_insertions(), 0u) << describe(k);
+      }
+    });
+  }
+  // The serial canonical oracle trivially satisfies the same property.
+  run_chaos(serial_oracle(), [](TestWorld& world) {
+    EXPECT_EQ(world.sim().late_insertions(), 0u);
+  });
+}
+
+/// Parallel delivery fan-out: broadcasts sharded across the worker pool by
+/// receiving tile, with per-receiver RNG streams and pre-assigned
+/// reception keys.
+TEST(ParallelFanout, ForcedFanoutBitExactUnderLoss) {
+  // fanout_min_receivers = 1 routes every delivery through the fan-out
+  // executor; loss + collisions + bursts exercise the per-receiver RNG
+  // forks, whose draws must not depend on sampling order or tile layout.
+  scenario::TankScenarioParams params;
+  params.seed = 7;
+  params.radio.fanout_min_receivers = 1;
+  params.radio.loss_probability = 0.05;
+  params.radio.model_collisions = true;
+  params.radio.carrier_sense_miss = 0.1;
+  params.radio.burst_loss.enabled = true;
+  const std::string oracle = run_tank(params, serial_oracle());
+  for (const sim::KernelConfig& k : parallel_grid()) {
+    EXPECT_EQ(run_tank(params, k), oracle) << describe(k);
+  }
+}
+
+TEST(ParallelFanout, ForcedFanoutChaosBitExact) {
+  // Fan-out under faults: partitions toggle per-pair blocking mid-run; the
+  // sharded attempt loop must observe exactly the serial partition state.
+  const std::string oracle =
+      run_chaos(serial_oracle(), {}, /*force_fanout=*/true);
+  for (const sim::KernelConfig& k : parallel_grid()) {
+    EXPECT_EQ(run_chaos(k, {}, /*force_fanout=*/true), oracle)
+        << describe(k);
+  }
+}
+
+TEST(ParallelFanout, ForcedFanoutPopulatesTelemetry) {
+  scenario::TankScenarioParams params;
+  params.seed = 7;
+  params.kernel = parallel(2, 2);
+  params.radio.fanout_min_receivers = 1;
+  scenario::TankScenario scenario(params);
+  scenario.run();
+  sim::ParallelKernel* kernel = scenario.system().kernel();
+  ASSERT_NE(kernel, nullptr);
+  const sim::ParallelKernelStats& stats = kernel->stats();
+  EXPECT_GT(stats.fanout_batches, 0u)
+      << "with the threshold at 1 every multi-candidate broadcast must "
+         "dispatch a fan-out batch";
+  EXPECT_GE(stats.fanout_receivers, stats.fanout_batches)
+      << "each batch carries at least one receiver attempt";
+}
+
+/// Kernel telemetry: the counters BM_ScalingTank publishes into
+/// BENCH_micro.json must be internally consistent and actually measure the
+/// windowing.
+TEST(KernelTelemetry, WindowAccountingIsConsistent) {
+  scenario::TankScenarioParams params;
+  params.seed = 42;
+  params.kernel = parallel(2, 1);
+  scenario::TankScenario scenario(params);
+  scenario.run();
+  const sim::ParallelKernelStats& stats =
+      scenario.system().kernel()->stats();
+  EXPECT_GT(stats.windows, 0u);
+  EXPECT_EQ(stats.windows,
+            stats.windows_cut_world + stats.windows_full + stats.windows_final)
+      << "every window is cut at a world event, a planner bound, or the "
+         "deadline";
+  EXPECT_GT(stats.window_width_total, Duration::zero());
+  EXPECT_GT(stats.mean_window_width_us(), 0.0);
+  EXPECT_GE(stats.window_width_max.to_seconds() * 1e6,
+            stats.mean_window_width_us());
+  EXPECT_GE(stats.serial_fraction(), 0.0);
+  EXPECT_LE(stats.serial_fraction(), 1.0);
+}
+
+TEST(KernelTelemetry, WideWindowsNeedFewerBarriers) {
+  // The point of the adaptive planner: same workload, same seed, strictly
+  // fewer (and wider) barrier windows than the global-min-airtime
+  // baseline.
+  auto stats_for = [](bool wide) {
+    scenario::TankScenarioParams params;
+    params.seed = 42;
+    params.kernel = parallel(2, 1);
+    params.kernel.wide_windows = wide;
+    scenario::TankScenario scenario(params);
+    scenario.run();
+    return scenario.system().kernel()->stats();
+  };
+  const sim::ParallelKernelStats wide = stats_for(true);
+  const sim::ParallelKernelStats narrow = stats_for(false);
+  EXPECT_LT(wide.windows, narrow.windows);
+  EXPECT_GT(wide.mean_window_width_us(), narrow.mean_window_width_us());
 }
 
 TEST(ParallelKernel, LookaheadDerivedFromRadioConstants) {

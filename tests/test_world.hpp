@@ -30,6 +30,9 @@ class TestWorld {
     core::DirectoryConfig directory;
     node::CpuConfig cpu;
     radio::BurstLossConfig burst_loss;
+    /// 0 keeps the RadioConfig default; 1 forces every broadcast delivery
+    /// through the parallel fan-out path (stress tests).
+    std::size_t fanout_min_receivers = 0;
     bool enable_directory = false;
     bool enable_transport = false;
     std::size_t critical_mass = 2;
@@ -60,6 +63,9 @@ class TestWorld {
     config.radio.carrier_sense_miss =
         options.model_collisions ? 0.1 : 0.0;
     config.radio.burst_loss = options.burst_loss;
+    if (options.fanout_min_receivers > 0) {
+      config.radio.fanout_min_receivers = options.fanout_min_receivers;
+    }
     config.cpu = options.cpu;
     config.middleware.group = options.group;
     config.middleware.transport = options.transport;
