@@ -112,6 +112,34 @@ class JsonRows {
     rows_.push_back(std::move(row));
   }
 
+  /// Like add(), but renders the value with full round-trip precision
+  /// (%.17g). The chaos fuzzer's serial-vs-parallel differential diffs
+  /// these rows byte-for-byte, so a divergence below %.6g must not be
+  /// rounded away.
+  void add_exact(const std::string& config, std::uint64_t seed,
+                 const std::string& metric, double value) {
+    char num[40];
+    if (std::isfinite(value)) {
+      std::snprintf(num, sizeof(num), "%.17g", value);
+    } else {
+      std::snprintf(num, sizeof(num), "null");
+    }
+    std::string row = "  {\"config\": \"";
+    row += config;
+    row += "\", \"seed\": ";
+    row += std::to_string(seed);
+    row += ", \"metric\": \"";
+    row += metric;
+    row += "\", \"value\": ";
+    row += num;
+    row += "}";
+    rows_.push_back(std::move(row));
+  }
+
+  /// Individual rows, for diff tooling that wants the first divergence
+  /// rather than a whole-file compare.
+  const std::vector<std::string>& rows() const { return rows_; }
+
   std::string render() const {
     std::string out = "[\n";
     for (std::size_t i = 0; i < rows_.size(); ++i) {

@@ -125,6 +125,9 @@ struct PartitionPoint {
   double takeovers = 0.0;
   double fenced = 0.0;
   std::string oracle_report;  // non-empty only when an invariant broke
+  /// Names of the violated invariants ("dual-leader", ...), for the
+  /// greppable CHAOS_ORACLE_VIOLATION lines CI surfaces in step summaries.
+  std::vector<std::string> violated_kinds;
 };
 
 /// One seeded run: tank traverse + square-wave partition splitting the
@@ -165,7 +168,13 @@ PartitionPoint partition_run(std::uint64_t seed, Duration downtime) {
     point.fenced += static_cast<double>(
         scenario.system().stack(NodeId{i}).groups().stats().fenced);
   }
-  if (!oracle.ok()) point.oracle_report = oracle.report();
+  if (!oracle.ok()) {
+    point.oracle_report = oracle.report();
+    for (const metrics::InvariantViolation& violation : oracle.violations()) {
+      point.violated_kinds.emplace_back(
+          metrics::invariant_kind_name(violation.kind));
+    }
+  }
   return point;
 }
 
@@ -437,6 +446,16 @@ int main() {
                      kPartitionDowntimes[i],
                      static_cast<unsigned long long>(300 + s),
                      p.oracle_report.c_str());
+        // One machine-greppable line per violation: CI greps these into
+        // the step summary so the violated invariant is named without
+        // scraping the human-oriented trace above.
+        for (const std::string& kind : p.violated_kinds) {
+          std::fprintf(stderr,
+                       "CHAOS_ORACLE_VIOLATION invariant=%s down=%.1f "
+                       "seed=%llu\n",
+                       kind.c_str(), kPartitionDowntimes[i],
+                       static_cast<unsigned long long>(300 + s));
+        }
       }
     }
     const double n = static_cast<double>(seeds);

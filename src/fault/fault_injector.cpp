@@ -10,29 +10,18 @@ namespace {
 constexpr const char* kComponent = "fault";
 }
 
-const char* fault_kind_name(FaultKind kind) {
-  switch (kind) {
-    case FaultKind::kCrash:
-      return "crash";
-    case FaultKind::kReboot:
-      return "reboot";
-    case FaultKind::kRadioBlackoutStart:
-      return "blackout-start";
-    case FaultKind::kRadioBlackoutEnd:
-      return "blackout-end";
-    case FaultKind::kSensorDropStart:
-      return "sensor-drop-start";
-    case FaultKind::kSensorDropEnd:
-      return "sensor-drop-end";
-    case FaultKind::kPartitionStart:
-      return "partition-start";
-    case FaultKind::kPartitionHeal:
-      return "partition-heal";
+Expected<std::size_t> FaultInjector::schedule(const FaultPlan& plan) {
+  const std::vector<std::string> problems =
+      plan.validate(system_.node_count());
+  if (!problems.empty()) {
+    std::string message = "fault plan rejected:";
+    for (const std::string& p : problems) {
+      message += "\n  - " + p;
+    }
+    ET_WARN(kComponent, "%s", message.c_str());
+    return Expected<std::size_t>::failure("invalid_fault_plan",
+                                          std::move(message));
   }
-  return "?";
-}
-
-void FaultInjector::schedule(const FaultPlan& plan) {
   std::vector<FaultEvent> events = plan.events();
   std::stable_sort(events.begin(), events.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
@@ -57,6 +46,7 @@ void FaultInjector::schedule(const FaultPlan& plan) {
       });
     }
   }
+  return events.size();
 }
 
 void FaultInjector::set_partition(const PartitionSpec& spec) {
@@ -87,8 +77,17 @@ void FaultInjector::record_network_fault(FaultKind kind) {
   for (const Listener& listener : listeners_) listener(record);
 }
 
-void FaultInjector::harass_leaders(core::TypeIndex type, Duration period,
-                                   Duration downtime) {
+Expected<std::size_t> FaultInjector::harass_leaders(core::TypeIndex type,
+                                                    Duration period,
+                                                    Duration downtime) {
+  if (!period.is_positive() || !downtime.is_positive()) {
+    const std::string message =
+        "leader harassment needs positive period and downtime (got period=" +
+        period.to_string() + " downtime=" + downtime.to_string() +
+        "); a zero-period timer would livelock the simulator";
+    ET_WARN(kComponent, "%s", message.c_str());
+    return Expected<std::size_t>::failure("invalid_harassment", message);
+  }
   harass_timers_.push_back(system_.sim().schedule_periodic(
       period, period, [this, type, downtime] {
         const NodeId victim = find_leader(type);
@@ -98,6 +97,7 @@ void FaultInjector::harass_leaders(core::TypeIndex type, Duration period,
           apply(victim, FaultKind::kReboot);
         });
       }));
+  return harass_timers_.size() - 1;
 }
 
 NodeId FaultInjector::find_leader(core::TypeIndex type) const {

@@ -59,16 +59,22 @@ class FaultInjector {
   }
 
   /// Schedules every event of `plan` on the simulator. Events in the past
-  /// (at <= now) fire on the next simulator step.
-  void schedule(const FaultPlan& plan);
+  /// (at <= now) fire on the next simulator step. The plan is validated
+  /// against the deployment first (see FaultPlan::validate); an invalid
+  /// plan schedules *nothing* and returns a failure naming every problem —
+  /// no silent skips. Returns the number of events scheduled.
+  Expected<std::size_t> schedule(const FaultPlan& plan);
 
   /// Periodic leader harassment: every `period`, crash the current leader
   /// of `type` (heaviest weight, ties to the lowest node id) and reboot it
   /// `downtime` later. This is the chaos-sweep workhorse — it guarantees
   /// the faults track the group as the target moves, instead of hitting
-  /// whichever node happened to lead at plan-construction time.
-  void harass_leaders(core::TypeIndex type, Duration period,
-                      Duration downtime);
+  /// whichever node happened to lead at plan-construction time. `period`
+  /// and `downtime` must be positive (a zero-period harassment timer would
+  /// livelock the simulator); rejected otherwise. Returns the index of the
+  /// armed harassment timer.
+  Expected<std::size_t> harass_leaders(core::TypeIndex type, Duration period,
+                                       Duration downtime);
 
   // --- Immediate faults (also used by the scheduled paths) ---
   void crash(NodeId node);

@@ -1,0 +1,331 @@
+#include "fault/fault_plan.hpp"
+
+#include <set>
+
+namespace et::fault {
+
+namespace {
+
+std::string time_str(Time t) {
+  return std::to_string(t.to_seconds()) + "s";
+}
+
+/// Problems with a partition spec itself (membership ambiguity, empty
+/// components); range checks against the deployment happen in validate().
+void check_partition_spec(const PartitionSpec& spec, std::size_t index,
+                          std::vector<std::string>* out) {
+  std::set<std::uint64_t> seen;
+  for (std::size_t c = 0; c < spec.components.size(); ++c) {
+    if (spec.components[c].empty()) {
+      out->push_back("partition " + std::to_string(index) + " component " +
+                     std::to_string(c + 1) + " is empty");
+    }
+    for (NodeId node : spec.components[c]) {
+      if (!node.is_valid()) {
+        out->push_back("partition " + std::to_string(index) +
+                       " lists an invalid node id");
+        continue;
+      }
+      if (!seen.insert(node.value()).second) {
+        out->push_back("partition " + std::to_string(index) + " names mote " +
+                       node.to_string() +
+                       " in more than one component (membership would be "
+                       "ambiguous)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kReboot:
+      return "reboot";
+    case FaultKind::kRadioBlackoutStart:
+      return "blackout-start";
+    case FaultKind::kRadioBlackoutEnd:
+      return "blackout-end";
+    case FaultKind::kSensorDropStart:
+      return "sensor-drop-start";
+    case FaultKind::kSensorDropEnd:
+      return "sensor-drop-end";
+    case FaultKind::kPartitionStart:
+      return "partition-start";
+    case FaultKind::kPartitionHeal:
+      return "partition-heal";
+  }
+  return "?";
+}
+
+bool fault_kind_from_name(std::string_view name, FaultKind* kind) {
+  for (const FaultKind candidate :
+       {FaultKind::kCrash, FaultKind::kReboot, FaultKind::kRadioBlackoutStart,
+        FaultKind::kRadioBlackoutEnd, FaultKind::kSensorDropStart,
+        FaultKind::kSensorDropEnd, FaultKind::kPartitionStart,
+        FaultKind::kPartitionHeal}) {
+    if (name == fault_kind_name(candidate)) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool fault_kind_is_per_node(FaultKind kind) {
+  return kind != FaultKind::kPartitionStart &&
+         kind != FaultKind::kPartitionHeal;
+}
+
+bool FaultPlan::check_event(Time at, NodeId node, FaultKind kind) {
+  bool ok = true;
+  if (at < Time::origin()) {
+    problem(std::string(fault_kind_name(kind)) + " at " + time_str(at) +
+            ": fault times must not be negative");
+    ok = false;
+  }
+  if (fault_kind_is_per_node(kind) && !node.is_valid()) {
+    problem(std::string(fault_kind_name(kind)) + " at " + time_str(at) +
+            ": per-node fault needs a valid victim id");
+    ok = false;
+  }
+  return ok;
+}
+
+FaultPlan& FaultPlan::add(Time at, NodeId node, FaultKind kind) {
+  if (kind == FaultKind::kPartitionStart) {
+    // A raw partition-start has no spec to reference; route through
+    // partition_start() instead.
+    problem("partition-start added without a spec (use partition_start)");
+    return *this;
+  }
+  if (!check_event(at, node, kind)) return *this;
+  events_.push_back(FaultEvent{at, node, kind});
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_for(Time at, NodeId node, Duration downtime) {
+  if (!downtime.is_positive()) {
+    problem("crash_for node " + node.to_string() + " at " + time_str(at) +
+            ": downtime must be positive (got " + downtime.to_string() + ")");
+    return *this;
+  }
+  crash(at, node);
+  return reboot(at + downtime, node);
+}
+
+FaultPlan& FaultPlan::radio_blackout(Time at, NodeId node, Duration length) {
+  if (!length.is_positive()) {
+    problem("radio_blackout node " + node.to_string() + " at " +
+            time_str(at) + ": window must be positive (got " +
+            length.to_string() + ")");
+    return *this;
+  }
+  add(at, node, FaultKind::kRadioBlackoutStart);
+  return add(at + length, node, FaultKind::kRadioBlackoutEnd);
+}
+
+FaultPlan& FaultPlan::sensor_dropout(Time at, NodeId node, Duration length) {
+  if (!length.is_positive()) {
+    problem("sensor_dropout node " + node.to_string() + " at " +
+            time_str(at) + ": window must be positive (got " +
+            length.to_string() + ")");
+    return *this;
+  }
+  add(at, node, FaultKind::kSensorDropStart);
+  return add(at + length, node, FaultKind::kSensorDropEnd);
+}
+
+FaultPlan& FaultPlan::partition_start(Time at, PartitionSpec spec) {
+  const bool time_ok = check_event(at, NodeId{}, FaultKind::kPartitionStart);
+  check_partition_spec(spec, partitions_.size(), &problems_);
+  FaultEvent event{at, NodeId{}, FaultKind::kPartitionStart,
+                   partitions_.size()};
+  // The spec is kept even when the event is dropped for a bad time, so
+  // problem messages can keep referring to it by index.
+  partitions_.push_back(std::move(spec));
+  if (time_ok) events_.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(Time at, PartitionSpec spec,
+                                Duration length) {
+  if (!length.is_positive()) {
+    problem("partition at " + time_str(at) +
+            ": window must be positive (got " + length.to_string() + ")");
+    return *this;
+  }
+  partition_start(at, std::move(spec));
+  return partition_heal(at + length);
+}
+
+FaultPlan& FaultPlan::burst_partition(Time at, PartitionSpec spec,
+                                      Duration down, Duration up,
+                                      int cycles) {
+  if (!down.is_positive() || !up.is_positive() || cycles < 1) {
+    problem("burst_partition at " + time_str(at) +
+            ": down/up must be positive and cycles >= 1 (got down=" +
+            down.to_string() + " up=" + up.to_string() +
+            " cycles=" + std::to_string(cycles) + ")");
+    return *this;
+  }
+  Time t = at;
+  for (int i = 0; i < cycles; ++i) {
+    partition(t, spec, down);
+    t = t + down + up;
+  }
+  return *this;
+}
+
+std::vector<std::string> FaultPlan::validate(std::size_t node_count) const {
+  std::vector<std::string> out = problems_;
+  for (const FaultEvent& event : events_) {
+    if (fault_kind_is_per_node(event.kind) && event.node.is_valid() &&
+        event.node.value() >= node_count) {
+      out.push_back(std::string(fault_kind_name(event.kind)) + " at " +
+                    time_str(event.at) + ": victim " +
+                    event.node.to_string() +
+                    " is out of range for a deployment of " +
+                    std::to_string(node_count) + " motes");
+    }
+    if (event.kind == FaultKind::kPartitionStart &&
+        event.partition >= partitions_.size()) {
+      out.push_back("partition-start at " + time_str(event.at) +
+                    " references missing spec " +
+                    std::to_string(event.partition));
+    }
+  }
+  for (std::size_t i = 0; i < partitions_.size(); ++i) {
+    for (const auto& component : partitions_[i].components) {
+      for (NodeId node : component) {
+        if (node.is_valid() && node.value() >= node_count) {
+          out.push_back("partition " + std::to_string(i) + " names mote " +
+                        node.to_string() +
+                        ", out of range for a deployment of " +
+                        std::to_string(node_count) + " motes");
+        }
+      }
+    }
+  }
+  return out;
+}
+
+util::Json FaultPlan::to_json() const {
+  util::Json doc = util::Json::object();
+  util::Json events = util::Json::array();
+  for (const FaultEvent& event : events_) {
+    util::Json e = util::Json::object();
+    e.set("at_us", event.at.to_micros());
+    e.set("kind", fault_kind_name(event.kind));
+    if (fault_kind_is_per_node(event.kind)) {
+      e.set("node", static_cast<std::int64_t>(event.node.value()));
+    }
+    if (event.kind == FaultKind::kPartitionStart) {
+      e.set("partition", static_cast<std::int64_t>(event.partition));
+    }
+    events.push_back(std::move(e));
+  }
+  doc.set("events", std::move(events));
+  util::Json partitions = util::Json::array();
+  for (const PartitionSpec& spec : partitions_) {
+    util::Json components = util::Json::array();
+    for (const auto& component : spec.components) {
+      util::Json ids = util::Json::array();
+      for (NodeId node : component) {
+        ids.push_back(static_cast<std::int64_t>(node.value()));
+      }
+      components.push_back(std::move(ids));
+    }
+    util::Json s = util::Json::object();
+    s.set("components", std::move(components));
+    partitions.push_back(std::move(s));
+  }
+  doc.set("partitions", std::move(partitions));
+  return doc;
+}
+
+Expected<FaultPlan> FaultPlan::from_json(const util::Json& doc) {
+  const auto fail = [](std::string message) {
+    return Expected<FaultPlan>::failure("fault_plan_json",
+                                        std::move(message));
+  };
+  if (!doc.is_object()) return fail("fault plan must be a JSON object");
+  const util::Json& events = doc["events"];
+  const util::Json& partitions = doc["partitions"];
+  if (!events.is_array()) return fail("'events' must be an array");
+  if (!doc["partitions"].is_null() && !partitions.is_array()) {
+    return fail("'partitions' must be an array");
+  }
+
+  FaultPlan plan;
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    const util::Json& components = partitions.items()[i]["components"];
+    if (!components.is_array()) {
+      return fail("partition " + std::to_string(i) +
+                  ": 'components' must be an array");
+    }
+    PartitionSpec spec;
+    for (const util::Json& component : components.items()) {
+      if (!component.is_array()) {
+        return fail("partition " + std::to_string(i) +
+                    ": each component must be an array of node ids");
+      }
+      std::vector<NodeId> ids;
+      for (const util::Json& id : component.items()) {
+        if (!id.is_int() || id.as_int() < 0) {
+          return fail("partition " + std::to_string(i) +
+                      ": node ids must be non-negative integers");
+        }
+        ids.push_back(NodeId{static_cast<std::uint64_t>(id.as_int())});
+      }
+      spec.components.push_back(std::move(ids));
+    }
+    check_partition_spec(spec, plan.partitions_.size(), &plan.problems_);
+    plan.partitions_.push_back(std::move(spec));
+  }
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const util::Json& e = events.items()[i];
+    if (!e.is_object()) {
+      return fail("event " + std::to_string(i) + " must be an object");
+    }
+    if (!e["at_us"].is_int()) {
+      return fail("event " + std::to_string(i) +
+                  ": 'at_us' must be an integer microsecond timestamp");
+    }
+    FaultKind kind;
+    if (!e["kind"].is_string() ||
+        !fault_kind_from_name(e["kind"].as_string(), &kind)) {
+      return fail("event " + std::to_string(i) + ": unknown kind '" +
+                  e["kind"].as_string() + "'");
+    }
+    const Time at = Time::micros(e["at_us"].as_int());
+    if (kind == FaultKind::kPartitionStart) {
+      if (!e["partition"].is_int() || e["partition"].as_int() < 0 ||
+          static_cast<std::size_t>(e["partition"].as_int()) >=
+              plan.partitions_.size()) {
+        return fail("event " + std::to_string(i) +
+                    ": 'partition' must index a declared spec");
+      }
+      if (plan.check_event(at, NodeId{}, kind)) {
+        plan.events_.push_back(FaultEvent{
+            at, NodeId{}, kind,
+            static_cast<std::size_t>(e["partition"].as_int())});
+      }
+    } else if (fault_kind_is_per_node(kind)) {
+      if (!e["node"].is_int() || e["node"].as_int() < 0) {
+        return fail("event " + std::to_string(i) +
+                    ": 'node' must be a non-negative integer");
+      }
+      plan.add(at, NodeId{static_cast<std::uint64_t>(e["node"].as_int())},
+               kind);
+    } else {
+      plan.add(at, NodeId{}, kind);
+    }
+  }
+  return plan;
+}
+
+}  // namespace et::fault

@@ -1,8 +1,13 @@
 #pragma once
 
+#include <cstddef>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "util/expected.hpp"
 #include "util/ids.hpp"
+#include "util/json.hpp"
 #include "util/time.hpp"
 
 /// Fault schedules for chaos experiments.
@@ -10,8 +15,16 @@
 /// A `FaultPlan` is a declarative list of timed fault events — who breaks,
 /// how, and when — that a `FaultInjector` replays through the simulator.
 /// Plans are plain data: they can be built up-front (deterministic chaos
-/// runs) or generated programmatically, and the same plan replayed against
-/// the same seed reproduces the run bit for bit.
+/// runs) or generated programmatically (the chaos fuzzer samples them), and
+/// the same plan replayed against the same seed reproduces the run bit for
+/// bit. Plans round-trip through JSON (`to_json` / `from_json`) so a
+/// failing chaos trial can be written out as a self-contained repro
+/// artifact and replayed later.
+///
+/// Malformed inputs — negative times, inverted/zero fault windows, invalid
+/// victims, a partition listing one mote in two components — are recorded
+/// as construction problems instead of silently skipped: `validate()`
+/// reports them, and `FaultInjector::schedule` refuses the whole plan.
 namespace et::fault {
 
 enum class FaultKind {
@@ -36,6 +49,13 @@ enum class FaultKind {
 
 const char* fault_kind_name(FaultKind kind);
 
+/// Inverse of fault_kind_name (JSON parsing); false on an unknown name.
+bool fault_kind_from_name(std::string_view name, FaultKind* kind);
+
+/// True for fault kinds that act on a single mote (and therefore require a
+/// valid, in-range victim id).
+bool fault_kind_is_per_node(FaultKind kind);
+
 /// A network split, described by its non-default reachability components:
 /// every node listed in components[i] lands in component i+1, everything
 /// unlisted stays in component 0 (a node listed twice takes its last
@@ -57,13 +77,12 @@ struct FaultEvent {
 };
 
 /// Builder for fault schedules. Events may be added in any order; the
-/// injector sorts by time before scheduling.
+/// injector sorts by time before scheduling. Bad inputs are recorded as
+/// problems (and the bogus event is not appended): the plan still builds,
+/// but validate() fails and the injector rejects it with a clear message.
 class FaultPlan {
  public:
-  FaultPlan& add(Time at, NodeId node, FaultKind kind) {
-    events_.push_back(FaultEvent{at, node, kind});
-    return *this;
-  }
+  FaultPlan& add(Time at, NodeId node, FaultKind kind);
 
   FaultPlan& crash(Time at, NodeId node) {
     return add(at, node, FaultKind::kCrash);
@@ -71,60 +90,61 @@ class FaultPlan {
   FaultPlan& reboot(Time at, NodeId node) {
     return add(at, node, FaultKind::kReboot);
   }
-  /// Crash at `at`, reboot after `downtime`.
-  FaultPlan& crash_for(Time at, NodeId node, Duration downtime) {
-    crash(at, node);
-    return reboot(at + downtime, node);
-  }
-  /// RF outage over [at, at + length).
-  FaultPlan& radio_blackout(Time at, NodeId node, Duration length) {
-    add(at, node, FaultKind::kRadioBlackoutStart);
-    return add(at + length, node, FaultKind::kRadioBlackoutEnd);
-  }
-  /// Sensor dropout over [at, at + length).
-  FaultPlan& sensor_dropout(Time at, NodeId node, Duration length) {
-    add(at, node, FaultKind::kSensorDropStart);
-    return add(at + length, node, FaultKind::kSensorDropEnd);
-  }
+  /// Crash at `at`, reboot after `downtime` (> 0).
+  FaultPlan& crash_for(Time at, NodeId node, Duration downtime);
+  /// RF outage over [at, at + length), length > 0.
+  FaultPlan& radio_blackout(Time at, NodeId node, Duration length);
+  /// Sensor dropout over [at, at + length), length > 0.
+  FaultPlan& sensor_dropout(Time at, NodeId node, Duration length);
 
   /// Network split at `at`. A later partition_heal (or partition with a
-  /// new spec) replaces it — splits do not compose.
-  FaultPlan& partition_start(Time at, PartitionSpec spec) {
-    FaultEvent event{at, NodeId{}, FaultKind::kPartitionStart,
-                     partitions_.size()};
-    partitions_.push_back(std::move(spec));
-    events_.push_back(event);
-    return *this;
-  }
+  /// new spec) replaces it — splits do not compose. The spec must not name
+  /// one mote in two components (ambiguous membership) and every component
+  /// must be non-empty.
+  FaultPlan& partition_start(Time at, PartitionSpec spec);
   FaultPlan& partition_heal(Time at) {
     return add(at, NodeId{}, FaultKind::kPartitionHeal);
   }
-  /// Split over [at, at + length), healed afterwards.
-  FaultPlan& partition(Time at, PartitionSpec spec, Duration length) {
-    partition_start(at, std::move(spec));
-    return partition_heal(at + length);
-  }
-  /// Burst partition: `cycles` deterministic square-wave repetitions of
-  /// (split for `down`, healed for `up`), starting at `at`. Composes with
-  /// a lossy/burst channel — the partition gates reachability while the
-  /// channel keeps corrupting whatever still gets through.
+  /// Split over [at, at + length), healed afterwards; length > 0.
+  FaultPlan& partition(Time at, PartitionSpec spec, Duration length);
+  /// Burst partition: `cycles` (>= 1) deterministic square-wave repetitions
+  /// of (split for `down`, healed for `up`), starting at `at`. Composes
+  /// with a lossy/burst channel — the partition gates reachability while
+  /// the channel keeps corrupting whatever still gets through.
   FaultPlan& burst_partition(Time at, PartitionSpec spec, Duration down,
-                             Duration up, int cycles) {
-    Time t = at;
-    for (int i = 0; i < cycles; ++i) {
-      partition(t, spec, down);
-      t = t + down + up;
-    }
-    return *this;
-  }
+                             Duration up, int cycles);
 
   const std::vector<FaultEvent>& events() const { return events_; }
   const std::vector<PartitionSpec>& partitions() const { return partitions_; }
   bool empty() const { return events_.empty(); }
 
+  /// Structural problems recorded while building (negative times, inverted
+  /// windows, invalid victims, overlapping partition components).
+  const std::vector<std::string>& construction_problems() const {
+    return problems_;
+  }
+
+  /// Every problem with this plan: construction problems plus range checks
+  /// against a deployment of `node_count` motes (victims and partition
+  /// members must have id < node_count). Empty means the plan is safe to
+  /// schedule.
+  std::vector<std::string> validate(std::size_t node_count) const;
+
+  /// JSON round-trip. The document carries every event (time in integer
+  /// microseconds, so the trip is exact) and every partition spec;
+  /// from_json re-validates structure and rejects malformed documents with
+  /// a positioned error instead of building a broken plan.
+  util::Json to_json() const;
+  static Expected<FaultPlan> from_json(const util::Json& doc);
+
  private:
+  void problem(std::string what) { problems_.push_back(std::move(what)); }
+  /// Shared input screening for add(); true when the event may be appended.
+  bool check_event(Time at, NodeId node, FaultKind kind);
+
   std::vector<FaultEvent> events_;
   std::vector<PartitionSpec> partitions_;
+  std::vector<std::string> problems_;
 };
 
 }  // namespace et::fault

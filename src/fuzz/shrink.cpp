@@ -1,0 +1,206 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace et::fuzz {
+
+namespace {
+
+/// Rebuilds a plan from an event subset. Partition-start events re-add
+/// their original spec (indices re-densify, semantics are unchanged).
+fault::FaultPlan rebuild_plan(
+    const std::vector<fault::FaultEvent>& events,
+    const std::vector<fault::PartitionSpec>& partitions) {
+  fault::FaultPlan plan;
+  for (const fault::FaultEvent& event : events) {
+    if (event.kind == fault::FaultKind::kPartitionStart) {
+      plan.partition_start(event.at, partitions[event.partition]);
+    } else {
+      plan.add(event.at, event.node, event.kind);
+    }
+  }
+  return plan;
+}
+
+class Shrinker {
+ public:
+  Shrinker(const ReproArtifact& original, const StillFails& still_fails,
+           const ShrinkOptions& options)
+      : current_(original), still_fails_(still_fails), options_(options) {}
+
+  ReproArtifact run() {
+    bool progress = true;
+    while (progress && !exhausted()) {
+      progress = false;
+      progress |= drop_events();
+      progress |= simplify_scenario();
+      progress |= shrink_grid();
+      progress |= halve_times();
+    }
+    return current_;
+  }
+
+  ShrinkStats stats() const { return stats_; }
+
+ private:
+  bool exhausted() const { return stats_.attempts >= options_.max_attempts; }
+
+  /// Runs the predicate on `candidate`; adopts it when it still fails.
+  /// Structurally invalid candidates are rejected for free.
+  bool attempt(const ReproArtifact& candidate) {
+    if (exhausted()) return false;
+    if (!candidate.plan.construction_problems().empty()) return false;
+    if (!candidate.plan.validate(candidate.scenario.node_count()).empty()) {
+      return false;
+    }
+    ++stats_.attempts;
+    if (!still_fails_(candidate)) return false;
+    current_ = candidate;
+    ++stats_.accepted;
+    return true;
+  }
+
+  ReproArtifact with_events(
+      const std::vector<fault::FaultEvent>& events) const {
+    ReproArtifact candidate = current_;
+    candidate.plan = rebuild_plan(events, current_.plan.partitions());
+    return candidate;
+  }
+
+  /// ddmin over the fault events: try dropping chunks, halving the chunk
+  /// size until single events.
+  bool drop_events() {
+    bool any = false;
+    std::size_t chunk = std::max<std::size_t>(
+        1, current_.plan.events().size() / 2);
+    while (!exhausted()) {
+      const std::vector<fault::FaultEvent>& events =
+          current_.plan.events();
+      if (events.empty()) break;
+      bool removed = false;
+      for (std::size_t start = 0; start < events.size() && !exhausted();
+           start += chunk) {
+        std::vector<fault::FaultEvent> keep;
+        keep.reserve(events.size());
+        for (std::size_t i = 0; i < events.size(); ++i) {
+          if (i < start || i >= start + chunk) keep.push_back(events[i]);
+        }
+        if (keep.size() == events.size()) continue;
+        if (attempt(with_events(keep))) {
+          removed = true;
+          any = true;
+          break;  // current_ changed; restart over the smaller plan
+        }
+      }
+      if (removed) continue;
+      if (chunk == 1) break;
+      chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+    return any;
+  }
+
+  /// Strips optional stressors one at a time.
+  bool simplify_scenario() {
+    bool any = false;
+    if (current_.scenario.harass) {
+      ReproArtifact candidate = current_;
+      candidate.scenario.harass = false;
+      any |= attempt(candidate);
+    }
+    if (current_.scenario.ge_loss) {
+      ReproArtifact candidate = current_;
+      candidate.scenario.ge_loss = false;
+      any |= attempt(candidate);
+    }
+    if (current_.scenario.duty_cycle_awake_fraction < 1.0) {
+      ReproArtifact candidate = current_;
+      candidate.scenario.duty_cycle_awake_fraction = 1.0;
+      any |= attempt(candidate);
+    }
+    if (current_.scenario.reliable_transport) {
+      ReproArtifact candidate = current_;
+      candidate.scenario.reliable_transport = false;
+      any |= attempt(candidate);
+    }
+    return any;
+  }
+
+  /// Shrinks the deployment. Candidates whose plan references motes beyond
+  /// the smaller grid are rejected by attempt()'s validation for free.
+  bool shrink_grid() {
+    bool any = false;
+    bool progress = true;
+    while (progress && !exhausted()) {
+      progress = false;
+      for (const std::size_t step : {std::size_t{4}, std::size_t{2},
+                                     std::size_t{1}}) {
+        if (current_.scenario.cols < 4 + step) continue;
+        ReproArtifact candidate = current_;
+        candidate.scenario.cols -= step;
+        if (attempt(candidate)) {
+          progress = true;
+          any = true;
+          break;
+        }
+      }
+      if (progress) continue;
+      if (current_.scenario.rows > 2) {
+        ReproArtifact candidate = current_;
+        candidate.scenario.rows -= 1;
+        if (attempt(candidate)) {
+          progress = true;
+          any = true;
+        }
+      }
+    }
+    return any;
+  }
+
+  /// Narrows the fault window: first the whole plan pulled earlier (every
+  /// time halved), then event by event.
+  bool halve_times() {
+    bool any = false;
+    while (!exhausted()) {
+      std::vector<fault::FaultEvent> events = current_.plan.events();
+      bool meaningful = false;
+      for (fault::FaultEvent& event : events) {
+        const std::int64_t us = event.at.to_micros();
+        if (us > Time::seconds(1).to_micros()) meaningful = true;
+        event.at = Time::micros(us / 2);
+      }
+      if (!meaningful || !attempt(with_events(events))) break;
+      any = true;
+    }
+    if (current_.plan.events().size() <= 8) {
+      for (std::size_t i = 0;
+           i < current_.plan.events().size() && !exhausted(); ++i) {
+        std::vector<fault::FaultEvent> events = current_.plan.events();
+        const std::int64_t us = events[i].at.to_micros();
+        if (us <= Time::seconds(1).to_micros()) continue;
+        events[i].at = Time::micros(us / 2);
+        any |= attempt(with_events(events));
+      }
+    }
+    return any;
+  }
+
+  ReproArtifact current_;
+  const StillFails& still_fails_;
+  ShrinkOptions options_;
+  ShrinkStats stats_;
+};
+
+}  // namespace
+
+ReproArtifact shrink_artifact(const ReproArtifact& original,
+                              const StillFails& still_fails,
+                              const ShrinkOptions& options,
+                              ShrinkStats* stats) {
+  Shrinker shrinker(original, still_fails, options);
+  ReproArtifact shrunk = shrinker.run();
+  if (stats != nullptr) *stats = shrinker.stats();
+  return shrunk;
+}
+
+}  // namespace et::fuzz

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "fuzz/artifact.hpp"
+
+/// Delta-debugging shrinker for chaos repro artifacts.
+///
+/// Given a failing artifact and a `still_fails` predicate (typically "the
+/// trial still fails on the same oracle"), `shrink_artifact` greedily
+/// minimizes the repro: ddmin-style fault-event removal (halving chunks
+/// down to single events), scenario-stressor removal (harassment, burst
+/// loss, duty cycling, transport), grid shrinking (fewer rows/columns),
+/// and fault-time halving (pulling events earlier so the failure window
+/// narrows). Every candidate is pre-validated against the candidate
+/// deployment before it costs a trial, and the whole search is bounded by
+/// `max_attempts` predicate evaluations — the result is the smallest
+/// still-failing artifact found within budget, never worse than the input.
+namespace et::fuzz {
+
+using StillFails = std::function<bool(const ReproArtifact&)>;
+
+struct ShrinkOptions {
+  /// Predicate-evaluation budget (each evaluation is a full trial).
+  std::size_t max_attempts = 160;
+};
+
+struct ShrinkStats {
+  std::size_t attempts = 0;
+  std::size_t accepted = 0;
+};
+
+ReproArtifact shrink_artifact(const ReproArtifact& original,
+                              const StillFails& still_fails,
+                              const ShrinkOptions& options = {},
+                              ShrinkStats* stats = nullptr);
+
+}  // namespace et::fuzz

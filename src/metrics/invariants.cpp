@@ -72,28 +72,40 @@ void InvariantOracle::on_group_event(const core::GroupEvent& event) {
 
   if (event.kind != core::GroupEvent::Kind::kBecameLeader) return;
   const std::uint64_t label = event.label.value();
-  auto [it, first] = max_epoch_.try_emplace(label, event.epoch);
+  const Time now = system_.sim().now();
+  auto [it, first] =
+      max_epoch_.try_emplace(label, EpochWatermark{event.epoch, now});
   if (first) return;
-  if (event.epoch < it->second) {
-    // During a split (and while the fence converges after the heal) a
-    // lower-epoch side legitimately elects at its own pace; only a
-    // regression on a whole network is a bug.
-    const Time now = system_.sim().now();
+  if (event.epoch < it->second.epoch) {
+    // A lower-epoch election is legal while the label's leadership is
+    // genuinely in flux: during a split (each side runs its own epoch
+    // line), while the fence converges after a heal, while the electing
+    // node is radio-isolated (it cannot have heard the newer incarnation),
+    // and inside the churn window of the last high-water contest (two
+    // members timing out together under heartbeat loss elect with
+    // different epoch knowledge; the duel resolves them). Only a stale
+    // election on a settled, connected network is a regression.
     const bool settling =
         system_.medium().partitioned() ||
-        (heal_seen_ && now - last_heal_ < config_.heal_settle);
+        (heal_seen_ && now - last_heal_ < config_.heal_settle) ||
+        system_.medium().node_blackout(event.node) ||
+        now - it->second.contested_at < config_.epoch_churn_window;
     if (!settling) {
       std::string detail = "node ";
       detail += std::to_string(event.node.value());
       detail += " assumed leadership at epoch ";
       detail += std::to_string(event.epoch);
       detail += " below the label's high-water epoch ";
-      detail += std::to_string(it->second);
+      detail += std::to_string(it->second.epoch);
       record(InvariantViolation::Kind::kEpochRegression, event.type_index,
              event.label, std::move(detail));
     }
+  } else {
+    // Raised or re-contested at the high water: re-anchor the churn
+    // window — concurrent takeovers cluster around these moments.
+    it->second.epoch = event.epoch;
+    it->second.contested_at = now;
   }
-  it->second = std::max(it->second, event.epoch);
 }
 
 void InvariantOracle::on_transport_event(NodeId node,
@@ -179,11 +191,16 @@ void InvariantOracle::scan_leaders() {
   std::set<std::pair<core::TypeIndex, std::uint64_t>> dual_now;
   for (const auto& [key, nodes] : leaders) {
     if (nodes.size() < 2) continue;
-    // Leaders isolated from each other by a partition are expected; only
-    // mutually reachable ones must converge.
+    // Leaders isolated from each other are expected; only mutually
+    // reachable ones must converge. Isolation means a partition boundary
+    // or a radio blackout on either side — a blacked-out leader cannot
+    // hear its rival's heartbeats any more than a partitioned one can, so
+    // its overlap clock starts when the RF outage ends, not before.
     bool overlap = false;
     for (std::size_t a = 0; a < nodes.size() && !overlap; ++a) {
+      if (medium.node_blackout(nodes[a])) continue;
       for (std::size_t b = a + 1; b < nodes.size(); ++b) {
+        if (medium.node_blackout(nodes[b])) continue;
         if (medium.same_partition(nodes[a], nodes[b])) {
           overlap = true;
           break;

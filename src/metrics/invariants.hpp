@@ -23,9 +23,12 @@
 ///      fence converges, so overlap only counts after a grace window.
 ///   2. Leadership-epoch monotonicity: nobody assumes leadership of a label
 ///      at an epoch below one the label was already led at (checked only
-///      while the network is whole; during a partition each side may
-///      legitimately run at its own epoch, so checks resume one grace
-///      window after the last heal).
+///      while the network is whole and the label's leadership is settled;
+///      during a partition each side may legitimately run at its own
+///      epoch, a radio-isolated elector cannot know better, and concurrent
+///      takeovers under heartbeat loss spread differing epoch knowledge —
+///      so checks resume one grace window after the last heal and one
+///      churn window after the last high-water contest).
 ///   3. No duplicate delivery: the reliable transport never dispatches the
 ///      same (origin, label, seq) invocation twice on one node.
 ///   4. Bounded retransmission: no transfer is retransmitted more often
@@ -45,6 +48,14 @@ struct InvariantConfig {
   /// partition heals (stale-epoch takeovers during convergence are the
   /// fence's job to clean up, not a bug).
   Duration heal_settle = Duration::seconds(2);
+  /// A lower-epoch election within this window of the label's high-water
+  /// epoch being raised (or re-contested at the same epoch) is concurrent
+  /// takeover churn, not a regression: under heartbeat loss two members
+  /// time out together with different epoch knowledge, both elect, and the
+  /// duel resolves them. Covers a receive timeout (2.1 x heartbeat) plus a
+  /// couple of loss bursts. A *stale-incarnation resurrection* — the real
+  /// bug — elects long after the winning side moved on, well outside this.
+  Duration epoch_churn_window = Duration::seconds(3);
   /// Protocol events retained for violation traces.
   std::size_t trace_depth = 16;
 };
@@ -105,8 +116,13 @@ class InvariantOracle final : public core::GroupObserver {
 
   /// (type, label) pairs currently in dual leadership, with overlap start.
   std::map<std::pair<core::TypeIndex, std::uint64_t>, Time> dual_since_;
-  /// Highest epoch each label has been led at (invariant 2).
-  std::map<std::uint64_t, std::uint64_t> max_epoch_;
+  /// Highest epoch each label has been led at (invariant 2), and when that
+  /// high water was last raised or re-contested (the churn window anchor).
+  struct EpochWatermark {
+    std::uint64_t epoch = 0;
+    Time contested_at;
+  };
+  std::map<std::uint64_t, EpochWatermark> max_epoch_;
   /// Exact (receiver, origin, label, seq) tuples delivered (invariant 3).
   std::set<std::array<std::uint64_t, 4>> delivered_;
   /// Most recent heal; epoch checks resume heal_settle later.

@@ -1,0 +1,64 @@
+#include "metrics/verdict.hpp"
+
+#include <algorithm>
+
+namespace et::metrics {
+
+void ChaosVerdict::note_ran(const std::string& oracle) {
+  if (std::find(oracles_run_.begin(), oracles_run_.end(), oracle) ==
+      oracles_run_.end()) {
+    oracles_run_.push_back(oracle);
+  }
+}
+
+void ChaosVerdict::pass(std::string oracle) { note_ran(oracle); }
+
+void ChaosVerdict::fail(std::string oracle, std::string detail,
+                        double at_seconds) {
+  note_ran(oracle);
+  failures_.push_back(
+      OracleFinding{std::move(oracle), std::move(detail), at_seconds});
+}
+
+void ChaosVerdict::merge(const ChaosVerdict& other,
+                         const std::string& prefix) {
+  for (const std::string& oracle : other.oracles_run_) {
+    note_ran(prefix + "/" + oracle);
+  }
+  for (const OracleFinding& finding : other.failures_) {
+    failures_.push_back(OracleFinding{prefix + "/" + finding.oracle,
+                                      finding.detail, finding.at_seconds});
+  }
+}
+
+util::Json ChaosVerdict::to_json() const {
+  util::Json doc = util::Json::object();
+  doc.set("ok", ok());
+  util::Json ran = util::Json::array();
+  for (const std::string& oracle : oracles_run_) ran.push_back(oracle);
+  doc.set("oracles_run", std::move(ran));
+  util::Json fails = util::Json::array();
+  for (const OracleFinding& finding : failures_) {
+    util::Json f = util::Json::object();
+    f.set("oracle", finding.oracle);
+    f.set("detail", finding.detail);
+    f.set("at_seconds", finding.at_seconds);
+    fails.push_back(std::move(f));
+  }
+  doc.set("failures", std::move(fails));
+  return doc;
+}
+
+std::string ChaosVerdict::summary() const {
+  if (ok()) {
+    return "ok (" + std::to_string(oracles_run_.size()) + " oracles)";
+  }
+  const OracleFinding& first = failures_.front();
+  std::string out = "FAIL " + first.oracle + ": " + first.detail;
+  if (failures_.size() > 1) {
+    out += " (+" + std::to_string(failures_.size() - 1) + " more)";
+  }
+  return out;
+}
+
+}  // namespace et::metrics

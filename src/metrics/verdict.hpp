@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+/// Machine-readable verdict of a chaos trial's stacked oracles.
+///
+/// A chaos run is judged by several independent oracles — the runtime
+/// protocol-invariant oracle, the serial-vs-parallel differential diff, the
+/// serve-answer validation, the simulator livelock watchdog. Each reports
+/// into one ChaosVerdict, which records both what ran (so "clean" is
+/// distinguishable from "never checked") and every failure with enough
+/// detail to act on. The JSON rendering is what the chaos fuzzer writes
+/// into repro artifacts and what CI surfaces in step summaries.
+namespace et::metrics {
+
+struct OracleFinding {
+  /// Which oracle failed, e.g. "invariant:dual-leader", "differential",
+  /// "serve-validate", "watchdog".
+  std::string oracle;
+  std::string detail;
+  /// Simulated seconds at the first offending observation; negative when
+  /// the oracle has no meaningful time (e.g. an end-of-run diff).
+  double at_seconds = -1.0;
+};
+
+class ChaosVerdict {
+ public:
+  /// Records that `oracle` ran and found nothing.
+  void pass(std::string oracle);
+  /// Records a failure. The oracle is also added to the ran set.
+  void fail(std::string oracle, std::string detail, double at_seconds = -1.0);
+  /// Merges another verdict (e.g. one per kernel run) under a prefix:
+  /// oracle names become "<prefix>/<name>".
+  void merge(const ChaosVerdict& other, const std::string& prefix);
+
+  bool ok() const { return failures_.empty(); }
+  const std::vector<OracleFinding>& failures() const { return failures_; }
+  const std::vector<std::string>& oracles_run() const { return oracles_run_; }
+  /// First failure in report order; nullptr when ok().
+  const OracleFinding* first_failure() const {
+    return failures_.empty() ? nullptr : &failures_.front();
+  }
+
+  /// {"ok": bool, "oracles_run": [...], "failures": [{oracle, detail,
+  /// at_seconds}]} — deterministic member order.
+  util::Json to_json() const;
+
+  /// One line: "ok (4 oracles)" or "FAIL invariant:dual-leader: <detail>".
+  std::string summary() const;
+
+ private:
+  void note_ran(const std::string& oracle);
+
+  std::vector<std::string> oracles_run_;
+  std::vector<OracleFinding> failures_;
+};
+
+}  // namespace et::metrics

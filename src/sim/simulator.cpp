@@ -225,13 +225,75 @@ void Simulator::post_op_impl(Duration delay, bool is_send, Callback fn) {
   }
 }
 
+void Simulator::set_watchdog(WatchdogConfig config) {
+  watchdog_config_ = config;
+  watchdog_ = WatchdogReport{};
+  watchdog_window_sec_ = now_.to_micros() / 1'000'000;
+  watchdog_wall_start_ = std::chrono::steady_clock::now();
+}
+
+void Simulator::watchdog_trip(std::string reason) {
+  watchdog_.tripped = true;
+  watchdog_.at = now_;
+  watchdog_.reason = std::move(reason);
+  ET_WARN("sim", "watchdog tripped at %s: %s",
+          now_.to_string().c_str(), watchdog_.reason.c_str());
+}
+
+bool Simulator::watchdog_charge() {
+  if (watchdog_.tripped) return false;
+  const std::int64_t sec = now_.to_micros() / 1'000'000;
+  if (sec != watchdog_window_sec_) {
+    if (watchdog_.events_in_window > watchdog_.peak_events_per_sim_second) {
+      watchdog_.peak_events_per_sim_second = watchdog_.events_in_window;
+    }
+    watchdog_window_sec_ = sec;
+    watchdog_.events_in_window = 0;
+    watchdog_wall_start_ = std::chrono::steady_clock::now();
+  }
+  ++watchdog_.events_in_window;
+  const WatchdogConfig& cfg = watchdog_config_;
+  if (cfg.max_events_per_sim_second != 0 &&
+      watchdog_.events_in_window > cfg.max_events_per_sim_second) {
+    watchdog_trip("event budget exceeded: " +
+                  std::to_string(watchdog_.events_in_window) +
+                  " events inside simulated second " +
+                  std::to_string(watchdog_window_sec_) + " (budget " +
+                  std::to_string(cfg.max_events_per_sim_second) + ")");
+    return false;
+  }
+  // The wall-clock read is a syscall; amortize it over 1024 events. An
+  // event storm reaches 1024 events quickly, and a storm-free slow second
+  // is a host-load problem, not a livelock.
+  if (cfg.max_wall_ms_per_sim_second != 0 &&
+      (watchdog_.events_in_window & 1023u) == 0) {
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - watchdog_wall_start_)
+            .count();
+    watchdog_.wall_ms_in_window = wall_ms;
+    if (wall_ms > static_cast<double>(cfg.max_wall_ms_per_sim_second)) {
+      watchdog_trip("wall-clock budget exceeded: " +
+                    std::to_string(wall_ms) +
+                    " ms inside simulated second " +
+                    std::to_string(watchdog_window_sec_) + " (budget " +
+                    std::to_string(cfg.max_wall_ms_per_sim_second) + " ms)");
+      return false;
+    }
+  }
+  return true;
+}
+
 std::size_t Simulator::run_until(Time deadline) {
   EngineScope scope(this);
   std::size_t fired = 0;
+  const bool guarded = watchdog_config_.enabled;
   while (!queue_.empty() && queue_.next_time() <= deadline) {
+    if (guarded && watchdog_.tripped) break;
     auto ev = queue_.pop();
     assert(ev.time >= now_);
     now_ = ev.time;
+    if (guarded && !watchdog_charge()) break;
     if (canonical_) {
       bound_ = ev.key();
       bound_valid_ = true;
@@ -241,6 +303,9 @@ std::size_t Simulator::run_until(Time deadline) {
     ++fired;
     ++events_fired_;
   }
+  // A tripped watchdog still advances the clock: drivers that loop on
+  // run_for() must keep making (virtual-time) progress so the run winds
+  // down instead of spinning on a frozen queue.
   if (now_ < deadline) now_ = deadline;
   if (canonical_) executing_owner_ = kWorldRank;
   return fired;
@@ -250,10 +315,13 @@ std::size_t Simulator::run_until_key(EventKey bound) {
   assert(canonical_);
   EngineScope scope(this);
   std::size_t fired = 0;
+  const bool guarded = watchdog_config_.enabled;
   while (!queue_.empty() && queue_.next_key() <= bound) {
+    if (guarded && watchdog_.tripped) break;
     auto ev = queue_.pop();
     assert(ev.time >= now_);
     now_ = ev.time;
+    if (guarded && !watchdog_charge()) break;
     bound_ = ev.key();
     bound_valid_ = true;
     executing_owner_ = ev.fire_owner;
@@ -268,10 +336,13 @@ std::size_t Simulator::run_until_key(EventKey bound) {
 std::size_t Simulator::run_all() {
   EngineScope scope(this);
   std::size_t fired = 0;
+  const bool guarded = watchdog_config_.enabled;
   while (!queue_.empty()) {
+    if (guarded && watchdog_.tripped) break;
     auto ev = queue_.pop();
     assert(ev.time >= now_);
     now_ = ev.time;
+    if (guarded && !watchdog_charge()) break;
     if (canonical_) {
       bound_ = ev.key();
       bound_valid_ = true;

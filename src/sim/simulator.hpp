@@ -1,8 +1,10 @@
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -33,6 +35,34 @@
 namespace et::sim {
 
 class Simulator;
+
+/// No-progress / livelock watchdog budgets. A wedged MAC retry storm or a
+/// zero-delay event loop shows up as virtual time crawling while the event
+/// count (or wall clock) explodes; with budgets armed, the run loop trips
+/// the watchdog and stops firing events instead of wedging the process —
+/// chaos harnesses then fail the trial loudly (see WatchdogReport). A
+/// budget of 0 disables that check.
+struct WatchdogConfig {
+  bool enabled = false;
+  /// Max events fired inside any one simulated second.
+  std::uint64_t max_events_per_sim_second = 0;
+  /// Max wall-clock milliseconds spent inside any one simulated second
+  /// (checked every 1024 events, so the budget should be >> 1 ms).
+  std::uint64_t max_wall_ms_per_sim_second = 0;
+};
+
+/// Watchdog outcome plus progress counters for telemetry.
+struct WatchdogReport {
+  bool tripped = false;
+  /// Virtual time at the trip (meaningless unless tripped).
+  Time at;
+  std::string reason;
+  std::uint64_t events_in_window = 0;
+  double wall_ms_in_window = 0.0;
+  /// Progress counter: the most events fired inside any completed
+  /// simulated second so far (maintained whenever the watchdog is armed).
+  std::uint64_t peak_events_per_sim_second = 0;
+};
 
 /// Channel-op record buffered by a tile during a parallel window and
 /// replayed into the master queue at the barrier (see Simulator::post_op).
@@ -183,6 +213,19 @@ class Simulator {
   /// precondition); exposed so tests can assert exactly that.
   std::uint64_t late_insertions() const { return late_insertions_; }
 
+  // --- Livelock watchdog ---
+
+  /// Arms (or disarms) the no-progress watchdog on this engine. Once
+  /// tripped, the run loops stop firing events: run_until() still advances
+  /// the clock to its deadline so driving loops terminate, but the
+  /// simulation is effectively frozen — callers must check
+  /// watchdog_report().tripped and fail the run. Budgets apply to the
+  /// engine the config is set on (the master engine in parallel runs; tile
+  /// engines can be armed by the kernel separately).
+  void set_watchdog(WatchdogConfig config);
+  const WatchdogConfig& watchdog_config() const { return watchdog_config_; }
+  const WatchdogReport& watchdog_report() const { return watchdog_; }
+
   /// Runs events until the queue drains or `deadline` is passed. Events at
   /// exactly `deadline` still fire; time never advances beyond it. Returns
   /// the number of events fired.
@@ -226,6 +269,12 @@ class Simulator {
  private:
   friend class ExecutingOwnerScope;
 
+  /// Rolls the watchdog window to now_'s simulated second and charges one
+  /// event against the budgets. Returns false when the watchdog trips (the
+  /// run loop must stop).
+  bool watchdog_charge();
+  void watchdog_trip(std::string reason);
+
   std::size_t counter_index(std::uint32_t rank) const;
   /// Builds the canonical key for (at, owner), applying the bump rule: a
   /// key that would not sort strictly after the engine's processed bound is
@@ -254,6 +303,12 @@ class Simulator {
   std::shared_ptr<std::vector<std::uint64_t>> counters_;
   std::uint64_t late_insertions_ = 0;
   std::function<void(EventKey, std::uint32_t)> send_op_hook_;
+
+  // Watchdog state (cold unless armed).
+  WatchdogConfig watchdog_config_;
+  WatchdogReport watchdog_;
+  std::int64_t watchdog_window_sec_ = -1;
+  std::chrono::steady_clock::time_point watchdog_wall_start_;
 };
 
 }  // namespace et::sim

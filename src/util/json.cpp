@@ -1,0 +1,364 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace et::util {
+
+namespace {
+
+const Json& null_sentinel() {
+  static const Json kNull;
+  return kNull;
+}
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  Error error(const std::string& what) const {
+    return Error{"json_parse",
+                 what + " at offset " + std::to_string(pos)};
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Expected<Json> parse_value(int depth) {
+    if (depth > kMaxDepth) return error("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return error("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s) return s.error();
+      return Json(std::move(s).value());
+    }
+    if (consume_word("null")) return Json();
+    if (consume_word("true")) return Json(true);
+    if (consume_word("false")) return Json(false);
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    return error(std::string("unexpected character '") + c + "'");
+  }
+
+  Expected<Json> parse_number() {
+    const std::size_t start = pos;
+    if (consume('-')) {
+    }
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) ++pos;
+    bool integral = true;
+    if (consume('.')) {
+      integral = false;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      integral = false;
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    const std::string lexeme(text.substr(start, pos - start));
+    if (lexeme.empty() || lexeme == "-") return error("malformed number");
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(lexeme.c_str(), &end, 10);
+      if (errno == 0 && end && *end == '\0') {
+        return Json(static_cast<std::int64_t>(v));
+      }
+      // Out of int64 range: fall through to the double view.
+    }
+    char* end = nullptr;
+    const double d = std::strtod(lexeme.c_str(), &end);
+    if (!end || *end != '\0') return error("malformed number");
+    return Json(d);
+  }
+
+  Expected<std::string> parse_string() {
+    if (!consume('"')) return error("expected '\"'");
+    std::string out;
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos >= text.size()) break;
+        const char esc = text[pos++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return error("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return error("bad \\u escape digit");
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // needed by any artifact this repo writes).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return error("unknown escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return error("unterminated string");
+  }
+
+  Expected<Json> parse_array(int depth) {
+    consume('[');
+    Json out = Json::array();
+    skip_ws();
+    if (consume(']')) return out;
+    while (true) {
+      auto v = parse_value(depth + 1);
+      if (!v) return v.error();
+      out.push_back(std::move(v).value());
+      skip_ws();
+      if (consume(']')) return out;
+      if (!consume(',')) return error("expected ',' or ']'");
+    }
+  }
+
+  Expected<Json> parse_object(int depth) {
+    consume('{');
+    Json out = Json::object();
+    skip_ws();
+    if (consume('}')) return out;
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return key.error();
+      skip_ws();
+      if (!consume(':')) return error("expected ':'");
+      auto v = parse_value(depth + 1);
+      if (!v) return v.error();
+      out.set(key.value(), std::move(v).value());
+      skip_ws();
+      if (consume('}')) return out;
+      if (!consume(',')) return error("expected ',' or '}'");
+    }
+  }
+};
+
+}  // namespace
+
+const Json& Json::operator[](std::string_view key) const {
+  if (type_ == Type::kObject) {
+    for (const Member& m : object_) {
+      if (m.first == key) return m.second;
+    }
+  }
+  return null_sentinel();
+}
+
+bool Json::contains(std::string_view key) const {
+  if (type_ != Type::kObject) return false;
+  for (const Member& m : object_) {
+    if (m.first == key) return true;
+  }
+  return false;
+}
+
+Json& Json::push_back(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+Json& Json::set(std::string_view key, Json value) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  for (Member& m : object_) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(std::string(key), std::move(value));
+  return *this;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int level) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * level), ' ');
+  };
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      if (is_int_) {
+        out += std::to_string(int_);
+      } else if (std::isfinite(double_)) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", double_);
+        out += buf;
+      } else {
+        out += "null";  // JSON has no NaN/Inf literal
+      }
+      break;
+    case Type::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        array_[i].dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        out += '"';
+        out += json_escape(object_[i].first);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Json::Type::kNull:
+      return true;
+    case Json::Type::kBool:
+      return a.bool_ == b.bool_;
+    case Json::Type::kNumber:
+      if (a.is_int_ && b.is_int_) return a.int_ == b.int_;
+      return a.double_ == b.double_;
+    case Json::Type::kString:
+      return a.string_ == b.string_;
+    case Json::Type::kArray:
+      return a.array_ == b.array_;
+    case Json::Type::kObject:
+      return a.object_ == b.object_;
+  }
+  return false;
+}
+
+Expected<Json> parse_json(std::string_view text) {
+  Parser parser{text};
+  auto value = parser.parse_value(0);
+  if (!value) return value.error();
+  parser.skip_ws();
+  if (parser.pos != text.size()) {
+    return parser.error("trailing garbage after document");
+  }
+  return value;
+}
+
+}  // namespace et::util

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/expected.hpp"
+
+/// A minimal JSON document model: parse, navigate, serialize.
+///
+/// Built for the repo's machine-readable interchange files — chaos repro
+/// artifacts, fault-plan round-trips, fuzzer summaries — where the full
+/// grammar is enough and an external dependency is not wanted. Design
+/// points:
+///
+///  - Objects preserve insertion order (serialization is deterministic, so
+///    artifact files byte-diff cleanly across runs).
+///  - Integral numbers are kept as exact int64 alongside the double view:
+///    microsecond timestamps and node ids survive a round-trip bit-for-bit
+///    instead of drifting through a double.
+///  - Parsing is recursive descent with a depth cap and positioned errors
+///    (`Expected`), so malformed artifacts are rejected loudly.
+namespace et::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Json>;
+  using Member = std::pair<std::string, Json>;
+  using Object = std::vector<Member>;
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT: implicit by design
+  Json(double d) : type_(Type::kNumber), double_(d) {}          // NOLINT
+  Json(std::int64_t i)                                          // NOLINT
+      : type_(Type::kNumber), double_(static_cast<double>(i)), int_(i),
+        is_int_(true) {}
+  Json(int i) : Json(static_cast<std::int64_t>(i)) {}           // NOLINT
+  Json(std::uint64_t u)                                         // NOLINT
+      : Json(static_cast<std::int64_t>(u)) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : Json(std::string(s)) {}                 // NOLINT
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  /// Number parsed from (or constructed as) an exact integer.
+  bool is_int() const { return type_ == Type::kNumber && is_int_; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_double(double fallback = 0.0) const {
+    return is_number() ? double_ : fallback;
+  }
+  std::int64_t as_int(std::int64_t fallback = 0) const {
+    if (!is_number()) return fallback;
+    return is_int_ ? int_ : static_cast<std::int64_t>(double_);
+  }
+  const std::string& as_string() const { return string_; }
+
+  const Array& items() const { return array_; }
+  Array& items() { return array_; }
+  const Object& members() const { return object_; }
+
+  /// Object member by key; a shared null sentinel when absent (or when this
+  /// value is not an object), so lookups chain without null checks.
+  const Json& operator[](std::string_view key) const;
+  bool contains(std::string_view key) const;
+
+  /// Appends to an array value (converts a null to an array first).
+  Json& push_back(Json value);
+  /// Sets an object member (converts a null to an object first; replaces an
+  /// existing key in place, preserving its position).
+  Json& set(std::string_view key, Json value);
+
+  std::size_t size() const {
+    if (is_array()) return array_.size();
+    if (is_object()) return object_.size();
+    return 0;
+  }
+
+  /// Serializes the document. `indent` > 0 pretty-prints with that many
+  /// spaces per level; 0 renders compact. Key order is insertion order, and
+  /// a given document always renders to the same bytes.
+  std::string dump(int indent = 0) const;
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double double_ = 0.0;
+  std::int64_t int_ = 0;
+  bool is_int_ = false;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). Errors carry a byte offset and a short description.
+Expected<Json> parse_json(std::string_view text);
+
+/// Escapes `s` as the *contents* of a JSON string literal (no quotes).
+std::string json_escape(std::string_view s);
+
+}  // namespace et::util

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/trial.hpp"
+
+/// Corpus replay: every artifact committed under tests/chaos_corpus/ is
+/// parsed, replayed deterministically, and held to its expect_failure
+/// contract — artifacts with an empty expectation must pass every oracle
+/// (they are regressions pinned against a healthy HEAD), the rest must
+/// fail on the recorded oracle. Runs under the sanitizer CI job too, so
+/// each corpus entry doubles as a memory-safety probe of the fault paths
+/// it exercises.
+namespace et::fuzz {
+namespace {
+
+std::filesystem::path corpus_dir() {
+  return std::filesystem::path(ET_REPO_ROOT) / "tests" / "chaos_corpus";
+}
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> files;
+  const std::filesystem::path dir = corpus_dir();
+  if (!std::filesystem::exists(dir)) return files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".json") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ChaosCorpus, CorpusIsNotEmpty) {
+  EXPECT_FALSE(corpus_files().empty())
+      << "tests/chaos_corpus/ must ship at least one committed artifact";
+}
+
+TEST(ChaosCorpus, EveryArtifactParsesAndSerializesByteIdentically) {
+  for (const std::filesystem::path& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    const std::string text = slurp(path);
+    const Expected<ReproArtifact> artifact =
+        ReproArtifact::from_json_string(text);
+    ASSERT_TRUE(artifact.ok())
+        << path << ": " << (artifact.ok() ? "" : artifact.error().message);
+    // Committed artifacts are normalized: parse -> dump reproduces the
+    // file exactly, so replays and shrink lineage diff cleanly.
+    EXPECT_EQ(artifact.value().to_json_string(), text);
+  }
+}
+
+TEST(ChaosCorpus, EveryArtifactReplaysToItsExpectedVerdict) {
+  for (const std::filesystem::path& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    const Expected<ReproArtifact> artifact =
+        ReproArtifact::from_json_string(slurp(path));
+    ASSERT_TRUE(artifact.ok());
+    const TrialResult result = run_trial(artifact.value());
+    EXPECT_TRUE(matches_expectation(artifact.value(), result.verdict))
+        << "expect_failure=\"" << artifact.value().expect_failure
+        << "\" but verdict was: " << result.verdict.summary();
+  }
+}
+
+}  // namespace
+}  // namespace et::fuzz

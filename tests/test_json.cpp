@@ -1,0 +1,110 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+/// The JSON document model underpinning chaos repro artifacts: parsing,
+/// exact integer round-trips, deterministic serialization, and loud
+/// rejection of malformed documents.
+namespace et::util {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").value().is_null());
+  EXPECT_EQ(parse_json("true").value().as_bool(), true);
+  EXPECT_EQ(parse_json("false").value().as_bool(true), false);
+  EXPECT_DOUBLE_EQ(parse_json("2.5").value().as_double(), 2.5);
+  EXPECT_EQ(parse_json("\"hi\"").value().as_string(), "hi");
+}
+
+TEST(Json, IntegersStayExact) {
+  // Microsecond timestamps must survive a round-trip bit for bit; a
+  // double-only model would corrupt values above 2^53.
+  const std::int64_t big = (std::int64_t{1} << 62) + 12345;
+  const Json parsed = parse_json(std::to_string(big)).value();
+  ASSERT_TRUE(parsed.is_int());
+  EXPECT_EQ(parsed.as_int(), big);
+  EXPECT_EQ(parsed.dump(), std::to_string(big));
+}
+
+TEST(Json, FractionalNumbersAreNotInts) {
+  const Json parsed = parse_json("1.5").value();
+  EXPECT_TRUE(parsed.is_number());
+  EXPECT_FALSE(parsed.is_int());
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder) {
+  Json doc = Json::object();
+  doc.set("zebra", 1);
+  doc.set("apple", 2);
+  doc.set("zebra", 3);  // replaced in place, position kept
+  EXPECT_EQ(doc.dump(), "{\"zebra\":3,\"apple\":2}");
+}
+
+TEST(Json, NestedRoundTrip) {
+  const std::string text =
+      "{\"events\": [{\"at_us\": 1500000, \"kind\": \"crash\", \"node\": "
+      "7}], \"partitions\": [], \"note\": \"a \\\"quoted\\\" string\"}";
+  const Json doc = parse_json(text).value();
+  EXPECT_EQ(doc["events"].items()[0]["at_us"].as_int(), 1500000);
+  EXPECT_EQ(doc["events"].items()[0]["kind"].as_string(), "crash");
+  EXPECT_EQ(doc["note"].as_string(), "a \"quoted\" string");
+  // dump -> parse -> dump is a fixed point.
+  const std::string once = doc.dump(2);
+  EXPECT_EQ(parse_json(once).value().dump(2), once);
+}
+
+TEST(Json, MissingMemberIsNullSentinel) {
+  const Json doc = parse_json("{\"a\": 1}").value();
+  EXPECT_TRUE(doc["missing"].is_null());
+  // Lookups chain through the sentinel without crashing.
+  EXPECT_TRUE(doc["missing"]["deeper"].is_null());
+  EXPECT_FALSE(doc.contains("missing"));
+  EXPECT_TRUE(doc.contains("a"));
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  EXPECT_FALSE(parse_json("").ok());
+  EXPECT_FALSE(parse_json("{").ok());
+  EXPECT_FALSE(parse_json("[1,]").ok());
+  EXPECT_FALSE(parse_json("{\"a\" 1}").ok());
+  EXPECT_FALSE(parse_json("\"unterminated").ok());
+  EXPECT_FALSE(parse_json("nul").ok());
+  EXPECT_FALSE(parse_json("1 trailing").ok());
+  const auto err = parse_json("{\"a\": }");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.error().code, "json_parse");
+  EXPECT_FALSE(err.error().message.empty());
+}
+
+TEST(Json, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  EXPECT_FALSE(parse_json(deep).ok());
+}
+
+TEST(Json, EscapesControlCharacters) {
+  Json doc = Json::object();
+  doc.set("s", std::string("tab\there\nnew"));
+  const std::string text = doc.dump();
+  EXPECT_NE(text.find("\\t"), std::string::npos);
+  EXPECT_NE(text.find("\\n"), std::string::npos);
+  EXPECT_EQ(parse_json(text).value()["s"].as_string(), "tab\there\nnew");
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  Json doc = Json::array();
+  doc.push_back(Json(0.0 / 0.0));
+  EXPECT_EQ(doc.dump(), "[null]");
+}
+
+TEST(Json, EqualityIsStructural) {
+  const Json a = parse_json("{\"x\": [1, 2, {\"y\": true}]}").value();
+  const Json b = parse_json("{\"x\": [1, 2, {\"y\": true}]}").value();
+  const Json c = parse_json("{\"x\": [1, 2, {\"y\": false}]}").value();
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace et::util

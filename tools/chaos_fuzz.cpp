@@ -1,0 +1,365 @@
+/// chaos_fuzz — seeded chaos fuzzing over the tank scenario.
+///
+/// Fuzz mode (default): generates `--trials` randomized chaos trials
+/// starting at `--seed` (trial N uses seed base+N, so any trial can be
+/// regenerated independently) and executes each under the stacked oracles
+/// (src/fuzz/trial.hpp): protocol invariants, serial-vs-parallel
+/// differential digest diff, serve-answer validation, livelock watchdog.
+/// A violation writes a self-contained JSON repro artifact, delta-debugs
+/// it down to a minimal still-failing repro, and writes both into the
+/// corpus directory. Exit code 1 when any trial failed.
+///
+/// Replay mode (`--replay artifact.json`): re-runs one artifact
+/// deterministically and checks it against its `expect_failure` contract
+/// (absent = must pass every oracle). Exit 0 on contract match. The
+/// verdict JSON printed for a deterministic failure is itself
+/// deterministic, so two replays diff byte-for-byte.
+///
+/// The machine-readable campaign summary (`--summary file.json`) carries
+/// trials, violations, trials/hour, and per-violation shrink factors — CI
+/// uploads it as a job artifact.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "fuzz/generator.hpp"
+#include "fuzz/shrink.hpp"
+#include "fuzz/trial.hpp"
+
+namespace {
+
+using namespace et;
+
+struct Options {
+  std::uint64_t trials = 100;
+  std::uint64_t seed = 1;
+  unsigned threads = 2;
+  std::string replay_path;
+  std::string out_dir;
+  std::string summary_path;
+  double time_budget_s = 0.0;  // 0 = unbounded
+  std::size_t max_shrink_attempts = 160;
+  std::uint64_t emit = 0;
+  bool shrink = true;
+  bool verbose = false;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--trials N] [--seed S] [--threads N] [--out DIR]\n"
+      "          [--summary FILE] [--time-budget-s SEC]\n"
+      "          [--max-shrink-attempts N] [--no-shrink] [--verbose]\n"
+      "       %s --replay ARTIFACT.json [--threads N] [--verbose]\n",
+      argv0, argv0);
+}
+
+bool parse_u64(const char* text, std::uint64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_options(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    std::uint64_t u = 0;
+    if (arg == "--trials" && parse_u64(next(), &u)) {
+      options->trials = u;
+    } else if (arg == "--seed" && parse_u64(next(), &u)) {
+      options->seed = u;
+    } else if (arg == "--threads" && parse_u64(next(), &u) && u >= 1 &&
+               u <= 64) {
+      options->threads = static_cast<unsigned>(u);
+    } else if (arg == "--replay") {
+      const char* path = next();
+      if (path == nullptr) return false;
+      options->replay_path = path;
+    } else if (arg == "--out") {
+      const char* path = next();
+      if (path == nullptr) return false;
+      options->out_dir = path;
+    } else if (arg == "--summary") {
+      const char* path = next();
+      if (path == nullptr) return false;
+      options->summary_path = path;
+    } else if (arg == "--time-budget-s" && parse_u64(next(), &u)) {
+      options->time_budget_s = static_cast<double>(u);
+    } else if (arg == "--max-shrink-attempts" && parse_u64(next(), &u)) {
+      options->max_shrink_attempts = u;
+    } else if (arg == "--emit" && parse_u64(next(), &u)) {
+      options->emit = u;
+    } else if (arg == "--no-shrink") {
+      options->shrink = false;
+    } else if (arg == "--verbose") {
+      options->verbose = true;
+    } else {
+      std::fprintf(stderr, "unrecognized or malformed argument: %s\n",
+                   arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Default corpus directory: tests/chaos_corpus when invoked from the
+/// repo root (the committed corpus), else the working directory.
+std::string default_out_dir() {
+  struct stat st{};
+  if (stat("tests/chaos_corpus", &st) == 0 && S_ISDIR(st.st_mode)) {
+    return "tests/chaos_corpus";
+  }
+  return ".";
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << contents;
+  return static_cast<bool>(out);
+}
+
+/// Oracle name of the verdict's first failure, kernel prefix stripped —
+/// filenames and step summaries stay kernel-agnostic.
+std::string failure_name(const metrics::ChaosVerdict& verdict) {
+  const metrics::OracleFinding* first = verdict.first_failure();
+  if (first == nullptr) return "clean";
+  std::string name = first->oracle;
+  for (const char* prefix : {"serial/", "parallel/"}) {
+    const std::string p(prefix);
+    if (name.rfind(p, 0) == 0) {
+      name = name.substr(p.size());
+      break;
+    }
+  }
+  for (char& c : name) {
+    if (c == '/' || c == ':' || c == ' ') c = '-';
+  }
+  return name;
+}
+
+int run_replay(const Options& options) {
+  std::ifstream in(options.replay_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "chaos_fuzz: cannot read %s\n",
+                 options.replay_path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const Expected<fuzz::ReproArtifact> artifact =
+      fuzz::ReproArtifact::from_json_string(buffer.str());
+  if (!artifact.ok()) {
+    std::fprintf(stderr, "chaos_fuzz: %s: %s\n",
+                 options.replay_path.c_str(),
+                 artifact.error().message.c_str());
+    return 2;
+  }
+
+  fuzz::TrialOptions trial_options;
+  trial_options.threads = options.threads;
+  const fuzz::TrialResult result =
+      run_trial(artifact.value(), trial_options);
+  std::printf("%s\n", result.verdict.to_json().dump(2).c_str());
+  const bool matched =
+      fuzz::matches_expectation(artifact.value(), result.verdict);
+  std::printf("REPLAY %s seed=%llu faults=%llu verdict=%s\n",
+              matched ? "ok" : "MISMATCH",
+              static_cast<unsigned long long>(artifact.value().seed),
+              static_cast<unsigned long long>(result.faults_scheduled),
+              result.verdict.summary().c_str());
+  if (!matched && !result.verdict.ok()) {
+    std::printf("CHAOS_ORACLE_VIOLATION oracle=%s\n",
+                failure_name(result.verdict).c_str());
+  }
+  return matched ? 0 : 1;
+}
+
+/// Corpus seeding: writes the first N generated artifacts to the corpus
+/// directory without judging them (run them through --replay or the
+/// corpus-replay tests afterwards to confirm they hold clean on HEAD).
+int run_emit(const Options& options) {
+  const std::string out_dir =
+      options.out_dir.empty() ? default_out_dir() : options.out_dir;
+  for (std::uint64_t t = 0; t < options.emit; ++t) {
+    const std::uint64_t seed = options.seed + t;
+    const fuzz::ReproArtifact artifact = fuzz::generate_artifact(seed);
+    const std::string path =
+        out_dir + "/corpus-seed" + std::to_string(seed) + ".json";
+    if (!write_file(path, artifact.to_json_string())) {
+      std::fprintf(stderr, "chaos_fuzz: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    std::printf("emitted %s (motes=%zu faults=%zu)\n", path.c_str(),
+                artifact.scenario.node_count(),
+                artifact.plan.events().size());
+  }
+  return 0;
+}
+
+int run_fuzz(const Options& options) {
+  const std::string out_dir =
+      options.out_dir.empty() ? default_out_dir() : options.out_dir;
+  const auto started = std::chrono::steady_clock::now();
+  const auto elapsed_s = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started)
+        .count();
+  };
+
+  fuzz::TrialOptions trial_options;
+  trial_options.threads = options.threads;
+
+  std::uint64_t executed = 0;
+  std::uint64_t violations = 0;
+  double sim_seconds = 0.0;
+  std::vector<std::string> violation_lines;
+  std::vector<double> shrink_factors;
+
+  for (std::uint64_t t = 0; t < options.trials; ++t) {
+    if (options.time_budget_s > 0.0 && elapsed_s() > options.time_budget_s) {
+      std::printf("time budget (%0.fs) reached after %llu trials\n",
+                  options.time_budget_s,
+                  static_cast<unsigned long long>(executed));
+      break;
+    }
+    const std::uint64_t seed = options.seed + t;
+    const fuzz::ReproArtifact artifact = fuzz::generate_artifact(seed);
+    const fuzz::TrialResult result = run_trial(artifact, trial_options);
+    ++executed;
+    sim_seconds += result.sim_seconds;
+    if (options.verbose) {
+      std::printf("trial %llu seed=%llu motes=%zu faults=%llu %s\n",
+                  static_cast<unsigned long long>(t),
+                  static_cast<unsigned long long>(seed),
+                  artifact.scenario.node_count(),
+                  static_cast<unsigned long long>(result.faults_scheduled),
+                  result.verdict.summary().c_str());
+    }
+    if (result.verdict.ok()) continue;
+
+    ++violations;
+    const std::string name = failure_name(result.verdict);
+    std::printf("CHAOS_ORACLE_VIOLATION oracle=%s seed=%llu %s\n",
+                name.c_str(), static_cast<unsigned long long>(seed),
+                result.verdict.summary().c_str());
+    violation_lines.push_back("oracle=" + name +
+                              " seed=" + std::to_string(seed));
+
+    const std::string stem =
+        out_dir + "/repro-" + name + "-seed" + std::to_string(seed);
+    fuzz::ReproArtifact original = artifact;
+    original.note += "; failed: " + result.verdict.summary();
+    if (!write_file(stem + ".json", original.to_json_string())) {
+      std::fprintf(stderr, "chaos_fuzz: cannot write %s.json\n",
+                   stem.c_str());
+    }
+
+    if (!options.shrink) continue;
+    // Shrink preserving the first failing oracle. The predicate re-runs
+    // the full trial; names are compared kernel-prefix-stripped so a
+    // failure may migrate between serial and parallel runs while
+    // shrinking.
+    const auto still_fails = [&](const fuzz::ReproArtifact& candidate) {
+      const fuzz::TrialResult replay = run_trial(candidate, trial_options);
+      if (replay.verdict.ok()) return false;
+      return failure_name(replay.verdict) == name;
+    };
+    fuzz::ShrinkOptions shrink_options;
+    shrink_options.max_attempts = options.max_shrink_attempts;
+    fuzz::ShrinkStats shrink_stats;
+    fuzz::ReproArtifact shrunk = fuzz::shrink_artifact(
+        original, still_fails, shrink_options, &shrink_stats);
+    const double before = static_cast<double>(
+        original.plan.events().size() + original.scenario.node_count());
+    const double after = static_cast<double>(
+        shrunk.plan.events().size() + shrunk.scenario.node_count());
+    const double factor = after > 0.0 ? before / after : 1.0;
+    shrink_factors.push_back(factor);
+    shrunk.note += "; shrunk from " +
+                   std::to_string(original.plan.events().size()) +
+                   " fault events / " +
+                   std::to_string(original.scenario.node_count()) +
+                   " motes in " + std::to_string(shrink_stats.attempts) +
+                   " attempts";
+    std::printf(
+        "  shrunk: %zu -> %zu fault events, %zu -> %zu motes "
+        "(%zu attempts, %zu accepted)\n",
+        original.plan.events().size(), shrunk.plan.events().size(),
+        original.scenario.node_count(), shrunk.scenario.node_count(),
+        shrink_stats.attempts, shrink_stats.accepted);
+    if (!write_file(stem + "-shrunk.json", shrunk.to_json_string())) {
+      std::fprintf(stderr, "chaos_fuzz: cannot write %s-shrunk.json\n",
+                   stem.c_str());
+    }
+  }
+
+  const double wall_s = elapsed_s();
+  const double trials_per_hour =
+      wall_s > 0.0 ? static_cast<double>(executed) * 3600.0 / wall_s : 0.0;
+  double mean_shrink = 0.0;
+  for (const double f : shrink_factors) mean_shrink += f;
+  if (!shrink_factors.empty()) {
+    mean_shrink /= static_cast<double>(shrink_factors.size());
+  }
+
+  std::printf(
+      "chaos_fuzz: %llu trials, %llu violations, %.1f simulated s, "
+      "%.1f wall s (%.0f trials/hour)\n",
+      static_cast<unsigned long long>(executed),
+      static_cast<unsigned long long>(violations), sim_seconds, wall_s,
+      trials_per_hour);
+  if (!shrink_factors.empty()) {
+    std::printf("mean shrink factor: %.2fx\n", mean_shrink);
+  }
+
+  if (!options.summary_path.empty()) {
+    util::Json summary = util::Json::object();
+    summary.set("seed", static_cast<std::int64_t>(options.seed));
+    summary.set("trials", static_cast<std::int64_t>(executed));
+    summary.set("violations", static_cast<std::int64_t>(violations));
+    summary.set("sim_seconds", sim_seconds);
+    summary.set("wall_seconds", wall_s);
+    summary.set("trials_per_hour", trials_per_hour);
+    summary.set("violation_rate",
+                executed > 0
+                    ? static_cast<double>(violations) /
+                          static_cast<double>(executed)
+                    : 0.0);
+    summary.set("mean_shrink_factor", mean_shrink);
+    util::Json lines = util::Json::array();
+    for (const std::string& line : violation_lines) lines.push_back(line);
+    summary.set("violation_seeds", std::move(lines));
+    if (!write_file(options.summary_path, summary.dump(2) + "\n")) {
+      std::fprintf(stderr, "chaos_fuzz: cannot write %s\n",
+                   options.summary_path.c_str());
+    }
+  }
+  return violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_options(argc, argv, &options)) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (!options.replay_path.empty()) return run_replay(options);
+  if (options.emit > 0) return run_emit(options);
+  return run_fuzz(options);
+}
